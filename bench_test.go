@@ -1,0 +1,159 @@
+package pacon_test
+
+// One benchmark per paper figure: each iteration regenerates the
+// experiment at reduced (Quick) scale and reports the headline virtual-
+// time metrics as custom benchmark units. The full-scale numbers come
+// from `go run ./cmd/paconbench -all`; these benches make the figures
+// part of `go test -bench`.
+//
+// Custom units:
+//
+//	vops/s   — virtual-time operations per second (the paper's OPS)
+//	ratio    — Pacon-vs-baseline factor for the figure's headline claim
+//
+// Table I has no performance content; it is enforced by
+// TestTableIConformance in internal/core.
+
+import (
+	"testing"
+
+	"pacon"
+	"pacon/internal/bench"
+)
+
+// runFig executes a figure once and fails the benchmark on error.
+func runFig(b *testing.B, id string) []*bench.Figure {
+	b.Helper()
+	figs, err := bench.Run(id, bench.Quick())
+	if err != nil {
+		b.Fatalf("%s: %v", id, err)
+	}
+	return figs
+}
+
+func BenchmarkFig01ClientScalability(b *testing.B) {
+	var last []*bench.Figure
+	for i := 0; i < b.N; i++ {
+		last = runFig(b, "fig1")
+	}
+	f := last[0]
+	b.ReportMetric(f.Last(string(bench.BeeGFS)), "beegfs-multiple")
+	b.ReportMetric(f.Last(string(bench.IndexFS)), "indexfs-multiple")
+}
+
+func BenchmarkFig02PathTraversalCost(b *testing.B) {
+	var last []*bench.Figure
+	for i := 0; i < b.N; i++ {
+		last = runFig(b, "fig2")
+	}
+	f := last[0]
+	loss := func(sys bench.System) float64 {
+		return 100 * (1 - f.Last(string(sys))/f.Value(0, string(sys)))
+	}
+	b.ReportMetric(loss(bench.BeeGFS), "beegfs-loss-%")
+	b.ReportMetric(loss(bench.IndexFS), "indexfs-loss-%")
+}
+
+func BenchmarkFig07SingleApp(b *testing.B) {
+	var last []*bench.Figure
+	for i := 0; i < b.N; i++ {
+		last = runFig(b, "fig7")
+	}
+	create, stat := last[1], last[2]
+	b.ReportMetric(create.Last(string(bench.Pacon)), "pacon-create-vops/s")
+	b.ReportMetric(create.Last(string(bench.Pacon))/create.Last(string(bench.BeeGFS)), "create-vs-beegfs-ratio")
+	b.ReportMetric(stat.Last(string(bench.Pacon))/stat.Last(string(bench.BeeGFS)), "stat-vs-beegfs-ratio")
+}
+
+func BenchmarkFig08MultiApp(b *testing.B) {
+	var last []*bench.Figure
+	for i := 0; i < b.N; i++ {
+		last = runFig(b, "fig8")
+	}
+	create := last[1]
+	b.ReportMetric(create.Last(string(bench.Pacon)), "pacon-create-vops/s")
+	b.ReportMetric(create.Last(string(bench.Pacon))/create.Last(string(bench.IndexFS)), "create-vs-indexfs-ratio")
+}
+
+func BenchmarkFig09PathTraversal(b *testing.B) {
+	var last []*bench.Figure
+	for i := 0; i < b.N; i++ {
+		last = runFig(b, "fig9")
+	}
+	f := last[0]
+	b.ReportMetric(f.Last(string(bench.Pacon)), "pacon-depth6-vops/s")
+	b.ReportMetric(f.Value(0, string(bench.Pacon))/f.Last(string(bench.Pacon)), "pacon-depth-sensitivity")
+}
+
+func BenchmarkFig10PaconOverhead(b *testing.B) {
+	var last []*bench.Figure
+	for i := 0; i < b.N; i++ {
+		last = runFig(b, "fig10")
+	}
+	f := last[0]
+	b.ReportMetric(100*f.Last(string(bench.Pacon))/f.Last(string(bench.Memcached)), "pacon-vs-memcached-%")
+}
+
+func BenchmarkFig11Scalability(b *testing.B) {
+	var last []*bench.Figure
+	for i := 0; i < b.N; i++ {
+		last = runFig(b, "fig11")
+	}
+	norm, abs := last[0], last[1]
+	b.ReportMetric(norm.Last(string(bench.Pacon)), "pacon-scaling-multiple")
+	b.ReportMetric(abs.Last(string(bench.Pacon)), "pacon-create-vops/s")
+}
+
+func BenchmarkFig12MADbench(b *testing.B) {
+	var last []*bench.Figure
+	for i := 0; i < b.N; i++ {
+		last = runFig(b, "fig12")
+	}
+	f := last[0]
+	b.ReportMetric(f.Value(4, string(bench.Pacon))/f.Value(4, string(bench.BeeGFS)), "total-runtime-ratio")
+	b.ReportMetric(f.Value(0, string(bench.Pacon))/f.Value(0, string(bench.BeeGFS)), "init-ratio")
+}
+
+// Substrate micro-benchmarks (real wall-clock time): the hot paths the
+// simulation executes millions of times per experiment.
+
+func BenchmarkMdtestCreatePacon(b *testing.B) {
+	benchmarkMdtestCreate(b, bench.Pacon)
+}
+
+func BenchmarkMdtestCreateBeeGFS(b *testing.B) {
+	benchmarkMdtestCreate(b, bench.BeeGFS)
+}
+
+func BenchmarkMdtestCreateIndexFS(b *testing.B) {
+	benchmarkMdtestCreate(b, bench.IndexFS)
+}
+
+func benchmarkMdtestCreate(b *testing.B, sys bench.System) {
+	cfg := bench.Quick()
+	cfg.MaxNodes = 2
+	cfg.ClientsPerNode = 4
+	var totalOps int64
+	var totalVirtual float64
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunMdtest(cfg, sys, bench.MdtestSpec{Seed: int64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		totalOps += res.Create.Ops
+		totalVirtual += res.Create.Elapsed.Seconds()
+	}
+	if totalVirtual > 0 {
+		b.ReportMetric(float64(totalOps)/totalVirtual, "vops/s")
+	}
+	b.ReportMetric(float64(totalOps)/b.Elapsed().Seconds(), "real-ops/s")
+}
+
+func BenchmarkSimulationProvision(b *testing.B) {
+	// End-to-end cost of standing up a full deployment, the per-point
+	// overhead every figure pays.
+	for i := 0; i < b.N; i++ {
+		sim := pacon.NewSimulation(pacon.SimulationConfig{ClientNodes: 8})
+		sim.MustMkdirAll("/w", 0o777)
+	}
+}

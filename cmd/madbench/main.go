@@ -1,0 +1,60 @@
+// Command madbench runs the MADbench2-like HPC application benchmark
+// (paper §IV.F) against BeeGFS or Pacon and prints the runtime breakdown
+// the paper's Fig 12 plots (init / read / write / other).
+//
+// Usage:
+//
+//	madbench -sys pacon -nodes 16 -procs 16 -mb 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pacon/internal/bench"
+)
+
+func main() {
+	var (
+		sys   = flag.String("sys", "pacon", "system under test: beegfs | pacon")
+		nodes = flag.Int("nodes", 16, "client nodes")
+		procs = flag.Int("procs", 16, "working processes per node")
+		mb    = flag.Int("mb", 4, "component file size in MiB")
+	)
+	flag.Parse()
+
+	var system bench.System
+	switch *sys {
+	case "beegfs":
+		system = bench.BeeGFS
+	case "pacon":
+		system = bench.Pacon
+	default:
+		fmt.Fprintf(os.Stderr, "madbench: unknown system %q (beegfs | pacon)\n", *sys)
+		os.Exit(2)
+	}
+
+	cfg := bench.Default()
+	cfg.MaxNodes = *nodes
+	cfg.MADbenchProcsPerNode = *procs
+	cfg.MADbenchFileMB = *mb
+
+	res, err := bench.RunMADbench(cfg, system)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "madbench: %v\n", err)
+		os.Exit(1)
+	}
+
+	total := res.Total()
+	fmt.Printf("MADbench2 on %s: %d nodes x %d procs, %d files x %d MiB\n",
+		system, *nodes, *procs, *nodes**procs, *mb)
+	part := func(name string, d interface{ Seconds() float64 }) {
+		fmt.Printf("  %-6s %10.3fs  %5.1f%%\n", name, d.Seconds(), 100*d.Seconds()/total.Seconds())
+	}
+	part("init", res.Init)
+	part("read", res.Read)
+	part("write", res.Write)
+	part("other", res.Other)
+	fmt.Printf("  %-6s %10.3fs\n", "total", total.Seconds())
+}

@@ -1,0 +1,90 @@
+// Command paconbench regenerates the paper's tables and figures. Each
+// experiment rebuilds fresh deployments of BeeGFS, IndexFS-on-BeeGFS and
+// Pacon-on-BeeGFS per data point and reports the same series the paper
+// plots, plus derived headline ratios.
+//
+// Usage:
+//
+//	paconbench -all               # every figure at paper scale
+//	paconbench -fig fig7          # one figure
+//	paconbench -quick -all        # reduced scale (~seconds)
+//	paconbench -all -csv out/     # also write CSV files
+//	paconbench -list              # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"time"
+
+	"pacon/internal/bench"
+)
+
+func main() {
+	var (
+		all    = flag.Bool("all", false, "run every experiment")
+		fig    = flag.String("fig", "", "run one experiment (e.g. fig7; 'fig' prefix optional)")
+		quick  = flag.Bool("quick", false, "reduced scale for smoke runs")
+		csvDir = flag.String("csv", "", "also write <id>.csv files into this directory")
+		list   = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range bench.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	cfg := bench.Default()
+	if *quick {
+		cfg = bench.Quick()
+	}
+
+	var ids []string
+	switch {
+	case *all:
+		ids = bench.IDs()
+	case *fig != "":
+		id := *fig
+		// Bare numbers are figures; named experiments pass through as-is.
+		if _, err := strconv.Atoi(id); err == nil {
+			id = "fig" + id
+		}
+		ids = []string{id}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	fmt.Printf("# paconbench: %d client nodes x %d clients/node, %d items/client\n\n",
+		cfg.MaxNodes, cfg.ClientsPerNode, cfg.ItemsPerClient)
+
+	for _, id := range ids {
+		start := time.Now()
+		figs, err := bench.Run(id, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paconbench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		for _, f := range figs {
+			fmt.Println(f.String())
+			if *csvDir != "" {
+				if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				path := filepath.Join(*csvDir, f.ID+".csv")
+				if err := os.WriteFile(path, []byte(f.CSV()), 0o644); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+			}
+		}
+		fmt.Printf("  [%s completed in %v wall time]\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

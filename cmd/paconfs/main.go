@@ -1,0 +1,58 @@
+// Command paconfs is an interactive shell over a simulated Pacon
+// deployment: a BeeGFS-like cluster plus one consistent region, driven
+// by file-system commands. It exists to poke at the system by hand —
+// watch async commits queue and drain, metadata stay cache-resident,
+// checkpoints roll the workspace back.
+//
+// Usage:
+//
+//	paconfs [-nodes 4] [-ws /w]
+//
+//	pacon:/w> create results.dat
+//	pacon:/w> write results.dat hello world
+//	pacon:/w> stats
+//	pacon:/w> help
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	var (
+		nodes = flag.Int("nodes", 4, "client nodes in the region")
+		ws    = flag.String("ws", "/w", "workspace (consistent region root)")
+	)
+	flag.Parse()
+
+	sh, err := newShell(*nodes, *ws)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paconfs:", err)
+		os.Exit(1)
+	}
+	defer sh.close()
+
+	fmt.Printf("paconfs — Pacon shell on %d nodes, workspace %s (type 'help')\n", *nodes, *ws)
+	in := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Printf("pacon:%s> ", *ws)
+		if !in.Scan() {
+			fmt.Println()
+			return
+		}
+		out, quit, err := sh.exec(in.Text())
+		if err != nil {
+			fmt.Println("error:", err)
+			continue
+		}
+		if out != "" {
+			fmt.Println(out)
+		}
+		if quit {
+			return
+		}
+	}
+}

@@ -1,0 +1,223 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"pacon"
+	"pacon/internal/namespace"
+)
+
+// shell interprets file-system commands against one consistent region.
+// Paths may be absolute or relative to the workspace.
+type shell struct {
+	sim    *pacon.Simulation
+	region *pacon.Region
+	client *pacon.Client
+	ws     string
+	now    pacon.Time
+	ckpts  []uint64
+}
+
+func newShell(nodes int, ws string) (*shell, error) {
+	sim := pacon.NewSimulation(pacon.SimulationConfig{ClientNodes: nodes})
+	sim.MustMkdirAll(ws, 0o777)
+	region, err := sim.NewRegion(pacon.RegionConfig{
+		Name:      "shell",
+		Workspace: ws,
+		Nodes:     sim.Nodes(),
+		Cred:      pacon.Cred{UID: 1000, GID: 1000},
+	})
+	if err != nil {
+		return nil, err
+	}
+	client, err := region.NewClient(sim.Nodes()[0])
+	if err != nil {
+		region.Close()
+		return nil, err
+	}
+	return &shell{sim: sim, region: region, client: client, ws: namespace.Clean(ws)}, nil
+}
+
+func (s *shell) close() {
+	s.region.Close()
+	s.sim.Close()
+}
+
+// abs resolves a command argument to a full path.
+func (s *shell) abs(p string) string {
+	if strings.HasPrefix(p, "/") {
+		return namespace.Clean(p)
+	}
+	return namespace.Join(s.ws, p)
+}
+
+const helpText = `commands:
+  mkdir PATH            create a directory (async commit)
+  create PATH           create an empty file (async commit)
+  write PATH TEXT...    write text at offset 0 (inline if small)
+  read PATH             read and print file content
+  stat PATH             show metadata
+  ls [PATH]             list a directory (barrier: exact listing)
+  rm PATH               remove a file (async commit)
+  mv SRC DST            rename a file or directory (sync + barrier)
+  rmdir PATH            remove a directory recursively (sync + barrier)
+  drain                 force all queued commits to the DFS
+  stats                 region + cache + queue statistics
+  time                  current virtual time
+  checkpoint            snapshot the workspace on the DFS
+  restore N             roll back to checkpoint N
+  fail NODE             simulate a client-node failure (lose queued ops)
+  help                  this text
+  quit                  leave`
+
+// exec runs one command line, returning its output and whether to quit.
+func (s *shell) exec(line string) (out string, quit bool, err error) {
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return "", false, nil
+	}
+	cmd, args := fields[0], fields[1:]
+	need := func(n int) error {
+		if len(args) < n {
+			return fmt.Errorf("%s: need %d argument(s)", cmd, n)
+		}
+		return nil
+	}
+	switch cmd {
+	case "help":
+		return helpText, false, nil
+	case "quit", "exit":
+		return "bye", true, nil
+	case "time":
+		return fmt.Sprintf("virtual time %v", s.now), false, nil
+
+	case "mkdir":
+		if err := need(1); err != nil {
+			return "", false, err
+		}
+		s.now, err = s.client.Mkdir(s.now, s.abs(args[0]), 0o755)
+		return "", false, err
+	case "create":
+		if err := need(1); err != nil {
+			return "", false, err
+		}
+		s.now, err = s.client.Create(s.now, s.abs(args[0]), 0o644)
+		return "", false, err
+	case "write":
+		if err := need(2); err != nil {
+			return "", false, err
+		}
+		data := []byte(strings.Join(args[1:], " "))
+		s.now, err = s.client.WriteAt(s.now, s.abs(args[0]), 0, data)
+		if err != nil {
+			return "", false, err
+		}
+		return fmt.Sprintf("%d bytes", len(data)), false, nil
+	case "read":
+		if err := need(1); err != nil {
+			return "", false, err
+		}
+		var data []byte
+		data, s.now, err = s.client.ReadAt(s.now, s.abs(args[0]), 0, 1<<20)
+		if err != nil {
+			return "", false, err
+		}
+		return string(data), false, nil
+	case "stat":
+		if err := need(1); err != nil {
+			return "", false, err
+		}
+		var st pacon.Stat
+		st, s.now, err = s.client.Stat(s.now, s.abs(args[0]))
+		if err != nil {
+			return "", false, err
+		}
+		return fmt.Sprintf("%s mode=%v uid=%d gid=%d size=%d inline=%dB",
+			st.Type, st.Mode, st.UID, st.GID, st.Size, len(st.Inline)), false, nil
+	case "ls":
+		p := s.ws
+		if len(args) > 0 {
+			p = s.abs(args[0])
+		}
+		var ents []pacon.DirEntry
+		ents, s.now, err = s.client.Readdir(s.now, p)
+		if err != nil {
+			return "", false, err
+		}
+		names := make([]string, 0, len(ents))
+		for _, e := range ents {
+			suffix := ""
+			if e.Type == pacon.TypeDir {
+				suffix = "/"
+			}
+			names = append(names, e.Name+suffix)
+		}
+		sort.Strings(names)
+		return strings.Join(names, "  "), false, nil
+	case "rm":
+		if err := need(1); err != nil {
+			return "", false, err
+		}
+		s.now, err = s.client.Remove(s.now, s.abs(args[0]))
+		return "", false, err
+	case "mv":
+		if err := need(2); err != nil {
+			return "", false, err
+		}
+		s.now, err = s.client.Rename(s.now, s.abs(args[0]), s.abs(args[1]))
+		return "", false, err
+	case "rmdir":
+		if err := need(1); err != nil {
+			return "", false, err
+		}
+		s.now, err = s.client.Rmdir(s.now, s.abs(args[0]))
+		return "", false, err
+
+	case "drain":
+		s.now, err = s.region.Drain(s.now)
+		return "queues drained — backup copies on the DFS", false, err
+	case "stats":
+		rs := s.region.Stats()
+		cs := s.region.CacheStats()
+		return fmt.Sprintf(
+			"commit: %d committed, %d retries, %d discarded, %d dropped\nqueue:  %d pending ops\ncache:  %d items, %d bytes, %d hits, %d misses\nevict:  %d rounds; spills pending: %d",
+			rs.Committed, rs.Retries, rs.Discarded, rs.Dropped,
+			s.region.QueueDepth(),
+			cs.Items, cs.UsedBytes, cs.Hits, cs.Misses,
+			rs.Evictions, s.region.SpillCount()), false, nil
+
+	case "checkpoint":
+		var seq uint64
+		seq, s.now, err = s.region.Checkpoint(s.client, s.now)
+		if err != nil {
+			return "", false, err
+		}
+		s.ckpts = append(s.ckpts, seq)
+		return fmt.Sprintf("checkpoint %d", seq), false, nil
+	case "restore":
+		if err := need(1); err != nil {
+			return "", false, err
+		}
+		seq, perr := strconv.ParseUint(args[0], 10, 64)
+		if perr != nil {
+			return "", false, fmt.Errorf("restore: bad checkpoint id %q", args[0])
+		}
+		s.now, err = s.region.Restore(s.client, s.now, seq)
+		if err != nil {
+			return "", false, err
+		}
+		return fmt.Sprintf("workspace rolled back to checkpoint %d", seq), false, nil
+	case "fail":
+		if err := need(1); err != nil {
+			return "", false, err
+		}
+		lost := s.region.SimulateNodeFailure(args[0])
+		return fmt.Sprintf("node %s failed: %d uncommitted op(s) lost", args[0], lost), false, nil
+
+	default:
+		return "", false, fmt.Errorf("unknown command %q (try 'help')", cmd)
+	}
+}

@@ -1,0 +1,116 @@
+// MADbench-style HPC application (paper §IV.F): N processes each create
+// a component file, generate data, then iterate read/compute/write. The
+// example contrasts Pacon's behavior on the two file classes:
+//
+//   - checkpoint manifests (small) stay inline in the distributed cache;
+//   - component data (4 MB) crosses the small-file threshold and is
+//     redirected to the DFS data servers, so the data path is untouched.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pacon"
+)
+
+const (
+	procs     = 16
+	fileBytes = 4 << 20 // 4 MB, as in the paper's run
+	chunk     = 1 << 20
+)
+
+func main() {
+	sim := pacon.NewSimulation(pacon.SimulationConfig{ClientNodes: 4})
+	sim.MustMkdirAll("/scratch/madbench", 0o777)
+
+	region, err := sim.NewRegion(pacon.RegionConfig{
+		Name:      "madbench",
+		Workspace: "/scratch/madbench",
+		Nodes:     sim.Nodes(),
+		Cred:      pacon.Cred{UID: 1000, GID: 1000},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer region.Close()
+
+	// One client per working process, spread over the nodes.
+	clients := make([]*pacon.Client, procs)
+	for i := range clients {
+		if clients[i], err = region.NewClient(sim.Nodes()[i%len(sim.Nodes())]); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Init: every process creates its component file and a small
+	// manifest describing it.
+	var initEnd pacon.Time
+	payload := make([]byte, chunk)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	for i, cl := range clients {
+		now, err := cl.Create(0, componentPath(i), 0o644)
+		if err != nil {
+			log.Fatal(err)
+		}
+		manifest := fmt.Sprintf("component=%d bytes=%d", i, fileBytes)
+		if now, err = cl.Create(now, manifestPath(i), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		if now, err = cl.WriteAt(now, manifestPath(i), 0, []byte(manifest)); err != nil {
+			log.Fatal(err)
+		}
+		if now > initEnd {
+			initEnd = now
+		}
+	}
+	fmt.Printf("init: %d component files + manifests created by %v\n", procs, initEnd)
+
+	// Write phase: 4 MB per process — beyond the 4 KB threshold, so the
+	// bytes go straight to the striped data servers.
+	var writeEnd pacon.Time
+	for i, cl := range clients {
+		now := initEnd
+		for off := 0; off < fileBytes; off += chunk {
+			var err error
+			if now, err = cl.WriteAt(now, componentPath(i), int64(off), payload); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if now > writeEnd {
+			writeEnd = now
+		}
+	}
+	fmt.Printf("write: %d MB of component data on the DFS by %v\n",
+		procs*fileBytes>>20, writeEnd)
+
+	// Read phase: verify content round-trips through the DFS.
+	now := writeEnd
+	data, now, err := clients[0].ReadAt(now, componentPath(0), chunk, 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("read-back at offset %d: % x...\n", chunk, data[:4])
+
+	// The manifests are still inline — a single cache request each.
+	m, now, err := clients[procs-1].ReadAt(now, manifestPath(procs-1), 0, 128)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("manifest (inline in cache): %q\n", m)
+
+	// Breakdown: metadata was absorbed by the cache; data went to the
+	// DFS. That is why the paper's Fig 12 shows Pacon ≈ BeeGFS overall
+	// in this data-intensive run, with only the init slice shrinking.
+	fmt.Printf("commit stats: %+v\n", region.Stats())
+}
+
+func componentPath(i int) string {
+	return fmt.Sprintf("/scratch/madbench/component.%02d.dat", i)
+}
+
+func manifestPath(i int) string {
+	return fmt.Sprintf("/scratch/madbench/component.%02d.manifest", i)
+}

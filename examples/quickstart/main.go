@@ -1,0 +1,86 @@
+// Quickstart: one HPC application, one consistent region (paper §III.B
+// case 1). The application defines its workspace, Pacon launches the
+// distributed metadata cache on its nodes, metadata writes return at
+// cache speed, and everything lands on the DFS asynchronously.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pacon"
+)
+
+func main() {
+	// A self-contained deployment: 1 MDS + 3 data servers + 4 client
+	// nodes, on the calibrated virtual-time model.
+	sim := pacon.NewSimulation(pacon.SimulationConfig{ClientNodes: 4})
+
+	// The administrator allocates the application's workspace (§II.A).
+	sim.MustMkdirAll("/proj/app1", 0o777)
+
+	// The application initializes Pacon with its workspace and nodes.
+	region, err := sim.NewRegion(pacon.RegionConfig{
+		Name:      "app1",
+		Workspace: "/proj/app1",
+		Nodes:     sim.Nodes(),
+		Cred:      pacon.Cred{UID: 1000, GID: 1000},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer region.Close()
+
+	client, err := region.NewClient(sim.Nodes()[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Metadata writes are absorbed by the distributed cache.
+	now, err := client.Mkdir(0, "/proj/app1/out", 0o755)
+	if err != nil {
+		log.Fatal(err)
+	}
+	start := now
+	const files = 1000
+	for i := 0; i < files; i++ {
+		now, err = client.Create(now, fmt.Sprintf("/proj/app1/out/rank%04d.dat", i), 0o644)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	elapsed := now.Sub(start)
+	fmt.Printf("created %d files in %v of virtual time (%.0f creates/s)\n",
+		files, elapsed, float64(files)/elapsed.Seconds())
+
+	// Small files ride inline with their metadata in the cache.
+	if now, err = client.WriteAt(now, "/proj/app1/out/rank0000.dat", 0, []byte("result=42\n")); err != nil {
+		log.Fatal(err)
+	}
+	data, now, err := client.ReadAt(now, "/proj/app1/out/rank0000.dat", 0, 64)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("inline read-back: %q\n", data)
+
+	// readdir is a barrier operation: it drains the commit queues first,
+	// so the listing reflects every asynchronous create.
+	ents, now, err := client.Readdir(now, "/proj/app1/out")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("readdir sees %d entries at %v\n", len(ents), now)
+
+	// At this point the backup copies are on the DFS too.
+	st := region.Stats()
+	fmt.Printf("commit module: %d committed, %d retries, %d dropped, queue depth %d\n",
+		st.Committed, st.Retries, st.Dropped, region.QueueDepth())
+
+	// And the DFS agrees (verified through a plain DFS client).
+	verify := sim.DFSClient(sim.Nodes()[1], pacon.Cred{UID: 1000, GID: 1000})
+	vst, _, err := verify.Stat(now, "/proj/app1/out/rank0999.dat")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("DFS backup copy of rank0999.dat: type=%v mode=%v\n", vst.Type, vst.Mode)
+}

@@ -1,0 +1,3 @@
+module pacon
+
+go 1.22

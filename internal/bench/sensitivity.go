@@ -1,0 +1,165 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"pacon/internal/dfs"
+	"pacon/internal/rpc"
+	"pacon/internal/vclock"
+	"pacon/internal/workload"
+)
+
+// abl-model sweeps the two most influential latency-model parameters —
+// the cross-node RTT and the MDS write cost — and reports the Pacon/
+// BeeGFS create ratio at each point. The paper's headline ("Pacon
+// improves creation by >76x") should be a robust consequence of the
+// architecture (async cache-speed writes vs synchronous saturated MDS),
+// not a knife-edge artifact of one calibration: the ratio must stay
+// large across a wide parameter range, growing as the MDS slows and
+// shrinking (but staying >>1) as the network slows.
+func init() {
+	register("abl-model", ablModel)
+}
+
+func ablModel(cfg Config) ([]*Figure, error) {
+	rttFig := &Figure{
+		ID: "abl-model-rtt", Title: "Sensitivity: cross-node RTT sweep (create, max clients)",
+		XLabel: "RTT", YLabel: "OPS",
+		Series: []string{string(BeeGFS), string(Pacon), "ratio"},
+	}
+	clients := cfg.MaxNodes * cfg.ClientsPerNode
+	for _, rtt := range []time.Duration{20 * time.Microsecond, 80 * time.Microsecond, 320 * time.Microsecond} {
+		c := cfg
+		c.Model.CrossNodeRTT = rtt
+		row, err := createRatioRow(c, clients)
+		if err != nil {
+			return nil, fmt.Errorf("abl-model rtt %v: %w", rtt, err)
+		}
+		rttFig.AddPoint(rtt.String(), row)
+	}
+
+	mdsFig := &Figure{
+		ID: "abl-model-mds", Title: "Sensitivity: MDS write cost sweep (create, max clients)",
+		XLabel: "MDS write", YLabel: "OPS",
+		Series: []string{string(BeeGFS), string(Pacon), "ratio"},
+	}
+	for _, w := range []time.Duration{30 * time.Microsecond, 120 * time.Microsecond, 480 * time.Microsecond} {
+		c := cfg
+		c.Model.MDSWriteCost = w
+		row, err := createRatioRow(c, clients)
+		if err != nil {
+			return nil, fmt.Errorf("abl-model mds %v: %w", w, err)
+		}
+		mdsFig.AddPoint(w.String(), row)
+	}
+
+	for _, f := range []*Figure{rttFig, mdsFig} {
+		lo, hi := f.Value(0, "ratio"), f.Last("ratio")
+		f.Note("Pacon/BeeGFS ratio spans %.0fx – %.0fx across the sweep — the win is architectural, not a calibration artifact", minf(lo, hi), maxf(lo, hi))
+	}
+	return []*Figure{rttFig, mdsFig}, nil
+}
+
+func createRatioRow(cfg Config, clients int) (map[string]float64, error) {
+	row := map[string]float64{}
+	for _, sys := range []System{BeeGFS, Pacon} {
+		_, create, _, err := runPhases(cfg, sys, clients)
+		if err != nil {
+			return nil, err
+		}
+		row[string(sys)] = create
+	}
+	row["ratio"] = row[string(Pacon)] / row[string(BeeGFS)]
+	return row, nil
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Guard against an accidentally shared model: Config carries the model
+// by value, so per-sweep mutation is safe; this assertion documents it.
+var _ = func() vclock.LatencyModel {
+	c := Default()
+	c.Model.CrossNodeRTT = 0
+	if Default().Model.CrossNodeRTT == 0 {
+		panic("bench: Config.Model must be a value copy")
+	}
+	return c.Model
+}()
+
+// abl-multimds: how far does scaling the metadata server cluster go?
+// (paper §II.B: "these systems can increase the scalability of metadata
+// service to a certain extent by increasing the number of metadata
+// servers, but the effectiveness of this approach is limited"). BeeGFS
+// with 1/2/4/8 MDSes against Pacon at full client load.
+func init() {
+	register("abl-multimds", ablMultiMDS)
+}
+
+func ablMultiMDS(cfg Config) ([]*Figure, error) {
+	f := &Figure{
+		ID: "abl-multimds", Title: "Ablation: scaling the MDS cluster vs Pacon (create, max clients)",
+		XLabel: "MDS count", YLabel: "OPS",
+		Series: []string{string(BeeGFS), string(Pacon)},
+	}
+	clients := cfg.MaxNodes * cfg.ClientsPerNode
+	pacon := 0.0
+	for _, nmds := range []int{1, 2, 4, 8} {
+		row := map[string]float64{}
+		bee, err := multiMDSCreateOPS(cfg, nmds, clients)
+		if err != nil {
+			return nil, fmt.Errorf("abl-multimds %d: %w", nmds, err)
+		}
+		row[string(BeeGFS)] = bee
+		if pacon == 0 {
+			_, pacon, _, err = runPhases(cfg, Pacon, clients)
+			if err != nil {
+				return nil, err
+			}
+		}
+		row[string(Pacon)] = pacon
+		f.AddPoint(fmt.Sprintf("%d", nmds), row)
+	}
+	f.Note("8 MDSes buy BeeGFS %.1fx over 1 MDS, yet Pacon still leads %.0fx — hardware scaling cannot chase client growth (§II.B)",
+		f.Last(string(BeeGFS))/f.Value(0, string(BeeGFS)),
+		f.Last(string(Pacon))/f.Last(string(BeeGFS)))
+	return []*Figure{f}, nil
+}
+
+// multiMDSCreateOPS runs the create phase on a BeeGFS deployment with n
+// metadata servers.
+func multiMDSCreateOPS(cfg Config, nmds, clients int) (float64, error) {
+	bus := rpc.NewBus()
+	mdsNodes := make([]string, nmds)
+	for i := range mdsNodes {
+		mdsNodes[i] = fmt.Sprintf("storage-m%d", i)
+	}
+	cluster := dfs.NewClusterMulti(bus, cfg.Model, adminCred, mdsNodes, []string{"s1", "s2", "s3"})
+	admin := cluster.NewClient("admin", adminCred, 0, 0)
+	if _, err := admin.Mkdir(0, "/w", 0o777); err != nil {
+		return 0, err
+	}
+	nodes := cfg.nodesFor(clients)
+	cls := make([]workload.Client, clients)
+	for i := range cls {
+		cls[i] = cluster.NewClient(fmt.Sprintf("node%d", i%nodes), appCred, 0, 0)
+	}
+	md := workload.NewMdtest(cls, "/w", cfg.ItemsPerClient, 5)
+	res, err := md.CreatePhase()
+	if err != nil {
+		return 0, err
+	}
+	return res.OPS(), nil
+}

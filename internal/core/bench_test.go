@@ -1,0 +1,122 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"pacon/internal/dfs"
+	"pacon/internal/fsapi"
+	"pacon/internal/rpc"
+	"pacon/internal/vclock"
+)
+
+// benchEnv builds a deployment without testing.T plumbing.
+func benchEnv(b *testing.B, nodes int) (*Region, *Client) {
+	b.Helper()
+	bus := rpc.NewBus()
+	model := vclock.Default()
+	cluster := dfs.NewCluster(bus, model, rootCred, "storage0", []string{"s1"})
+	admin := cluster.NewClient("admin", rootCred, 0, 0)
+	if _, err := admin.Mkdir(0, "/w", 0o777); err != nil {
+		b.Fatal(err)
+	}
+	names := make([]string, nodes)
+	for i := range names {
+		names[i] = fmt.Sprintf("node%d", i)
+	}
+	region, err := NewRegion(RegionConfig{
+		Name: "bench", Workspace: "/w", Nodes: names, Cred: appCred, Model: model,
+	}, Deps{
+		Bus: bus,
+		NewBackend: func(node string) Backend {
+			return cluster.NewClient(node, appCred, 4096, time.Hour)
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { region.Close() })
+	c, err := region.NewClient("node0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	return region, c
+}
+
+// Wall-clock cost of the client-facing operations: what a simulation
+// pays per op, dominated by cache-server map work and encoding.
+
+func BenchmarkClientCreate(b *testing.B) {
+	_, c := benchEnv(b, 4)
+	now := vclock.Time(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		now, err = c.Create(now, fmt.Sprintf("/w/f%09d", i), 0o644)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkClientStatHit(b *testing.B) {
+	_, c := benchEnv(b, 4)
+	now, err := c.Create(0, "/w/hot", 0o644)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, now, err = c.Stat(now, "/w/hot"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkClientInlineWrite(b *testing.B) {
+	_, c := benchEnv(b, 4)
+	now, err := c.Create(0, "/w/inline", 0o644)
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if now, err = c.WriteAt(now, "/w/inline", 0, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReaddirBarrier(b *testing.B) {
+	region, c := benchEnv(b, 2)
+	now := vclock.Time(0)
+	var err error
+	for i := 0; i < 64; i++ {
+		if now, err = c.Create(now, fmt.Sprintf("/w/f%02d", i), 0o644); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if now, err = region.Drain(now); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, now, err = c.Readdir(now, "/w"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCacheValCodec(b *testing.B) {
+	v := cacheVal{dirty: true, seq: 42, stat: fsapi.NewFileStat(appCred, 0o644)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enc := v.encode()
+		if _, err := decodeCacheVal(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"pacon/internal/fsapi"
+	"pacon/internal/namespace"
+	"pacon/internal/vclock"
+)
+
+// Checkpointing (paper §III.G): a region can snapshot its workspace
+// subtree on the DFS and later roll back to it after a client-node
+// failure loses uncommitted operations. Only the application's workspace
+// is checkpointed, not the whole namespace, and the interface is exposed
+// to applications so they choose intervals. Checkpoints capture the
+// metadata subtree; file contents on the data servers are keyed by path
+// and crash-consistent on their own, so restoring the metadata re-attaches
+// them.
+
+// ckptRoot is where checkpoints live on the DFS.
+const ckptRoot = "/.pacon"
+
+func (r *Region) ckptPath(seq uint64) string {
+	return fmt.Sprintf("%s/ckpt-%s-%d", ckptRoot, r.cfg.Name, seq)
+}
+
+// mkdirIgnoreExist creates a directory, tolerating its presence.
+func mkdirIgnoreExist(b Backend, at vclock.Time, p string, st fsapi.Stat) (vclock.Time, error) {
+	done, err := b.CreateWithStat(at, p, st)
+	if err != nil && !errors.Is(err, fsapi.ErrExist) {
+		return done, err
+	}
+	return done, nil
+}
+
+// copySubtree duplicates the metadata subtree rooted at src to dst.
+func copySubtree(b Backend, at vclock.Time, src, dst string) (vclock.Time, error) {
+	st, at, err := b.Stat(at, src)
+	if err != nil {
+		return at, err
+	}
+	if !st.IsDir() {
+		return b.CreateWithStat(at, dst, st)
+	}
+	if at, err = mkdirIgnoreExist(b, at, dst, st); err != nil {
+		return at, err
+	}
+	ents, at, err := b.Readdir(at, src)
+	if err != nil {
+		return at, err
+	}
+	for _, ent := range ents {
+		at, err = copySubtree(b, at, namespace.Join(src, ent.Name), namespace.Join(dst, ent.Name))
+		if err != nil {
+			return at, err
+		}
+	}
+	return at, nil
+}
+
+// Checkpoint drains the region (barrier) and copies the workspace
+// subtree into the checkpoint area, returning the checkpoint sequence
+// number to roll back to.
+func (r *Region) Checkpoint(c *Client, at vclock.Time) (uint64, vclock.Time, error) {
+	seq := r.ckptSeq.Add(1)
+	epoch, drain, err := r.syncBarrier(at)
+	if err != nil {
+		return 0, at, err
+	}
+	at = drain
+
+	dirStat := fsapi.NewDirStat(r.cfg.Cred, 0o700)
+	if at, err = mkdirIgnoreExist(c.backend, at, ckptRoot, dirStat); err != nil {
+		r.barrier.Release(epoch, at)
+		return 0, at, err
+	}
+	at, err = copySubtree(c.backend, at, r.cfg.Workspace, r.ckptPath(seq))
+	r.barrier.Release(epoch, at)
+	if err != nil {
+		return 0, at, err
+	}
+	return seq, at, nil
+}
+
+// Restore rolls the workspace back to checkpoint seq and rebuilds the
+// distributed cache (cold: entries reload on demand). Call it after
+// SimulateNodeFailure, or any time the application wants the snapshot
+// back.
+func (r *Region) Restore(c *Client, at vclock.Time, seq uint64) (vclock.Time, error) {
+	epoch, drain, err := r.syncBarrier(at)
+	if err != nil {
+		return at, err
+	}
+	at = drain
+	defer func() { r.barrier.Release(epoch, at) }()
+
+	src := r.ckptPath(seq)
+	rootStat, done, err := c.backend.Stat(at, src)
+	at = done
+	if err != nil {
+		return at, fsapi.WrapPath("restore", src, err)
+	}
+
+	// Drop the current workspace contents (the root itself stays — the
+	// application may not own its parent directory) and every cache
+	// entry.
+	cur, done, err := c.backend.Readdir(at, r.cfg.Workspace)
+	at = done
+	if err != nil {
+		return at, err
+	}
+	for _, ent := range cur {
+		child := namespace.Join(r.cfg.Workspace, ent.Name)
+		if ent.Type == fsapi.TypeDir {
+			_, done, err = c.backend.RmTree(at, child)
+		} else {
+			done, err = c.backend.Remove(at, child)
+		}
+		at = done
+		if err != nil {
+			return at, err
+		}
+	}
+	if done, err := c.cache.FlushAll(at); err != nil {
+		return done, err
+	} else {
+		at = done
+	}
+
+	// Recreate the workspace contents from the checkpoint.
+	ents, done, err := c.backend.Readdir(at, src)
+	at = done
+	if err != nil {
+		return at, err
+	}
+	for _, ent := range ents {
+		at, err = copySubtree(c.backend, at, namespace.Join(src, ent.Name), namespace.Join(r.cfg.Workspace, ent.Name))
+		if err != nil {
+			return at, err
+		}
+	}
+
+	// Re-seed the workspace metadata (region init does the same).
+	seed := cacheVal{stat: rootStat}
+	if _, done, err := c.cache.Set(at, r.cfg.Workspace, seed.encode(), 0); err != nil {
+		return done, err
+	} else {
+		at = done
+	}
+	return at, nil
+}
+
+// SimulateNodeFailure models a client-node crash for recovery tests and
+// examples: the node's queued (uncommitted) operations are lost and its
+// cache server's contents vanish. Must not race an in-flight barrier
+// operation — a real deployment would re-form the region first.
+func (r *Region) SimulateNodeFailure(node string) int {
+	q, ok := r.queues[node]
+	if !ok {
+		return 0
+	}
+	lost := 0
+	for {
+		_, barrier, _, ok := q.TryPop()
+		if !ok {
+			break
+		}
+		if !barrier {
+			lost++
+		}
+	}
+	if srv, ok := r.servers[node]; ok {
+		srv.FlushAll(0)
+	}
+	return lost
+}

@@ -1,0 +1,627 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"pacon/internal/fsapi"
+	"pacon/internal/memcache"
+	"pacon/internal/namespace"
+	"pacon/internal/rpc"
+	"pacon/internal/vclock"
+)
+
+// Client is one application process's handle on a consistent region. It
+// implements the paper's Table I: create/mkdir/rm execute on the
+// distributed cache and commit asynchronously; getattr reads the cache
+// (loading from the DFS on miss); rmdir and readdir are synchronous
+// barrier operations; everything outside the workspace is redirected to
+// the DFS unchanged.
+type Client struct {
+	region  *Region
+	node    string
+	cache   *memcache.Client
+	caller  *rpc.Caller
+	backend Backend
+
+	// parentMemo caches positive parent-existence checks per barrier
+	// epoch: monotone until a dependent op can remove directories, at
+	// which point the epoch changes and the memo resets.
+	parentMemo map[string]uint64
+
+	// remoteCaches lazily built per merged peer ring.
+	remoteCaches map[string]*memcache.Client
+}
+
+// NewClient builds a client bound to one of the region's nodes.
+func (r *Region) NewClient(node string) (*Client, error) {
+	if _, ok := r.queues[node]; !ok {
+		return nil, fmt.Errorf("core: node %q is not part of region %q", node, r.cfg.Name)
+	}
+	caller := rpc.NewCaller(r.deps.Bus, r.cfg.Model, node)
+	return &Client{
+		region:       r,
+		node:         node,
+		cache:        memcache.NewClient(caller, r.ring),
+		caller:       caller,
+		backend:      r.deps.NewBackend(node),
+		parentMemo:   make(map[string]uint64),
+		remoteCaches: make(map[string]*memcache.Client),
+	}, nil
+}
+
+// Pace attaches a virtual-time pacer to the client's cache RPCs and, if
+// the backend supports it, its DFS RPCs.
+func (c *Client) Pace(p *vclock.Pacer, id int) {
+	c.caller.Pace(p, id)
+	if pb, ok := c.backend.(interface{ Pace(*vclock.Pacer, int) }); ok {
+		pb.Pace(p, id)
+	}
+}
+
+// Region returns the client's region.
+func (c *Client) Region() *Region { return c.region }
+
+// inWorkspace reports whether p belongs to this client's region.
+func (c *Client) inWorkspace(p string) bool {
+	return namespace.IsUnder(p, c.region.cfg.Workspace)
+}
+
+// overhead charges the per-op client-side cost.
+func (c *Client) overhead(at vclock.Time) vclock.Time {
+	return at.Add(c.region.cfg.Model.ClientOverhead)
+}
+
+// pushOp enqueues a commit operation on this node's queue, charging the
+// publish cost (§III.D.1).
+func (c *Client) pushOp(at vclock.Time, kind OpKind, p string, st fsapi.Stat, seq uint64) (vclock.Time, error) {
+	op := Op{Kind: kind, Path: p, Stat: st, Time: at, Seq: seq}
+	if err := c.region.queues[c.node].Push(op); err != nil {
+		return at, err
+	}
+	return at.Add(c.region.cfg.Model.QueuePushCost), nil
+}
+
+// checkParent verifies the parent directory exists (§III.C): first in
+// the distributed cache, then — if uncached — synchronously on the DFS.
+// Positive results are memoized per barrier epoch: directory existence
+// is monotone between dependent operations.
+func (c *Client) checkParent(at vclock.Time, p string) (vclock.Time, error) {
+	if c.region.cfg.DisableParentCheck {
+		return at, nil
+	}
+	dir, _ := namespace.Split(p)
+	if dir == c.region.cfg.Workspace {
+		return at, nil // verified at region init
+	}
+	epoch := c.region.barrier.Epoch()
+	if e, ok := c.parentMemo[dir]; ok && e == epoch {
+		return at, nil
+	}
+	item, done, err := c.cache.Get(at, dir)
+	at = done
+	switch {
+	case err == nil:
+		v, derr := decodeCacheVal(item.Value)
+		if derr != nil {
+			return at, derr
+		}
+		if v.removed {
+			return at, fsapi.WrapPath("parent-check", dir, fsapi.ErrNotExist)
+		}
+		if !v.stat.IsDir() {
+			return at, fsapi.WrapPath("parent-check", dir, fsapi.ErrNotDir)
+		}
+	case errors.Is(err, fsapi.ErrNotExist):
+		// Miss: the parent may exist on the DFS but not in the cache
+		// (§III.C). Load it synchronously.
+		st, done, berr := c.backend.Stat(at, dir)
+		at = done
+		if berr != nil {
+			return at, fsapi.WrapPath("parent-check", dir, berr)
+		}
+		if !st.IsDir() {
+			return at, fsapi.WrapPath("parent-check", dir, fsapi.ErrNotDir)
+		}
+		at = c.cacheLoad(at, dir, st)
+	default:
+		return at, err
+	}
+	c.parentMemo[dir] = epoch
+	return at, nil
+}
+
+// checkPerm authorizes an operation on p. Normally this is the batch
+// permission match — a local lookup, zero RPCs (§III.C). Under the
+// HierarchicalPermCheck ablation it instead walks every component from
+// the workspace root to p's parent through the distributed cache,
+// checking traversal permission per level — the traditional
+// layer-by-layer scheme whose cost the paper's design removes.
+func (c *Client) checkPerm(at vclock.Time, p string, want fsapi.AccessWant) (vclock.Time, error) {
+	r := c.region
+	if !r.cfg.HierarchicalPermCheck {
+		return at, r.cfg.Perm.Check(r.cfg.Cred, p, want)
+	}
+	ws := r.cfg.Workspace
+	for _, anc := range namespace.Ancestors(p) {
+		if !namespace.IsUnder(anc, ws) {
+			continue // components above the workspace belong to the DFS
+		}
+		item, done, err := c.cache.Get(at, anc)
+		at = done
+		var st fsapi.Stat
+		switch {
+		case err == nil:
+			v, derr := decodeCacheVal(item.Value)
+			if derr != nil {
+				return at, derr
+			}
+			if v.removed {
+				return at, fsapi.WrapPath("traverse", anc, fsapi.ErrNotExist)
+			}
+			st = v.stat
+		case errors.Is(err, fsapi.ErrNotExist):
+			var berr error
+			st, at, berr = c.backend.Stat(at, anc)
+			if berr != nil {
+				return at, fsapi.WrapPath("traverse", anc, berr)
+			}
+			at = c.cacheLoad(at, anc, st)
+		default:
+			return at, err
+		}
+		if !st.IsDir() {
+			return at, fsapi.WrapPath("traverse", anc, fsapi.ErrNotDir)
+		}
+		if !st.Mode.Allows(r.cfg.Cred.ClassFor(st.UID, st.GID), fsapi.WantExec) {
+			return at, fsapi.WrapPath("traverse", anc, fsapi.ErrPermission)
+		}
+	}
+	return at, r.cfg.Perm.Check(r.cfg.Cred, p, want)
+}
+
+// cacheLoad inserts a clean (committed) entry, evicting on cache
+// pressure. Insert races are benign — someone else loaded it.
+func (c *Client) cacheLoad(at vclock.Time, p string, st fsapi.Stat) vclock.Time {
+	return c.cacheLoadVal(at, p, cacheVal{stat: st, large: st.Size > int64(c.region.cfg.SmallFileThreshold)})
+}
+
+// insert is the shared create/mkdir path: batch permission check, parent
+// check, cache add (CAS-replacing a removed marker), async commit.
+func (c *Client) insert(at vclock.Time, kind OpKind, p string, st fsapi.Stat) (vclock.Time, error) {
+	r := c.region
+	at = c.overhead(at)
+	op := kind.String()
+
+	at, err := c.checkPerm(at, p, fsapi.WantWrite)
+	if err != nil {
+		return at, err
+	}
+	at, err = c.checkParent(at, p)
+	if err != nil {
+		return at, err
+	}
+
+	seq := r.seq.Add(1)
+	v := cacheVal{dirty: true, seq: seq, stat: st}
+	for {
+		_, done, err := c.cache.Add(at, p, v.encode(), 0)
+		at = done
+		if err == nil {
+			break
+		}
+		if errors.Is(err, fsapi.ErrOutOfSpace) {
+			if at, err = r.evictRound(c, at); err != nil {
+				return at, err
+			}
+			continue
+		}
+		if !errors.Is(err, fsapi.ErrExist) {
+			return at, fsapi.WrapPath(op, p, err)
+		}
+		// Existing entry: only a removed marker may be overwritten
+		// (create-after-rm); a live entry is EEXIST.
+		item, done, gerr := c.cache.Get(at, p)
+		at = done
+		if gerr != nil {
+			if errors.Is(gerr, fsapi.ErrNotExist) {
+				continue // raced with the remove's commit; re-add
+			}
+			return at, gerr
+		}
+		old, derr := decodeCacheVal(item.Value)
+		if derr != nil {
+			return at, derr
+		}
+		if !old.removed {
+			return at, fsapi.WrapPath(op, p, fsapi.ErrExist)
+		}
+		_, done, cerr := c.cache.CAS(at, p, v.encode(), 0, item.CAS)
+		at = done
+		if cerr == nil {
+			break
+		}
+		if !errors.Is(cerr, fsapi.ErrStale) {
+			return at, cerr
+		}
+		// CAS conflict: re-examine (§III.D.3 — retry until success).
+	}
+	if r.cfg.SyncCommit {
+		return c.commitSyncInsert(at, p, st, seq)
+	}
+	return c.pushOp(at, kind, p, st, seq)
+}
+
+// commitSyncInsert is the SyncCommit ablation: apply the creation to the
+// DFS before returning, then mark the cache entry clean.
+func (c *Client) commitSyncInsert(at vclock.Time, p string, st fsapi.Stat, seq uint64) (vclock.Time, error) {
+	dfsStat := st
+	inline := dfsStat.Inline
+	dfsStat.Inline = nil
+	done, err := c.backend.CreateWithStat(at, p, dfsStat)
+	at = done
+	if err != nil {
+		return at, fsapi.WrapPath("sync-commit", p, err)
+	}
+	if len(inline) > 0 {
+		if done, err = c.backend.WriteAt(at, p, 0, inline); err != nil {
+			return done, err
+		}
+		at = done
+	}
+	for {
+		item, done, gerr := c.cache.Get(at, p)
+		at = done
+		if gerr != nil {
+			return at, nil
+		}
+		v, derr := decodeCacheVal(item.Value)
+		if derr != nil || v.seq != seq {
+			return at, nil
+		}
+		v.dirty = false
+		if _, done, cerr := c.cache.CAS(at, p, v.encode(), 0, item.CAS); cerr == nil || !errors.Is(cerr, fsapi.ErrStale) {
+			return done, nil
+		}
+	}
+}
+
+// Mkdir creates a directory in the workspace (async commit); outside the
+// workspace it is redirected to the DFS.
+func (c *Client) Mkdir(at vclock.Time, p string, mode fsapi.Mode) (vclock.Time, error) {
+	p = namespace.Clean(p)
+	if !c.inWorkspace(p) {
+		if _, merged := c.region.mergedFor(p); merged {
+			return at, fsapi.WrapPath("mkdir", p, fsapi.ErrReadOnly)
+		}
+		return c.backend.Mkdir(at, p, mode)
+	}
+	return c.insert(at, OpMkdir, p, fsapi.NewDirStat(c.region.cfg.Cred, mode))
+}
+
+// Create creates an empty file in the workspace (async commit).
+func (c *Client) Create(at vclock.Time, p string, mode fsapi.Mode) (vclock.Time, error) {
+	p = namespace.Clean(p)
+	if !c.inWorkspace(p) {
+		if _, merged := c.region.mergedFor(p); merged {
+			return at, fsapi.WrapPath("create", p, fsapi.ErrReadOnly)
+		}
+		return c.backend.CreateWithStat(at, p, fsapi.NewFileStat(c.region.cfg.Cred, fsapi.ModeDefaultFile))
+	}
+	return c.insert(at, OpCreate, p, fsapi.NewFileStat(c.region.cfg.Cred, mode))
+}
+
+// Stat is Table I's getattr: a cache get, with a synchronous DFS load on
+// miss. Merged workspaces are read through the peer's distributed cache.
+func (c *Client) Stat(at vclock.Time, p string) (fsapi.Stat, vclock.Time, error) {
+	p = namespace.Clean(p)
+	at = c.overhead(at)
+	if !c.inWorkspace(p) {
+		if m, ok := c.region.mergedFor(p); ok {
+			return c.statMerged(at, m, p)
+		}
+		return c.backend.Stat(at, p)
+	}
+	at, err := c.checkPerm(at, p, fsapi.WantRead)
+	if err != nil {
+		return fsapi.Stat{}, at, err
+	}
+	item, done, err := c.cache.Get(at, p)
+	at = done
+	switch {
+	case err == nil:
+		v, derr := decodeCacheVal(item.Value)
+		if derr != nil {
+			return fsapi.Stat{}, at, derr
+		}
+		if v.removed {
+			return fsapi.Stat{}, at, fsapi.WrapPath("stat", p, fsapi.ErrNotExist)
+		}
+		return v.stat, at, nil
+	case errors.Is(err, fsapi.ErrNotExist):
+		// Miss: load from the DFS into the cache (§III.D.1 getattr).
+		st, done, berr := c.backend.Stat(at, p)
+		at = done
+		if berr != nil {
+			return fsapi.Stat{}, at, fsapi.WrapPath("stat", p, berr)
+		}
+		at = c.cacheLoad(at, p, st)
+		return st, at, nil
+	default:
+		return fsapi.Stat{}, at, err
+	}
+}
+
+// statMerged reads a merged peer's cache (read-only, no load-on-miss:
+// we must not write into the peer's cache).
+func (c *Client) statMerged(at vclock.Time, m remoteRegion, p string) (fsapi.Stat, vclock.Time, error) {
+	if err := m.perm.Check(c.region.cfg.Cred, p, fsapi.WantRead); err != nil {
+		return fsapi.Stat{}, at, err
+	}
+	rc, ok := c.remoteCaches[m.workspace]
+	if !ok {
+		rc = memcache.NewClient(c.caller, m.ring)
+		c.remoteCaches[m.workspace] = rc
+	}
+	item, done, err := rc.Get(at, p)
+	at = done
+	if err == nil {
+		v, derr := decodeCacheVal(item.Value)
+		if derr != nil {
+			return fsapi.Stat{}, at, derr
+		}
+		if v.removed {
+			return fsapi.Stat{}, at, fsapi.WrapPath("stat", p, fsapi.ErrNotExist)
+		}
+		return v.stat, at, nil
+	}
+	if !errors.Is(err, fsapi.ErrNotExist) {
+		return fsapi.Stat{}, at, err
+	}
+	return c.backend.Stat(at, p)
+}
+
+// Remove is Table I's rm: mark the cached entry removed (CAS retry
+// loop), commit asynchronously; the commit process deletes the cache
+// entry once the DFS applied it.
+func (c *Client) Remove(at vclock.Time, p string) (vclock.Time, error) {
+	p = namespace.Clean(p)
+	at = c.overhead(at)
+	r := c.region
+	if !c.inWorkspace(p) {
+		if _, merged := r.mergedFor(p); merged {
+			return at, fsapi.WrapPath("rm", p, fsapi.ErrReadOnly)
+		}
+		return c.backend.Remove(at, p)
+	}
+	at, err := c.checkPerm(at, p, fsapi.WantWrite)
+	if err != nil {
+		return at, err
+	}
+	seq := r.seq.Add(1)
+	for {
+		item, done, err := c.cache.Get(at, p)
+		at = done
+		switch {
+		case err == nil:
+			v, derr := decodeCacheVal(item.Value)
+			if derr != nil {
+				return at, derr
+			}
+			if v.removed {
+				return at, fsapi.WrapPath("rm", p, fsapi.ErrNotExist)
+			}
+			if v.stat.IsDir() {
+				return at, fsapi.WrapPath("rm", p, fsapi.ErrIsDir)
+			}
+			v.removed, v.dirty, v.seq = true, true, seq
+			_, done, cerr := c.cache.CAS(at, p, v.encode(), 0, item.CAS)
+			at = done
+			if cerr == nil {
+				return c.pushOp(at, OpRemove, p, fsapi.Stat{}, seq)
+			}
+			if !errors.Is(cerr, fsapi.ErrStale) && !errors.Is(cerr, fsapi.ErrNotExist) {
+				return at, cerr
+			}
+			// Conflict: retry the read-modify-write (§III.D.3).
+		case errors.Is(err, fsapi.ErrNotExist):
+			// Not cached: the file may live only on the DFS.
+			st, done, berr := c.backend.Stat(at, p)
+			at = done
+			if berr != nil {
+				return at, fsapi.WrapPath("rm", p, berr)
+			}
+			if st.IsDir() {
+				return at, fsapi.WrapPath("rm", p, fsapi.ErrIsDir)
+			}
+			v := cacheVal{removed: true, dirty: true, seq: seq, stat: st}
+			_, done, aerr := c.cache.Add(at, p, v.encode(), 0)
+			at = done
+			if aerr == nil {
+				return c.pushOp(at, OpRemove, p, fsapi.Stat{}, seq)
+			}
+			if !errors.Is(aerr, fsapi.ErrExist) {
+				return at, aerr
+			}
+			// Raced with a concurrent insert; re-examine.
+		default:
+			return at, err
+		}
+	}
+}
+
+// Rmdir is Table I's rmdir: synchronous, barrier-committed, recursive —
+// it removes all metadata under the target on both the DFS and the
+// distributed cache (§III.D.1).
+func (c *Client) Rmdir(at vclock.Time, p string) (vclock.Time, error) {
+	p = namespace.Clean(p)
+	at = c.overhead(at)
+	r := c.region
+	if !c.inWorkspace(p) {
+		if _, merged := r.mergedFor(p); merged {
+			return at, fsapi.WrapPath("rmdir", p, fsapi.ErrReadOnly)
+		}
+		_, done, err := c.backend.RmTree(at, p)
+		return done, err
+	}
+	if p == r.cfg.Workspace {
+		return at, fsapi.WrapPath("rmdir", p, fsapi.ErrPermission)
+	}
+	at, err := c.checkPerm(at, p, fsapi.WantWrite)
+	if err != nil {
+		return at, err
+	}
+	// The target must exist (in the cache or on the DFS) and be a
+	// directory before we start discarding work under it.
+	st, at, err := c.Stat(at, p)
+	if err != nil {
+		return at, fsapi.WrapPath("rmdir", p, err)
+	}
+	if !st.IsDir() {
+		return at, fsapi.WrapPath("rmdir", p, fsapi.ErrNotDir)
+	}
+
+	// Discard concurrent creations under the target for the duration —
+	// including the target's own pending mkdir, which then never
+	// materializes on the DFS.
+	r.addRemoving(p)
+	defer r.delRemoving(p)
+
+	epoch, drain, err := r.syncBarrier(at)
+	if err != nil {
+		return at, err
+	}
+	at = drain
+	removed, done, rerr := c.backend.RmTree(at, p)
+	at = done
+	switch {
+	case rerr == nil:
+		// Clean the removed subtree out of the distributed cache.
+		for _, rp := range removed {
+			done, _ := c.cache.Delete(at, rp)
+			at = done
+		}
+	case errors.Is(rerr, fsapi.ErrNotExist):
+		// Everything under the target was discarded before reaching the
+		// DFS (the directory itself included): nothing left to remove.
+		rerr = nil
+	}
+	// The target's own cache entry may be a clean (committed-earlier)
+	// copy the commit processes never touched.
+	if rerr == nil {
+		done, _ := c.cache.Delete(at, p)
+		at = done
+	}
+	r.barrier.Release(epoch, at)
+	if rerr != nil {
+		return at, fsapi.WrapPath("rmdir", p, rerr)
+	}
+	return at, nil
+}
+
+// Readdir is Table I's readdir: a barrier then the DFS's own listing —
+// the cache is never scanned ("avoid the costly full table scan").
+func (c *Client) Readdir(at vclock.Time, p string) ([]fsapi.DirEntry, vclock.Time, error) {
+	p = namespace.Clean(p)
+	at = c.overhead(at)
+	r := c.region
+	if !c.inWorkspace(p) {
+		// Outside (including merged peers) readdir goes to the DFS: we
+		// cannot drain another region's queues, so the listing is only
+		// as fresh as that region's commits (weak consistency across
+		// regions, §III.A).
+		return c.backend.Readdir(at, p)
+	}
+	at, err := c.checkPerm(at, p, fsapi.WantRead|fsapi.WantExec)
+	if err != nil {
+		return nil, at, err
+	}
+	epoch, drain, err := r.syncBarrier(at)
+	if err != nil {
+		return nil, at, err
+	}
+	at = drain
+	ents, done, rerr := c.backend.Readdir(at, p)
+	at = done
+	r.barrier.Release(epoch, at)
+	if rerr != nil {
+		return nil, at, fsapi.WrapPath("readdir", p, rerr)
+	}
+	return ents, at, nil
+}
+
+// Rename moves a file or directory inside the workspace. The paper's
+// Table I does not define rename; this extension treats it as a
+// dependent operation (like rmdir): a barrier drains all earlier
+// asynchronous operations, the DFS applies the move synchronously, and
+// the renamed subtree's cache entries are invalidated (they reload under
+// the new path on demand).
+func (c *Client) Rename(at vclock.Time, src, dst string) (vclock.Time, error) {
+	src, dst = namespace.Clean(src), namespace.Clean(dst)
+	at = c.overhead(at)
+	r := c.region
+	if !c.inWorkspace(src) || !c.inWorkspace(dst) {
+		if _, m := r.mergedFor(src); m {
+			return at, fsapi.WrapPath("rename", src, fsapi.ErrReadOnly)
+		}
+		if _, m := r.mergedFor(dst); m {
+			return at, fsapi.WrapPath("rename", dst, fsapi.ErrReadOnly)
+		}
+		if c.inWorkspace(src) != c.inWorkspace(dst) {
+			// Cross-boundary moves would need cross-consistency-domain
+			// coordination the model does not define.
+			return at, fsapi.WrapPath("rename", dst, fsapi.ErrPermission)
+		}
+		return c.backend.Rename(at, src, dst)
+	}
+	if src == r.cfg.Workspace {
+		return at, fsapi.WrapPath("rename", src, fsapi.ErrPermission)
+	}
+	at, err := c.checkPerm(at, src, fsapi.WantWrite)
+	if err != nil {
+		return at, err
+	}
+	if at, err = c.checkPerm(at, dst, fsapi.WantWrite); err != nil {
+		return at, err
+	}
+
+	epoch, drain, err := r.syncBarrier(at)
+	if err != nil {
+		return at, err
+	}
+	at = drain
+	done, rerr := c.backend.Rename(at, src, dst)
+	at = done
+	if rerr == nil {
+		// Invalidate the moved subtree's old-path entries: enumerate on
+		// the DFS (authoritative after the drain) from the new location.
+		at = c.invalidateMoved(at, src, dst)
+	}
+	r.barrier.Release(epoch, at)
+	if rerr != nil {
+		return at, fsapi.WrapPath("rename", src, rerr)
+	}
+	return at, nil
+}
+
+// invalidateMoved deletes cache entries under the old path of a renamed
+// subtree, discovering its shape from the new location on the DFS.
+func (c *Client) invalidateMoved(at vclock.Time, src, dst string) vclock.Time {
+	done, _ := c.cache.Delete(at, src)
+	at = done
+	st, done, err := c.backend.Stat(at, dst)
+	at = done
+	if err != nil || !st.IsDir() {
+		return at
+	}
+	ents, done, err := c.backend.Readdir(at, dst)
+	at = done
+	if err != nil {
+		return at
+	}
+	for _, ent := range ents {
+		at = c.invalidateMoved(at,
+			namespace.Join(src, ent.Name), namespace.Join(dst, ent.Name))
+	}
+	return at
+}

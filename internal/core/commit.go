@@ -1,0 +1,349 @@
+package core
+
+import (
+	"errors"
+	"time"
+
+	"pacon/internal/fsapi"
+	"pacon/internal/memcache"
+	"pacon/internal/rpc"
+	"pacon/internal/vclock"
+)
+
+// pendingOp is a failed non-dependent commit awaiting resubmission
+// (§III.E.1: "we only need to resubmit the operation until it succeeds").
+type pendingOp struct {
+	op       Op
+	attempts int
+}
+
+// pendingSet keeps failed ops in arrival order plus a per-path count so
+// later same-path ops can be held back.
+type pendingSet struct {
+	ops   []pendingOp
+	paths map[string]int
+}
+
+func (p *pendingSet) add(op Op) {
+	if p.paths == nil {
+		p.paths = make(map[string]int)
+	}
+	p.ops = append(p.ops, pendingOp{op: op})
+	p.paths[op.Path]++
+}
+
+func (p *pendingSet) blocks(path string) bool { return p.paths[path] > 0 }
+
+// commitLoop is one node's commit process: the subscriber of the node's
+// commit queue. It applies operations to the DFS through the node's own
+// backend client, participates in barrier epochs, and maintains the
+// cache's dirty/removed bookkeeping.
+//
+// Resubmission policy: a failed op parks in the pending set while
+// *other-path* ops continue — that is what converges creations enqueued
+// before their parents (cross-queue dependencies, or applications that
+// disabled the parent check). Same-path ops never overtake a parked one:
+// reordering a create → rm → create chain can commit the re-creation
+// first and then let the retried remove delete the wrong incarnation.
+// Per-queue per-path FIFO is exactly the order the paper's §III.E
+// argument presumes.
+func (r *Region) commitLoop(node string, backend Backend) {
+	q := r.queues[node]
+	cache := memcache.NewClient(rpc.NewCaller(r.deps.Bus, r.cfg.Model, node), r.ring)
+	var now vclock.Time
+	var pending pendingSet
+
+	for {
+		op, isBarrier, epoch, ok := q.Pop()
+		if !ok {
+			// Queue closed: push out whatever can still commit.
+			r.drainPending(&pending, &now, backend, cache)
+			return
+		}
+		if isBarrier {
+			// Everything before the marker must reach the DFS before we
+			// report arrival (§III.E.2).
+			r.drainPending(&pending, &now, backend, cache)
+			r.barrier.Arrive(epoch, now)
+			rel, err := r.barrier.AwaitRelease(epoch)
+			if err != nil {
+				return
+			}
+			now = vclock.Max(now, rel)
+			continue
+		}
+		if pending.blocks(op.Path) {
+			pending.add(op) // preserve per-path order behind the parked op
+		} else if r.applyOp(op, &now, backend, cache) {
+			pending.add(op)
+		}
+		// Opportunistic pass: earlier failures often just needed a
+		// sibling queue to commit a parent. Uncounted — only forced
+		// drains consume the resubmission budget.
+		r.retryPendingOnce(&pending, &now, backend, cache, false)
+	}
+}
+
+// retryPendingOnce sweeps the pending set once in arrival order. A
+// still-failing op keeps every later same-path op parked for the rest of
+// the sweep. When counted is true, failures consume the budget.
+func (r *Region) retryPendingOnce(pending *pendingSet, now *vclock.Time, backend Backend, cache *memcache.Client, counted bool) {
+	if len(pending.ops) == 0 {
+		return
+	}
+	var blocked map[string]bool
+	kept := pending.ops[:0]
+	for _, p := range pending.ops {
+		if blocked[p.op.Path] {
+			kept = append(kept, p)
+			continue
+		}
+		r.retries.Add(1)
+		if retry := r.applyOp(p.op, now, backend, cache); retry {
+			if counted {
+				p.attempts++
+				if p.attempts >= r.cfg.CommitRetryLimit {
+					r.dropOp(p.op, now, cache)
+					pending.paths[p.op.Path]--
+					continue
+				}
+			}
+			if blocked == nil {
+				blocked = make(map[string]bool)
+			}
+			blocked[p.op.Path] = true
+			kept = append(kept, p)
+		} else {
+			pending.paths[p.op.Path]--
+		}
+	}
+	pending.ops = kept
+}
+
+// drainPending retries until every pending op commits or exhausts its
+// resubmission budget. Called before barrier arrival and at shutdown.
+// An op's dependency (e.g. its parent's create) may live in another
+// node's queue, so no-progress passes yield real time to the sibling
+// commit processes instead of spinning.
+func (r *Region) drainPending(pending *pendingSet, now *vclock.Time, backend Backend, cache *memcache.Client) {
+	for len(pending.ops) > 0 {
+		before := len(pending.ops)
+		r.retryPendingOnce(pending, now, backend, cache, true)
+		if len(pending.ops) == before {
+			time.Sleep(200 * time.Microsecond)
+		}
+	}
+}
+
+// applyOp applies one operation; it returns true if the op failed in a
+// resubmittable way.
+func (r *Region) applyOp(op Op, now *vclock.Time, backend Backend, cache *memcache.Client) bool {
+	t := vclock.Max(*now, op.Time)
+	switch op.Kind {
+	case OpCreate, OpMkdir:
+		// Discard rule: creations inside a directory being removed are
+		// dropped, and their cache entries cleaned (§III.D.1).
+		if r.isRemoving(op.Path) {
+			r.discarded.Add(1)
+			done, _ := cache.Delete(t, op.Path)
+			*now = done
+			return false
+		}
+		// The DFS backup copy keeps small-file data on the data path, not
+		// in MDS metadata: strip the inline bytes and write them through
+		// the normal file interface after the create lands.
+		st := op.Stat
+		inline := st.Inline
+		st.Inline = nil
+		done, err := backend.CreateWithStat(t, op.Path, st)
+		*now = done
+		switch {
+		case err == nil:
+			r.committed.Add(1)
+			r.writebackInline(op.Path, inline, now, backend)
+			r.writebackSpill(op.Path, now, backend)
+			r.clearDirty(op, now, cache)
+			return false
+		case errors.Is(err, fsapi.ErrExist):
+			// Two cases share this error. (1) The file was materialized
+			// early by the large-file transition (§III.D.2) — that path
+			// clears the dirty bit, so a clean live entry with our seq
+			// means the DFS copy is ours: done. (2) An earlier
+			// incarnation's remove is still queued on another node — our
+			// entry is still dirty, the existing DFS file is stale:
+			// resubmit until the remove lands (independent commit
+			// reordering, §III.E.1).
+			if v, ok := r.cacheLookup(op.Path, now, cache); ok && !v.removed {
+				if v.seq != op.Seq || !v.dirty {
+					r.committed.Add(1)
+					r.writebackSpill(op.Path, now, backend)
+					r.clearDirty(op, now, cache)
+					return false
+				}
+			}
+			return true
+		case errors.Is(err, fsapi.ErrNotExist):
+			// Parent not committed yet (possibly queued on another node).
+			return true
+		default:
+			r.dropOp(op, now, cache)
+			return false
+		}
+
+	case OpRemove:
+		done, err := backend.Remove(t, op.Path)
+		*now = done
+		switch {
+		case err == nil:
+			r.committed.Add(1)
+			r.finishRemove(op, now, cache)
+			return false
+		case errors.Is(err, fsapi.ErrNotExist):
+			// The create this remove shadows may still be queued on
+			// another node — resubmit; if it was discarded under an
+			// rmdir, the retry limit cleans us up.
+			if r.isRemoving(op.Path) {
+				r.discarded.Add(1)
+				r.finishRemove(op, now, cache)
+				return false
+			}
+			return true
+		default:
+			r.dropOp(op, now, cache)
+			return false
+		}
+
+	case OpSetStat:
+		var done vclock.Time
+		var err error
+		if len(op.Stat.Inline) > 0 {
+			// Inline-data backup write: the file interface carries both
+			// the bytes and the size update.
+			done, err = backend.WriteAt(t, op.Path, 0, op.Stat.Inline)
+		} else {
+			done, err = backend.SetStat(t, op.Path, op.Stat)
+		}
+		*now = done
+		switch {
+		case err == nil:
+			r.committed.Add(1)
+			r.clearDirty(op, now, cache)
+			return false
+		case errors.Is(err, fsapi.ErrNotExist):
+			if r.isRemoving(op.Path) {
+				r.discarded.Add(1)
+				return false
+			}
+			return true // create still in flight
+		default:
+			r.dropOp(op, now, cache)
+			return false
+		}
+	}
+	return false
+}
+
+// dropOp abandons an operation. An abandoned creation's cache entry is
+// the primary copy of metadata that will never reach the DFS (e.g. a
+// create accepted in the closing instants of an rmdir window whose
+// parent is gone): delete it — by seq, so a newer incarnation survives —
+// rather than leave a permanently dirty phantom.
+func (r *Region) dropOp(op Op, now *vclock.Time, cache *memcache.Client) {
+	r.dropped.Add(1)
+	if op.Kind != OpCreate && op.Kind != OpMkdir {
+		return
+	}
+	item, done, err := cache.Get(*now, op.Path)
+	*now = done
+	if err != nil {
+		return
+	}
+	v, derr := decodeCacheVal(item.Value)
+	if derr != nil || v.seq != op.Seq {
+		return
+	}
+	done, _ = cache.Delete(*now, op.Path)
+	*now = done
+}
+
+// cacheLookup fetches and decodes a cache value.
+func (r *Region) cacheLookup(path string, now *vclock.Time, cache *memcache.Client) (cacheVal, bool) {
+	item, done, err := cache.Get(*now, path)
+	*now = done
+	if err != nil {
+		return cacheVal{}, false
+	}
+	v, derr := decodeCacheVal(item.Value)
+	if derr != nil {
+		return cacheVal{}, false
+	}
+	return v, true
+}
+
+// clearDirty clears the dirty flag for the op's seq: the backup copy now
+// matches this version. A newer seq means another mutation is in flight
+// and its own commit will clear the flag.
+func (r *Region) clearDirty(op Op, now *vclock.Time, cache *memcache.Client) {
+	for {
+		item, done, err := cache.Get(*now, op.Path)
+		*now = done
+		if err != nil {
+			return // evicted or removed concurrently
+		}
+		v, derr := decodeCacheVal(item.Value)
+		if derr != nil || v.seq != op.Seq {
+			return
+		}
+		v.dirty = false
+		_, done, err = cache.CAS(*now, op.Path, v.encode(), 0, item.CAS)
+		*now = done
+		if err == nil || !errors.Is(err, fsapi.ErrStale) {
+			return
+		}
+	}
+}
+
+// finishRemove deletes the removed marker from the cache once the remove
+// committed ("their cached metadata are deleted after the operations are
+// committed", §III.D.1) — unless a newer incarnation replaced it.
+func (r *Region) finishRemove(op Op, now *vclock.Time, cache *memcache.Client) {
+	item, done, err := cache.Get(*now, op.Path)
+	*now = done
+	if err != nil {
+		return
+	}
+	v, derr := decodeCacheVal(item.Value)
+	if derr != nil {
+		return
+	}
+	if v.removed && v.seq == op.Seq {
+		done, _ := cache.Delete(*now, op.Path)
+		*now = done
+	}
+}
+
+// writebackInline writes a newly created small file's bytes to the DFS.
+func (r *Region) writebackInline(path string, inline []byte, now *vclock.Time, backend Backend) {
+	if len(inline) == 0 {
+		return
+	}
+	done, err := backend.WriteAt(*now, path, 0, inline)
+	*now = done
+	if err != nil {
+		r.dropped.Add(1)
+	}
+}
+
+// writebackSpill writes fsync-spilled inline data to the DFS after the
+// file's create committed (§III.D.2).
+func (r *Region) writebackSpill(path string, now *vclock.Time, backend Backend) {
+	data, ok := r.spillTake(path)
+	if !ok {
+		return
+	}
+	done, err := backend.WriteAt(*now, path, 0, data)
+	*now = done
+	if err != nil {
+		r.dropped.Add(1)
+	}
+}

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"errors"
+
+	"pacon/internal/fsapi"
+	"pacon/internal/namespace"
+	"pacon/internal/vclock"
+)
+
+// evictRound frees cache space using the paper's simple policy (§III.F):
+// pick the next entry under the consistent region's root round-robin and
+// evict the committed metadata under/of it. Only clean (committed)
+// entries are removed — dirty entries are the primary copy of data the
+// DFS does not have yet.
+func (r *Region) evictRound(c *Client, at vclock.Time) (vclock.Time, error) {
+	r.evictMu.Lock()
+	defer r.evictMu.Unlock()
+	r.evictions.Add(1)
+
+	ents, done, err := c.backend.Readdir(at, r.cfg.Workspace)
+	at = done
+	if err != nil {
+		return at, err
+	}
+	if len(ents) == 0 {
+		return at, fsapi.WrapPath("evict", r.cfg.Workspace, fsapi.ErrOutOfSpace)
+	}
+	// Round-robin selection: a different entry than last time, which
+	// alleviates thrashing (§III.F).
+	pick := ents[r.evictCursor%len(ents)]
+	r.evictCursor++
+	target := namespace.Join(r.cfg.Workspace, pick.Name)
+	return r.evictSubtree(c, at, target, pick.Type == fsapi.TypeDir)
+}
+
+// evictSubtree walks the committed subtree on the DFS and deletes every
+// clean cache entry under it.
+func (r *Region) evictSubtree(c *Client, at vclock.Time, p string, isDir bool) (vclock.Time, error) {
+	if isDir {
+		ents, done, err := c.backend.Readdir(at, p)
+		at = done
+		if err != nil {
+			return at, err
+		}
+		for _, ent := range ents {
+			var eerr error
+			at, eerr = r.evictSubtree(c, at, namespace.Join(p, ent.Name), ent.Type == fsapi.TypeDir)
+			if eerr != nil {
+				return at, eerr
+			}
+		}
+	}
+	item, done, err := c.cache.Get(at, p)
+	at = done
+	if err != nil {
+		if errors.Is(err, fsapi.ErrNotExist) {
+			return at, nil // not cached — nothing to evict
+		}
+		return at, err
+	}
+	v, derr := decodeCacheVal(item.Value)
+	if derr != nil {
+		return at, derr
+	}
+	if v.dirty || v.removed {
+		return at, nil // uncommitted state stays resident
+	}
+	done, err = c.cache.Delete(at, p)
+	at = done
+	if err != nil && !errors.Is(err, fsapi.ErrNotExist) {
+		return at, err
+	}
+	return at, nil
+}

@@ -1,0 +1,421 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"pacon/internal/fsapi"
+	"pacon/internal/vclock"
+)
+
+func TestSmallFileInlineWriteRead(t *testing.T) {
+	e := newEnv(t, 2, nil)
+	c := e.client(t, "node0")
+	at, err := c.Create(0, "/w/small", 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("hello inline world")
+	if at, err = c.WriteAt(at, "/w/small", 0, payload); err != nil {
+		t.Fatal(err)
+	}
+	// Served from the inline copy — no data-server traffic at all.
+	got, at, err := c.ReadAt(at, "/w/small", 0, 100)
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("read = %q, %v", got, err)
+	}
+	for i, ds := range e.dfs.Data {
+		if ds.ChunkCount() != 0 {
+			t.Fatalf("data server %d touched for an inline file", i)
+		}
+	}
+	// Another node's client sees the same bytes (shared cache).
+	c2 := e.client(t, "node1")
+	got, at, err = c2.ReadAt(at, "/w/small", 6, 6)
+	if err != nil || string(got) != "inline" {
+		t.Fatalf("cross-node inline read = %q, %v", got, err)
+	}
+	// After drain the backup copy (real file bytes) exists on the DFS.
+	at, err = e.region.Drain(at)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := e.dfs.NewClient("verify", appCred, 0, 0)
+	data, _, err := direct.ReadAt(at, "/w/small", 0, 100)
+	if err != nil || !bytes.Equal(data, payload) {
+		t.Fatalf("DFS backup copy = %q, %v", data, err)
+	}
+}
+
+func TestSmallFilePartialOverwrite(t *testing.T) {
+	e := newEnv(t, 1, nil)
+	c := e.client(t, "node0")
+	at, _ := c.Create(0, "/w/f", 0o644)
+	at, _ = c.WriteAt(at, "/w/f", 0, []byte("aaaaaaaaaa"))
+	at, err := c.WriteAt(at, "/w/f", 4, []byte("BB"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := c.ReadAt(at, "/w/f", 0, 10)
+	if err != nil || string(got) != "aaaaBBaaaa" {
+		t.Fatalf("read = %q, %v", got, err)
+	}
+}
+
+func TestLargeFileTransitionAndRedirect(t *testing.T) {
+	e := newEnv(t, 1, nil)
+	c := e.client(t, "node0")
+	at, _ := c.Create(0, "/w/big", 0o644)
+	// Start small...
+	at, _ = c.WriteAt(at, "/w/big", 0, bytes.Repeat([]byte("s"), 1000))
+	// ...then cross the 4 KiB threshold: the file materializes on the
+	// DFS synchronously (§III.D.2).
+	big := bytes.Repeat([]byte("L"), 8000)
+	at, err := c.WriteAt(at, "/w/big", 1000, big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunks := 0
+	for _, ds := range e.dfs.Data {
+		chunks += ds.ChunkCount()
+	}
+	if chunks == 0 {
+		t.Fatal("large transition did not write to the data servers")
+	}
+	// Reads redirect to the DFS and see both the old inline prefix and
+	// the new bytes.
+	got, at, err := c.ReadAt(at, "/w/big", 0, 9000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 9000 || got[0] != 's' || got[999] != 's' || got[1000] != 'L' || got[8999] != 'L' {
+		t.Fatalf("read-back shape wrong: len=%d", len(got))
+	}
+	st, at, err := c.Stat(at, "/w/big")
+	if err != nil || st.Size != 9000 {
+		t.Fatalf("size = %d, %v", st.Size, err)
+	}
+	// Appending more goes straight through.
+	if at, err = c.WriteAt(at, "/w/big", 9000, []byte("tail")); err != nil {
+		t.Fatal(err)
+	}
+	st, _, _ = c.Stat(at, "/w/big")
+	if st.Size != 9004 {
+		t.Fatalf("size after append = %d", st.Size)
+	}
+	if _, err := e.region.Drain(at); err != nil {
+		t.Fatal(err)
+	}
+	if e.region.Stats().Dropped != 0 {
+		t.Fatalf("drops: %+v", e.region.Stats())
+	}
+}
+
+func TestFsyncSpillAndWriteback(t *testing.T) {
+	e := newEnv(t, 1, nil)
+	c := e.client(t, "node0")
+	at, _ := c.Create(0, "/w/f", 0o644)
+	payload := []byte("must be durable")
+	at, _ = c.WriteAt(at, "/w/f", 0, payload)
+	at, err := c.Fsync(at, "/w/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.region.SpillCount() != 1 {
+		t.Fatalf("spill count = %d", e.region.SpillCount())
+	}
+	at, err = e.region.Drain(at)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.region.SpillCount() != 0 {
+		t.Fatal("spill not written back after create committed")
+	}
+	direct := e.dfs.NewClient("verify", appCred, 0, 0)
+	data, _, err := direct.ReadAt(at, "/w/f", 0, 100)
+	if err != nil || !bytes.Equal(data, payload) {
+		t.Fatalf("written-back data = %q, %v", data, err)
+	}
+	// Fsync on a missing file errors.
+	if _, err := c.Fsync(at, "/w/ghost"); !errors.Is(err, fsapi.ErrNotExist) {
+		t.Fatalf("fsync missing = %v", err)
+	}
+}
+
+func TestWriteToRemovedOrDirFails(t *testing.T) {
+	e := newEnv(t, 1, nil)
+	c := e.client(t, "node0")
+	at, _ := c.Mkdir(0, "/w/d", 0o755)
+	if _, err := c.WriteAt(at, "/w/d", 0, []byte("x")); !errors.Is(err, fsapi.ErrIsDir) {
+		t.Fatalf("write to dir = %v", err)
+	}
+	at, _ = c.Create(at, "/w/f", 0o644)
+	at, _ = c.Remove(at, "/w/f")
+	if _, err := c.WriteAt(at, "/w/f", 0, []byte("x")); !errors.Is(err, fsapi.ErrNotExist) {
+		t.Fatalf("write to removed = %v", err)
+	}
+	if _, _, err := c.ReadAt(at, "/w/f", 0, 1); !errors.Is(err, fsapi.ErrNotExist) {
+		t.Fatalf("read removed = %v", err)
+	}
+}
+
+func TestConcurrentCASWritersConverge(t *testing.T) {
+	e := newEnv(t, 4, nil)
+	setup := e.client(t, "node0")
+	at, _ := setup.Create(0, "/w/shared", 0o666)
+	_ = at
+
+	// 8 writers update disjoint 8-byte slots of the same inline file
+	// concurrently; CAS retries (§III.D.3) must not lose any slot.
+	const writers = 8
+	var wg sync.WaitGroup
+	for wid := 0; wid < writers; wid++ {
+		wg.Add(1)
+		go func(wid int) {
+			defer wg.Done()
+			c := e.client(t, fmt.Sprintf("node%d", wid%4))
+			payload := bytes.Repeat([]byte{byte('A' + wid)}, 8)
+			if _, err := c.WriteAt(0, "/w/shared", int64(wid*8), payload); err != nil {
+				t.Error(err)
+			}
+		}(wid)
+	}
+	wg.Wait()
+
+	got, _, err := setup.ReadAt(vclock.Time(1<<40), "/w/shared", 0, writers*8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != writers*8 {
+		t.Fatalf("final size = %d", len(got))
+	}
+	for wid := 0; wid < writers; wid++ {
+		for j := 0; j < 8; j++ {
+			if got[wid*8+j] != byte('A'+wid) {
+				t.Fatalf("slot %d corrupted: %q", wid, got)
+			}
+		}
+	}
+}
+
+func TestConcurrentCreatorsExactlyOneWins(t *testing.T) {
+	e := newEnv(t, 4, nil)
+	const racers = 12
+	var wins, exists int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < racers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := e.client(t, fmt.Sprintf("node%d", i%4))
+			_, err := c.Create(0, "/w/contested", 0o644)
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case err == nil:
+				wins++
+			case errors.Is(err, fsapi.ErrExist):
+				exists++
+			default:
+				t.Errorf("unexpected error: %v", err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if wins != 1 || exists != racers-1 {
+		t.Fatalf("wins=%d exists=%d", wins, exists)
+	}
+}
+
+func TestEvictionRoundRobinKeepsDirtyEntries(t *testing.T) {
+	e := newEnv(t, 1, func(cfg *RegionConfig) {
+		cfg.CacheCapacityBytes = 16 << 10
+	})
+	c := e.client(t, "node0")
+
+	// Fill with committed entries first.
+	at := vclock.Time(0)
+	var err error
+	for i := 0; i < 120; i++ {
+		at, err = c.Create(at, fmt.Sprintf("/w/f%03d", i), 0o644)
+		if err != nil && !errors.Is(err, fsapi.ErrOutOfSpace) {
+			t.Fatal(err)
+		}
+		// Drain frequently so entries become clean (evictable).
+		if i%20 == 19 {
+			if at, err = e.region.Drain(at); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	at, err = e.region.Drain(at)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Keep creating: capacity pressure must trigger region eviction
+	// rather than failing the workload.
+	for i := 0; i < 200; i++ {
+		at, err = c.Create(at, fmt.Sprintf("/w/g%03d", i), 0o644)
+		if err != nil {
+			t.Fatalf("create %d under pressure: %v", i, err)
+		}
+		if i%20 == 19 {
+			if at, err = e.region.Drain(at); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if e.region.Stats().Evictions == 0 {
+		t.Fatal("no eviction rounds ran")
+	}
+	// Evicted entries reload from the DFS on demand.
+	if _, _, err := c.Stat(at, "/w/f000"); err != nil {
+		t.Fatalf("evicted entry unreachable: %v", err)
+	}
+}
+
+func TestCheckpointRestoreAfterNodeFailure(t *testing.T) {
+	e := newEnv(t, 2, nil)
+	c := e.client(t, "node0")
+
+	at, _ := c.Mkdir(0, "/w/keep", 0o755)
+	at, _ = c.Create(at, "/w/keep/a", 0o644)
+	at, _ = c.WriteAt(at, "/w/keep/a", 0, []byte("checkpointed"))
+	seq, at, err := e.region.Checkpoint(c, at)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Post-checkpoint activity that will be lost/rolled back.
+	at, _ = c.Create(at, "/w/keep/b", 0o644)
+	at, _ = c.Remove(at, "/w/keep/a")
+
+	// node0 crashes: uncommitted ops in its queue vanish.
+	e.region.SimulateNodeFailure("node0")
+
+	// Roll back to the checkpoint from a surviving node.
+	c2 := e.client(t, "node1")
+	at, err = e.region.Restore(c2, at, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The checkpointed state is back.
+	st, at, err := c2.Stat(at, "/w/keep/a")
+	if err != nil || st.Type != fsapi.TypeFile {
+		t.Fatalf("restored file: %+v, %v", st, err)
+	}
+	if _, _, err := c2.Stat(at, "/w/keep/b"); !errors.Is(err, fsapi.ErrNotExist) {
+		t.Fatalf("post-checkpoint file resurrected: %v", err)
+	}
+	// Data re-attaches by path.
+	got, _, err := c2.ReadAt(at, "/w/keep/a", 0, 100)
+	if err != nil || string(got) != "checkpointed" {
+		t.Fatalf("restored data = %q, %v", got, err)
+	}
+}
+
+func TestCheckpointIsOptionalDrainAlone(t *testing.T) {
+	// Without checkpoints the DFS still holds every *committed*
+	// operation (§III.G: "even without it, the DFS already guarantees
+	// the crash consistency of committed operations").
+	e := newEnv(t, 1, nil)
+	c := e.client(t, "node0")
+	at, _ := c.Create(0, "/w/committed", 0o644)
+	at, err := e.region.Drain(at)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at2, _ := c.Create(at, "/w/uncommitted", 0o644)
+	_ = at2
+	lost := e.region.SimulateNodeFailure("node0")
+	if lost != 1 {
+		t.Fatalf("lost ops = %d, want 1", lost)
+	}
+	if !e.dfs.MDS.Tree().Exists("/w/committed") {
+		t.Fatal("committed op lost")
+	}
+	if e.dfs.MDS.Tree().Exists("/w/uncommitted") {
+		t.Fatal("uncommitted op appeared on DFS after failure")
+	}
+}
+
+// TestTableIConformance pins the paper's Table I: for each main metadata
+// operation, the cache operation performed, the communication type with
+// the DFS (async vs sync), and the commit type.
+func TestTableIConformance(t *testing.T) {
+	e := newEnv(t, 1, nil)
+	c := e.client(t, "node0")
+	mdsWrites := func() int64 { return e.dfs.MDS.Stats().Writes }
+
+	// create: cache put, async, independent — returns with the op still
+	// queued, before any DFS write.
+	w0 := mdsWrites()
+	at, err := c.Create(0, "/w/t-create", 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.region.QueueDepth() == 0 && mdsWrites() == w0 {
+		t.Fatal("create: nothing queued and nothing written — lost?")
+	}
+
+	// mkdir: same contract.
+	if at, err = c.Mkdir(at, "/w/t-dir", 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	// rm: cache update (mark) & delete-after-commit, async.
+	if at, err = c.Remove(at, "/w/t-create"); err != nil {
+		t.Fatal(err)
+	}
+	// Async: the DFS may not know yet, but the region does.
+	if _, _, err := c.Stat(at, "/w/t-create"); !errors.Is(err, fsapi.ErrNotExist) {
+		t.Fatal("rm not reflected in cache")
+	}
+
+	// getattr: cache get; N/A comm on hit, sync on miss.
+	lk0 := e.dfs.MDS.Stats().Lookups
+	if _, _, err := c.Stat(at, "/w/t-dir"); err != nil {
+		t.Fatal(err)
+	}
+	if e.dfs.MDS.Stats().Lookups != lk0 {
+		t.Fatal("getattr hit consulted the DFS")
+	}
+
+	// rmdir: sync + barrier — on return the DFS is already updated and
+	// the queues drained.
+	if at, err = c.Rmdir(at, "/w/t-dir"); err != nil {
+		t.Fatal(err)
+	}
+	if e.dfs.MDS.Tree().Exists("/w/t-dir") {
+		t.Fatal("rmdir returned before DFS applied it (must be sync)")
+	}
+	if e.region.QueueDepth() != 0 {
+		t.Fatal("rmdir returned with queued ops (barrier violated)")
+	}
+
+	// readdir: sync + barrier — listing reflects every prior async op.
+	if at, err = c.Create(at, "/w/t-x", 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ents, _, err := c.Readdir(at, "/w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, ent := range ents {
+		if ent.Name == "t-x" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("readdir missed a just-created entry (barrier violated)")
+	}
+	if e.region.QueueDepth() != 0 {
+		t.Fatal("readdir returned with queued ops")
+	}
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"fmt"
+
+	"pacon/internal/fsapi"
+	"pacon/internal/vclock"
+	"pacon/internal/wire"
+)
+
+// OpKind classifies a commit-queue operation. Create, mkdir and remove
+// are the paper's non-dependent type (independent commit); rmdir and
+// readdir never enter the queue — they run synchronously under a barrier
+// (Table I).
+type OpKind uint8
+
+// Commit-queue operation kinds.
+const (
+	OpCreate OpKind = iota
+	OpMkdir
+	OpRemove
+	// OpSetStat writes back an updated stat (including inline small-file
+	// data) to the DFS backup copy.
+	OpSetStat
+)
+
+// String implements fmt.Stringer.
+func (k OpKind) String() string {
+	switch k {
+	case OpCreate:
+		return "create"
+	case OpMkdir:
+		return "mkdir"
+	case OpRemove:
+		return "rm"
+	case OpSetStat:
+		return "setstat"
+	default:
+		return fmt.Sprintf("opkind(%d)", uint8(k))
+	}
+}
+
+// Op is one operation message in the commit queue (paper §III.D.1: "the
+// operation message includes the target path, operation information, and
+// timestamp").
+type Op struct {
+	Kind OpKind
+	Path string
+	Stat fsapi.Stat
+	// Time is the virtual time the client enqueued the op; the commit
+	// process never applies it earlier.
+	Time vclock.Time
+	// Seq orders ops on the same path: the cache value remembers the
+	// newest seq so commit processes only clear the dirty flag for the
+	// op that made it dirty last.
+	Seq uint64
+}
+
+// cacheVal is the distributed cache's value layout: the primary copy of
+// one object's metadata plus Pacon's consistency bookkeeping flags.
+type cacheVal struct {
+	// dirty marks metadata whose newest update is not yet committed to
+	// the DFS (must not be evicted, §III.F).
+	dirty bool
+	// removed marks a deleted object awaiting its commit ("removed files
+	// are marked and their cached metadata are deleted after the
+	// operations are committed", §III.D.1). Reads treat it as absent.
+	removed bool
+	// large marks a file that outgrew the inline threshold: its data
+	// lives on the DFS and only metadata stays cached.
+	large bool
+	// seq is the newest mutation's sequence number.
+	seq  uint64
+	stat fsapi.Stat
+}
+
+func (v cacheVal) encode() []byte {
+	e := wire.NewEncoder(80 + len(v.stat.Inline))
+	var flags byte
+	if v.dirty {
+		flags |= 1
+	}
+	if v.removed {
+		flags |= 2
+	}
+	if v.large {
+		flags |= 4
+	}
+	e.Byte(flags)
+	e.Uvarint(v.seq)
+	fsapi.EncodeStat(e, v.stat)
+	return e.Bytes()
+}
+
+func decodeCacheVal(b []byte) (cacheVal, error) {
+	d := wire.NewDecoder(b)
+	flags := d.Byte()
+	v := cacheVal{
+		dirty:   flags&1 != 0,
+		removed: flags&2 != 0,
+		large:   flags&4 != 0,
+		seq:     d.Uvarint(),
+	}
+	v.stat = fsapi.DecodeStat(d)
+	if err := d.Finish(); err != nil {
+		return cacheVal{}, err
+	}
+	return v, nil
+}

@@ -1,0 +1,72 @@
+// Package core implements Pacon (paper §III): consistent regions backed
+// by a distributed in-memory metadata cache keyed by full path, batch
+// permission management replacing path traversal, an asynchronous commit
+// module with independent and barrier commit, inline small files,
+// CAS-based concurrent updates, round-robin cache eviction, region
+// merging, and checkpoint-based failure recovery.
+package core
+
+import (
+	"pacon/internal/fsapi"
+	"pacon/internal/namespace"
+)
+
+// PermEntry is one permission declaration: ownership plus mode bits.
+type PermEntry struct {
+	Mode fsapi.Mode
+	UID  uint32
+	GID  uint32
+}
+
+// SpecialPerm overrides the normal permission for one path or subtree
+// inside the consistent region (paper §III.C: "a list recording
+// files/directories with different permission settings").
+type SpecialPerm struct {
+	// Path is the file or directory the override applies to.
+	Path string
+	// Subtree extends the override to everything below Path.
+	Subtree bool
+	Perm    PermEntry
+}
+
+// PermSpec is a consistent region's predefined permission information:
+// one normal permission covering most of the workspace plus a special
+// list. A zero PermSpec falls back to Linux-like defaults — everything
+// in the workspace readable/writable/executable by the creating user
+// (§III.C).
+type PermSpec struct {
+	Normal  PermEntry
+	Special []SpecialPerm
+}
+
+// withDefaults fills a zero spec with the default permissions for cred.
+func (s PermSpec) withDefaults(cred fsapi.Cred) PermSpec {
+	if s.Normal.Mode == 0 {
+		s.Normal = PermEntry{Mode: 0o700, UID: cred.UID, GID: cred.GID}
+	}
+	return s
+}
+
+// lookup returns the effective permission entry for path: the last
+// matching special entry wins, otherwise the normal permission. The
+// check is a local list match — no path traversal, no RPC (§III.C).
+func (s PermSpec) lookup(path string) PermEntry {
+	eff := s.Normal
+	for _, sp := range s.Special {
+		if sp.Path == path || (sp.Subtree && namespace.IsUnder(path, sp.Path)) {
+			eff = sp.Perm
+		}
+	}
+	return eff
+}
+
+// Check authorizes cred to perform `want` on path. It replaces the
+// per-component traversal of a hierarchical check: one normal-permission
+// match plus a scan of the (short) special list.
+func (s PermSpec) Check(cred fsapi.Cred, path string, want fsapi.AccessWant) error {
+	eff := s.lookup(path)
+	if eff.Mode.Allows(cred.ClassFor(eff.UID, eff.GID), want) {
+		return nil
+	}
+	return fsapi.WrapPath("permission", path, fsapi.ErrPermission)
+}

@@ -1,0 +1,390 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"pacon/internal/dht"
+	"pacon/internal/fsapi"
+	"pacon/internal/memcache"
+	"pacon/internal/mq"
+	"pacon/internal/namespace"
+	"pacon/internal/rpc"
+	"pacon/internal/vclock"
+)
+
+// Backend is the underlying DFS as seen by Pacon: the interfaces the
+// commit module uses to apply operations ("system calls and DFS client",
+// §III.D.1) and clients use for redirection and cache misses.
+// dfs.Client implements it.
+type Backend interface {
+	Stat(at vclock.Time, p string) (fsapi.Stat, vclock.Time, error)
+	Mkdir(at vclock.Time, p string, mode fsapi.Mode) (vclock.Time, error)
+	CreateWithStat(at vclock.Time, p string, st fsapi.Stat) (vclock.Time, error)
+	SetStat(at vclock.Time, p string, st fsapi.Stat) (vclock.Time, error)
+	Remove(at vclock.Time, p string) (vclock.Time, error)
+	RmTree(at vclock.Time, p string) ([]string, vclock.Time, error)
+	Rename(at vclock.Time, src, dst string) (vclock.Time, error)
+	Readdir(at vclock.Time, p string) ([]fsapi.DirEntry, vclock.Time, error)
+	WriteAt(at vclock.Time, p string, off int64, data []byte) (vclock.Time, error)
+	ReadAt(at vclock.Time, p string, off int64, n int) ([]byte, vclock.Time, error)
+}
+
+// RegionConfig declares one consistent region (paper §III.B: "the
+// parameters of Pacon initialization mainly contain the path of the
+// workspace and the network addresses of the nodes where the application
+// runs").
+type RegionConfig struct {
+	// Name identifies the region (cache service addresses derive from it).
+	Name string
+	// Workspace is the region's subtree root; it must already exist on
+	// the DFS (the administrator allocates it, §II.A).
+	Workspace string
+	// Nodes are the application's nodes; one cache server, one commit
+	// queue and one commit process run on each.
+	Nodes []string
+	// Cred is the application's system user (one per application, §II.A).
+	Cred fsapi.Cred
+	// Perm is the predefined batch permission information (§III.C); zero
+	// value = Linux-like creator-owns defaults.
+	Perm PermSpec
+	// SmallFileThreshold inlines files at or below this many bytes of
+	// data with their metadata (default 4096, §III.D.2).
+	SmallFileThreshold int
+	// DisableParentCheck skips parent-existence checks on creation, for
+	// applications that guarantee correct creation order themselves
+	// (§III.C).
+	DisableParentCheck bool
+	// CacheCapacityBytes bounds each node's cache server; 0 = unlimited.
+	// When an insert hits the bound, the region evicts committed
+	// metadata round-robin (§III.F) and retries.
+	CacheCapacityBytes int64
+	// CommitRetryLimit caps resubmissions of a failed commit (default 64).
+	CommitRetryLimit int
+	// Model is the latency model.
+	Model vclock.LatencyModel
+
+	// SyncCommit is an ablation switch: metadata writes still go through
+	// the distributed cache but are applied to the DFS synchronously,
+	// i.e. Pacon without its asynchronous commit (the paper's Benefit 3
+	// removed). Used by the ablation benchmarks.
+	SyncCommit bool
+	// HierarchicalPermCheck is an ablation switch: permission checks
+	// walk every path component through the distributed cache (one get
+	// per level) instead of the batch permission match — the
+	// layer-by-layer checking the paper's §III.C replaces.
+	HierarchicalPermCheck bool
+}
+
+func (c RegionConfig) withDefaults() RegionConfig {
+	if c.SmallFileThreshold <= 0 {
+		c.SmallFileThreshold = 4096
+	}
+	if c.CommitRetryLimit <= 0 {
+		c.CommitRetryLimit = 64
+	}
+	c.Workspace = namespace.Clean(c.Workspace)
+	c.Perm = c.Perm.withDefaults(c.Cred)
+	return c
+}
+
+// Deps wires a region to its environment.
+type Deps struct {
+	// Bus registers the region's cache servers and routes client RPCs —
+	// rpc.NewBus() in-process, rpc.NewTCPNetwork() over real sockets.
+	Bus rpc.Network
+	// NewBackend builds a DFS client for a node (used by the node's
+	// commit process and by Pacon clients for redirection/misses).
+	NewBackend func(node string) Backend
+}
+
+// RegionStats aggregates commit-module counters.
+type RegionStats struct {
+	Committed int64 // ops applied to the DFS
+	Discarded int64 // creates dropped under an active rmdir (§III.D.1)
+	Retries   int64 // resubmissions (independent commit, §III.E.1)
+	Dropped   int64 // ops abandoned after CommitRetryLimit
+	Evictions int64 // region-level eviction rounds (§III.F)
+}
+
+// Region is a running consistent region.
+type Region struct {
+	cfg  RegionConfig
+	deps Deps
+
+	servers    map[string]*memcache.Server
+	cacheAddrs []string
+	ring       *dht.Ring
+	queues     map[string]*mq.Queue[Op]
+	barrier    *mq.Barrier
+
+	seq     atomic.Uint64
+	ckptSeq atomic.Uint64
+
+	removingMu sync.RWMutex
+	removing   map[string]int // active rmdir targets -> refcount
+
+	spillMu sync.Mutex
+	spill   map[string][]byte // fsync-spilled inline data awaiting create commit
+
+	mergedMu sync.RWMutex
+	merged   []remoteRegion
+
+	evictMu     sync.Mutex
+	evictCursor int
+
+	committed, discarded, retries, dropped, evictions atomic.Int64
+
+	wg     sync.WaitGroup
+	closed atomic.Bool
+}
+
+// remoteRegion is a merged peer's shareable view (§III.D.4: basic info —
+// node addresses, permission information — plus a connection to its
+// distributed caches; access is read-only).
+type remoteRegion struct {
+	workspace string
+	ring      *dht.Ring
+	perm      PermSpec
+}
+
+// NewRegion starts a consistent region: it launches one cache server and
+// one commit process per node, verifies the workspace on the DFS, and
+// seeds the cache with the workspace's metadata.
+func NewRegion(cfg RegionConfig, deps Deps) (*Region, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Nodes) == 0 {
+		return nil, fmt.Errorf("core: region %q needs at least one node", cfg.Name)
+	}
+	if cfg.Workspace == "/" {
+		return nil, fmt.Errorf("core: region %q cannot claim the namespace root", cfg.Name)
+	}
+	r := &Region{
+		cfg:      cfg,
+		deps:     deps,
+		servers:  make(map[string]*memcache.Server),
+		ring:     dht.New(0),
+		queues:   make(map[string]*mq.Queue[Op]),
+		barrier:  mq.NewBarrier(len(cfg.Nodes)),
+		removing: make(map[string]int),
+		spill:    make(map[string][]byte),
+	}
+	for _, node := range cfg.Nodes {
+		addr := node + "/pacon-" + cfg.Name
+		srv := memcache.NewServer(addr, memcache.ServerConfig{
+			CapacityBytes: cfg.CacheCapacityBytes,
+			EvictLRU:      false, // Pacon's own round-robin eviction decides
+			Model:         cfg.Model,
+			Workers:       cfg.Model.CacheWorkers,
+		})
+		deps.Bus.Register(addr, srv.Service())
+		r.servers[node] = srv
+		r.cacheAddrs = append(r.cacheAddrs, addr)
+		r.ring.Add(addr)
+		r.queues[node] = mq.NewQueue[Op]()
+	}
+
+	// Verify the workspace and seed its metadata into the cache.
+	backend := deps.NewBackend(cfg.Nodes[0])
+	wsStat, _, err := backend.Stat(0, cfg.Workspace)
+	if err != nil {
+		r.shutdownServers()
+		return nil, fsapi.WrapPath("region-init", cfg.Workspace, err)
+	}
+	if !wsStat.IsDir() {
+		r.shutdownServers()
+		return nil, fsapi.WrapPath("region-init", cfg.Workspace, fsapi.ErrNotDir)
+	}
+	seed := cacheVal{stat: wsStat}
+	cache := memcache.NewClient(rpc.NewCaller(deps.Bus, cfg.Model, cfg.Nodes[0]), r.ring)
+	if _, _, err := cache.Set(0, cfg.Workspace, seed.encode(), 0); err != nil {
+		r.shutdownServers()
+		return nil, err
+	}
+
+	// One commit process (queue subscriber) per node.
+	for _, node := range cfg.Nodes {
+		r.wg.Add(1)
+		go func(node string) {
+			defer r.wg.Done()
+			r.commitLoop(node, deps.NewBackend(node))
+		}(node)
+	}
+	return r, nil
+}
+
+func (r *Region) shutdownServers() {
+	for _, addr := range r.cacheAddrs {
+		r.deps.Bus.Unregister(addr)
+	}
+}
+
+// Config returns the region's (defaulted) configuration.
+func (r *Region) Config() RegionConfig { return r.cfg }
+
+// Ring exposes the cache ring (merged peers route through it).
+func (r *Region) Ring() *dht.Ring { return r.ring }
+
+// Stats returns commit-module counters.
+func (r *Region) Stats() RegionStats {
+	return RegionStats{
+		Committed: r.committed.Load(),
+		Discarded: r.discarded.Load(),
+		Retries:   r.retries.Load(),
+		Dropped:   r.dropped.Load(),
+		Evictions: r.evictions.Load(),
+	}
+}
+
+// CacheStats aggregates the region's cache servers.
+func (r *Region) CacheStats() memcache.Stats {
+	var total memcache.Stats
+	for _, s := range r.servers {
+		st := s.Stats()
+		total.Items += st.Items
+		total.UsedBytes += st.UsedBytes
+		total.Hits += st.Hits
+		total.Misses += st.Misses
+		total.Evictions += st.Evictions
+	}
+	return total
+}
+
+// QueueDepth reports queued (uncommitted) operations across nodes.
+func (r *Region) QueueDepth() int {
+	total := 0
+	for _, q := range r.queues {
+		total += q.Len()
+	}
+	return total
+}
+
+// Merge attaches another region read-only (§III.D.4): this region's
+// clients can consistently read other's workspace through other's
+// distributed cache. Writes into the merged workspace are rejected.
+func (r *Region) Merge(other *Region) {
+	r.mergedMu.Lock()
+	defer r.mergedMu.Unlock()
+	r.merged = append(r.merged, remoteRegion{
+		workspace: other.cfg.Workspace,
+		ring:      other.ring,
+		perm:      other.cfg.Perm,
+	})
+}
+
+// mergedFor finds the merged peer covering path, if any.
+func (r *Region) mergedFor(path string) (remoteRegion, bool) {
+	r.mergedMu.RLock()
+	defer r.mergedMu.RUnlock()
+	for _, m := range r.merged {
+		if namespace.IsUnder(path, m.workspace) {
+			return m, true
+		}
+	}
+	return remoteRegion{}, false
+}
+
+// addRemoving registers an active rmdir target; commit processes discard
+// creations under it (§III.D.1).
+func (r *Region) addRemoving(p string) {
+	r.removingMu.Lock()
+	defer r.removingMu.Unlock()
+	r.removing[p]++
+}
+
+func (r *Region) delRemoving(p string) {
+	r.removingMu.Lock()
+	defer r.removingMu.Unlock()
+	if r.removing[p]--; r.removing[p] <= 0 {
+		delete(r.removing, p)
+	}
+}
+
+func (r *Region) isRemoving(p string) bool {
+	r.removingMu.RLock()
+	defer r.removingMu.RUnlock()
+	for target := range r.removing {
+		if namespace.IsUnder(p, target) {
+			return true
+		}
+	}
+	return false
+}
+
+// spillPut stores fsync-spilled inline data until the file's create
+// commits (§III.D.2: direct I/O to cache files, written back later).
+func (r *Region) spillPut(p string, data []byte) {
+	r.spillMu.Lock()
+	defer r.spillMu.Unlock()
+	r.spill[p] = append([]byte(nil), data...)
+}
+
+func (r *Region) spillTake(p string) ([]byte, bool) {
+	r.spillMu.Lock()
+	defer r.spillMu.Unlock()
+	d, ok := r.spill[p]
+	if ok {
+		delete(r.spill, p)
+	}
+	return d, ok
+}
+
+// SpillCount reports files with spilled data awaiting write-back.
+func (r *Region) SpillCount() int {
+	r.spillMu.Lock()
+	defer r.spillMu.Unlock()
+	return len(r.spill)
+}
+
+// syncBarrier runs the barrier protocol up to the drain point: it opens
+// an epoch, pushes one marker into every node queue, and waits until
+// every commit process has applied all earlier operations. The caller
+// performs its dependent operation and then calls barrier.Release.
+func (r *Region) syncBarrier(at vclock.Time) (epoch uint64, drain vclock.Time, err error) {
+	epoch, err = r.barrier.Begin()
+	if err != nil {
+		return 0, at, err
+	}
+	for _, q := range r.queues {
+		if err := q.PushBarrier(epoch); err != nil {
+			r.barrier.Release(epoch, at)
+			return 0, at, err
+		}
+	}
+	drain, err = r.barrier.AwaitArrivals(epoch)
+	if err != nil {
+		return 0, at, err
+	}
+	return epoch, vclock.Max(drain, at), nil
+}
+
+// Drain forces all queued operations to the DFS and returns when the
+// region is globally consistent (every backup copy updated). Used by
+// tests, checkpointing and orderly shutdown.
+func (r *Region) Drain(at vclock.Time) (vclock.Time, error) {
+	epoch, drain, err := r.syncBarrier(at)
+	if err != nil {
+		return at, err
+	}
+	r.barrier.Release(epoch, drain)
+	return drain, nil
+}
+
+// Close drains the queues and stops the commit processes and cache
+// servers.
+func (r *Region) Close() error {
+	if r.closed.Swap(true) {
+		return nil
+	}
+	for _, q := range r.queues {
+		q.Close()
+	}
+	// Close the barrier before waiting: a commit process parked in
+	// AwaitRelease (in-flight sync op at shutdown) must unblock, or
+	// wg.Wait would hang.
+	r.barrier.Close()
+	r.wg.Wait()
+	r.shutdownServers()
+	return nil
+}

@@ -1,0 +1,577 @@
+package dfs
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+
+	"pacon/internal/fsapi"
+	"pacon/internal/namespace"
+	"pacon/internal/rpc"
+	"pacon/internal/vclock"
+	"pacon/internal/wire"
+)
+
+// ClientConfig configures a DFS client instance (one per client process).
+type ClientConfig struct {
+	// Node is the node this client runs on (for latency selection).
+	Node string
+	// MDSAddr is the metadata server's RPC address. For multi-MDS
+	// deployments set MDSAddrs instead; requests then spread across the
+	// pool by path hash.
+	MDSAddr  string
+	MDSAddrs []string
+	// DataAddrs are the data servers' RPC addresses in stripe order.
+	DataAddrs []string
+	// Cred is the system user the client acts as.
+	Cred fsapi.Cred
+	// Model is the latency model.
+	Model vclock.LatencyModel
+	// DentryCacheCap bounds the client dentry cache (entries). 0 disables
+	// caching entirely.
+	DentryCacheCap int
+	// DentryTTL is the virtual-time validity of a cached dentry. The
+	// default 0 disables reuse — the strong-consistency behavior of the
+	// paper's BeeGFS baseline, where the client revalidates against the
+	// MDS on every access. Pacon's internal commit clients set a long TTL
+	// (Pacon owns consistency above the DFS).
+	DentryTTL vclock.Duration
+}
+
+// Client is a DFS client: it resolves paths component by component
+// against the MDS (costing one RPC per uncached component — the
+// traversal the paper's Fig 2 measures) and stripes file data across the
+// data servers.
+type Client struct {
+	cfg    ClientConfig
+	caller *rpc.Caller
+
+	mu       sync.Mutex
+	dentries map[string]dentry
+
+	lookupRPCs int64
+}
+
+type dentry struct {
+	stat    fsapi.Stat
+	expires vclock.Time
+}
+
+// NewClient builds a client over the given transport.
+func NewClient(t rpc.Transport, cfg ClientConfig) *Client {
+	if len(cfg.MDSAddrs) == 0 && cfg.MDSAddr != "" {
+		cfg.MDSAddrs = []string{cfg.MDSAddr}
+	}
+	return &Client{
+		cfg:      cfg,
+		caller:   rpc.NewCaller(t, cfg.Model, cfg.Node),
+		dentries: make(map[string]dentry),
+	}
+}
+
+// Cred returns the client's credential.
+func (c *Client) Cred() fsapi.Cred { return c.cfg.Cred }
+
+// Pace attaches a virtual-time pacer to this client's RPC caller (see
+// vclock.Pacer); id is the client's participant index.
+func (c *Client) Pace(p *vclock.Pacer, id int) { c.caller.Pace(p, id) }
+
+// LookupRPCs returns the number of per-component lookup RPCs issued —
+// the path-traversal overhead metric.
+func (c *Client) LookupRPCs() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lookupRPCs
+}
+
+func (c *Client) cacheGet(p string, at vclock.Time) (fsapi.Stat, bool) {
+	if c.cfg.DentryCacheCap <= 0 || c.cfg.DentryTTL <= 0 {
+		return fsapi.Stat{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d, ok := c.dentries[p]
+	if !ok || at > d.expires {
+		return fsapi.Stat{}, false
+	}
+	return d.stat, true
+}
+
+func (c *Client) cachePut(p string, st fsapi.Stat, at vclock.Time) {
+	if c.cfg.DentryCacheCap <= 0 || c.cfg.DentryTTL <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.dentries) >= c.cfg.DentryCacheCap {
+		// Capacity eviction: drop an arbitrary entry (map order), the
+		// thrashing behavior random stats exhibit on a bounded dcache.
+		for k := range c.dentries {
+			delete(c.dentries, k)
+			break
+		}
+	}
+	c.dentries[p] = dentry{stat: st, expires: at.Add(c.cfg.DentryTTL)}
+}
+
+func (c *Client) cacheDrop(p string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.dentries, p)
+}
+
+func (c *Client) cacheDropSubtree(root string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for k := range c.dentries {
+		if namespace.IsUnder(k, root) {
+			delete(c.dentries, k)
+		}
+	}
+}
+
+// mdsFor routes a path's metadata operation to its MDS (single-MDS
+// deployments always return the one server).
+func (c *Client) mdsFor(p string) string {
+	if len(c.cfg.MDSAddrs) == 1 {
+		return c.cfg.MDSAddrs[0]
+	}
+	h := fnv.New32a()
+	h.Write([]byte(p))
+	return c.cfg.MDSAddrs[h.Sum32()%uint32(len(c.cfg.MDSAddrs))]
+}
+
+// lookupRPC issues one lookup to the MDS.
+func (c *Client) lookupRPC(at vclock.Time, p string) (fsapi.Stat, vclock.Time, error) {
+	c.mu.Lock()
+	c.lookupRPCs++
+	c.mu.Unlock()
+	e := wire.NewEncoder(len(p) + 4)
+	e.String(p)
+	done, resp, err := c.caller.Call(c.mdsFor(p), "lookup", at, e.Bytes())
+	if err != nil {
+		return fsapi.Stat{}, done, err
+	}
+	st, derr := fsapi.UnmarshalStat(resp)
+	if derr != nil {
+		return fsapi.Stat{}, done, derr
+	}
+	return st, done, nil
+}
+
+// resolveAncestors walks every proper ancestor of p, charging one lookup
+// RPC per uncached component and checking traversal (exec) permission —
+// the layer-by-layer path traversal Pacon's batch permissions avoid.
+func (c *Client) resolveAncestors(at vclock.Time, p string) (vclock.Time, error) {
+	for _, anc := range namespace.Ancestors(p) {
+		if st, ok := c.cacheGet(anc, at); ok {
+			if !st.IsDir() {
+				return at, fsapi.WrapPath("traverse", anc, fsapi.ErrNotDir)
+			}
+			continue
+		}
+		st, done, err := c.lookupRPC(at, anc)
+		at = done
+		if err != nil {
+			return at, err
+		}
+		if !st.IsDir() {
+			return at, fsapi.WrapPath("traverse", anc, fsapi.ErrNotDir)
+		}
+		if !st.Mode.Allows(c.cfg.Cred.ClassFor(st.UID, st.GID), fsapi.WantExec) {
+			return at, fsapi.WrapPath("traverse", anc, fsapi.ErrPermission)
+		}
+		c.cachePut(anc, st, at)
+	}
+	return at, nil
+}
+
+func (c *Client) mutateBody(p string, st fsapi.Stat) []byte {
+	e := wire.NewEncoder(len(p) + 96)
+	e.String(p)
+	e.Uint32(c.cfg.Cred.UID)
+	e.Uint32(c.cfg.Cred.GID)
+	fsapi.EncodeStat(e, st)
+	return e.Bytes()
+}
+
+// Mkdir creates a directory.
+func (c *Client) Mkdir(at vclock.Time, p string, mode fsapi.Mode) (vclock.Time, error) {
+	p = namespace.Clean(p)
+	at, err := c.resolveAncestors(at, p)
+	if err != nil {
+		return at, err
+	}
+	st := fsapi.NewDirStat(c.cfg.Cred, mode)
+	done, _, err := c.caller.Call(c.mdsFor(p), "mkdir", at, c.mutateBody(p, st))
+	return done, err
+}
+
+// Create creates an empty regular file.
+func (c *Client) Create(at vclock.Time, p string, mode fsapi.Mode) (vclock.Time, error) {
+	p = namespace.Clean(p)
+	at, err := c.resolveAncestors(at, p)
+	if err != nil {
+		return at, err
+	}
+	st := fsapi.NewFileStat(c.cfg.Cred, mode)
+	done, _, err := c.caller.Call(c.mdsFor(p), "create", at, c.mutateBody(p, st))
+	return done, err
+}
+
+// CreateWithStat creates a file carrying a prebuilt stat (used by the
+// Pacon commit module to preserve cached metadata exactly).
+func (c *Client) CreateWithStat(at vclock.Time, p string, st fsapi.Stat) (vclock.Time, error) {
+	p = namespace.Clean(p)
+	at, err := c.resolveAncestors(at, p)
+	if err != nil {
+		return at, err
+	}
+	method := "create"
+	if st.IsDir() {
+		method = "mkdir"
+	}
+	done, _, err := c.caller.Call(c.mdsFor(p), method, at, c.mutateBody(p, st))
+	return done, err
+}
+
+// SetStat replaces an object's metadata.
+func (c *Client) SetStat(at vclock.Time, p string, st fsapi.Stat) (vclock.Time, error) {
+	p = namespace.Clean(p)
+	at, err := c.resolveAncestors(at, p)
+	if err != nil {
+		return at, err
+	}
+	done, _, err := c.caller.Call(c.mdsFor(p), "setstat", at, c.mutateBody(p, st))
+	if err == nil {
+		c.cacheDrop(p)
+	}
+	return done, err
+}
+
+// Stat resolves a path's metadata (traversal plus final lookup).
+func (c *Client) Stat(at vclock.Time, p string) (fsapi.Stat, vclock.Time, error) {
+	p = namespace.Clean(p)
+	at, err := c.resolveAncestors(at, p)
+	if err != nil {
+		return fsapi.Stat{}, at, err
+	}
+	if st, ok := c.cacheGet(p, at); ok {
+		return st, at, nil
+	}
+	st, done, err := c.lookupRPC(at, p)
+	if err != nil {
+		return fsapi.Stat{}, done, err
+	}
+	c.cachePut(p, st, done)
+	return st, done, nil
+}
+
+// Remove unlinks a file (metadata; chunks are dropped separately by
+// RemoveData for files that had content).
+func (c *Client) Remove(at vclock.Time, p string) (vclock.Time, error) {
+	p = namespace.Clean(p)
+	at, err := c.resolveAncestors(at, p)
+	if err != nil {
+		return at, err
+	}
+	done, _, err := c.caller.Call(c.mdsFor(p), "remove", at, c.mutateBody(p, fsapi.Stat{}))
+	if err == nil {
+		c.cacheDrop(p)
+	}
+	return done, err
+}
+
+// Rmdir removes an empty directory.
+func (c *Client) Rmdir(at vclock.Time, p string) (vclock.Time, error) {
+	p = namespace.Clean(p)
+	at, err := c.resolveAncestors(at, p)
+	if err != nil {
+		return at, err
+	}
+	done, _, err := c.caller.Call(c.mdsFor(p), "rmdir", at, c.mutateBody(p, fsapi.Stat{}))
+	if err == nil {
+		c.cacheDrop(p)
+	}
+	return done, err
+}
+
+// RmTree removes a directory recursively, returning the removed paths.
+func (c *Client) RmTree(at vclock.Time, p string) ([]string, vclock.Time, error) {
+	p = namespace.Clean(p)
+	at, err := c.resolveAncestors(at, p)
+	if err != nil {
+		return nil, at, err
+	}
+	e := wire.NewEncoder(len(p) + 12)
+	e.String(p)
+	e.Uint32(c.cfg.Cred.UID)
+	e.Uint32(c.cfg.Cred.GID)
+	done, resp, err := c.caller.Call(c.mdsFor(p), "rmtree", at, e.Bytes())
+	if err != nil {
+		return nil, done, err
+	}
+	d := wire.NewDecoder(resp)
+	n := d.Uvarint()
+	removed := make([]string, 0, n)
+	for i := uint64(0); i < n; i++ {
+		removed = append(removed, d.String())
+	}
+	if derr := d.Finish(); derr != nil {
+		return nil, done, derr
+	}
+	c.cacheDropSubtree(p)
+	return removed, done, nil
+}
+
+// Rename moves a file or subtree. Data chunks are keyed by path, so a
+// renamed file's bytes are re-homed too.
+func (c *Client) Rename(at vclock.Time, src, dst string) (vclock.Time, error) {
+	src, dst = namespace.Clean(src), namespace.Clean(dst)
+	at, err := c.resolveAncestors(at, src)
+	if err != nil {
+		return at, err
+	}
+	if at, err = c.resolveAncestors(at, dst); err != nil {
+		return at, err
+	}
+	e := wire.NewEncoder(len(src) + len(dst) + 16)
+	e.String(src)
+	e.String(dst)
+	e.Uint32(c.cfg.Cred.UID)
+	e.Uint32(c.cfg.Cred.GID)
+	done, _, err := c.caller.Call(c.mdsFor(src), "rename", at, e.Bytes())
+	at = done
+	if err != nil {
+		return at, err
+	}
+	c.cacheDropSubtree(src)
+	// Re-home data chunks (they are keyed by path): walk the moved
+	// subtree and copy each file's bytes. Renames are rare in the
+	// workloads; a copy keeps the data servers' layout simple.
+	if len(c.cfg.DataAddrs) > 0 {
+		at = c.moveData(at, src, dst)
+	}
+	return at, nil
+}
+
+// moveData recursively copies the chunks of every file under the moved
+// subtree from its old path to its new one.
+func (c *Client) moveData(at vclock.Time, src, dst string) vclock.Time {
+	st, done, err := c.Stat(at, dst)
+	at = done
+	if err != nil {
+		return at
+	}
+	if st.IsDir() {
+		ents, done, err := c.Readdir(at, dst)
+		at = done
+		if err != nil {
+			return at
+		}
+		for _, ent := range ents {
+			at = c.moveData(at, namespace.Join(src, ent.Name), namespace.Join(dst, ent.Name))
+		}
+		return at
+	}
+	if st.Size == 0 {
+		return at
+	}
+	data, done, err := c.readAtPath(at, src, st.Size)
+	at = done
+	if err != nil || len(data) == 0 {
+		return at
+	}
+	if done, werr := c.WriteAt(at, dst, 0, data); werr == nil {
+		at = done
+	}
+	if done, derr := c.RemoveData(at, src); derr == nil {
+		at = done
+	}
+	return at
+}
+
+// readAtPath reads a file's chunks by path without consulting its
+// metadata (used during rename, when the metadata already moved).
+func (c *Client) readAtPath(at vclock.Time, p string, size int64) ([]byte, vclock.Time, error) {
+	out := make([]byte, 0, size)
+	for int64(len(out)) < size {
+		pos := int64(len(out))
+		chunk := pos / ChunkSize
+		inOff := int(pos % ChunkSize)
+		want := int(size - pos)
+		if room := ChunkSize - inOff; want > room {
+			want = room
+		}
+		e := wire.NewEncoder(len(p) + 24)
+		e.String(p)
+		e.Int64(chunk)
+		e.Uint32(uint32(inOff))
+		e.Uint32(uint32(want))
+		done, resp, err := c.caller.Call(c.serverFor(p, chunk), "read", at, e.Bytes())
+		at = done
+		if err != nil {
+			return nil, at, err
+		}
+		d := wire.NewDecoder(resp)
+		part := d.Blob()
+		if derr := d.Finish(); derr != nil {
+			return nil, at, derr
+		}
+		if len(part) < want {
+			part = append(part, make([]byte, want-len(part))...)
+		}
+		out = append(out, part...)
+	}
+	return out, at, nil
+}
+
+// Readdir lists a directory.
+func (c *Client) Readdir(at vclock.Time, p string) ([]fsapi.DirEntry, vclock.Time, error) {
+	p = namespace.Clean(p)
+	at, err := c.resolveAncestors(at, p)
+	if err != nil {
+		return nil, at, err
+	}
+	e := wire.NewEncoder(len(p) + 4)
+	e.String(p)
+	done, resp, err := c.caller.Call(c.mdsFor(p), "readdir", at, e.Bytes())
+	if err != nil {
+		return nil, done, err
+	}
+	d := wire.NewDecoder(resp)
+	n := d.Uvarint()
+	ents := make([]fsapi.DirEntry, 0, n)
+	for i := uint64(0); i < n; i++ {
+		ents = append(ents, fsapi.DirEntry{Name: d.String(), Type: fsapi.FileType(d.Byte())})
+	}
+	if derr := d.Finish(); derr != nil {
+		return nil, done, derr
+	}
+	return ents, done, nil
+}
+
+// serverFor maps a chunk of a path to its data server, striping
+// consecutive chunks round-robin from a per-file starting server.
+func (c *Client) serverFor(p string, chunk int64) string {
+	h := fnv.New32a()
+	h.Write([]byte(p))
+	i := (int64(h.Sum32()) + chunk) % int64(len(c.cfg.DataAddrs))
+	return c.cfg.DataAddrs[i]
+}
+
+// WriteAt stripes data across the data servers and bumps the file size
+// at the MDS if the write extends it.
+func (c *Client) WriteAt(at vclock.Time, p string, off int64, data []byte) (vclock.Time, error) {
+	p = namespace.Clean(p)
+	if len(c.cfg.DataAddrs) == 0 {
+		return at, fmt.Errorf("dfs: no data servers configured")
+	}
+	st, at, err := c.Stat(at, p)
+	if err != nil {
+		return at, err
+	}
+	if st.IsDir() {
+		return at, fsapi.WrapPath("write", p, fsapi.ErrIsDir)
+	}
+	for n := 0; n < len(data); {
+		chunk := (off + int64(n)) / ChunkSize
+		inOff := int((off + int64(n)) % ChunkSize)
+		room := ChunkSize - inOff
+		if room > len(data)-n {
+			room = len(data) - n
+		}
+		e := wire.NewEncoder(room + len(p) + 24)
+		e.String(p)
+		e.Int64(chunk)
+		e.Uint32(uint32(inOff))
+		e.Blob(data[n : n+room])
+		done, _, err := c.caller.Call(c.serverFor(p, chunk), "write", at, e.Bytes())
+		if err != nil {
+			return done, err
+		}
+		at = done
+		n += room
+	}
+	if end := off + int64(len(data)); end > st.Size {
+		st.Size = end
+		return c.SetStat(at, p, st)
+	}
+	return at, nil
+}
+
+// ReadAt reads up to n bytes from the striped chunks.
+func (c *Client) ReadAt(at vclock.Time, p string, off int64, n int) ([]byte, vclock.Time, error) {
+	p = namespace.Clean(p)
+	if len(c.cfg.DataAddrs) == 0 {
+		return nil, at, fmt.Errorf("dfs: no data servers configured")
+	}
+	st, at, err := c.Stat(at, p)
+	if err != nil {
+		return nil, at, err
+	}
+	if off >= st.Size {
+		return nil, at, nil
+	}
+	if max := st.Size - off; int64(n) > max {
+		n = int(max)
+	}
+	out := make([]byte, 0, n)
+	for len(out) < n {
+		pos := off + int64(len(out))
+		chunk := pos / ChunkSize
+		inOff := int(pos % ChunkSize)
+		want := n - len(out)
+		if room := ChunkSize - inOff; want > room {
+			want = room
+		}
+		e := wire.NewEncoder(len(p) + 24)
+		e.String(p)
+		e.Int64(chunk)
+		e.Uint32(uint32(inOff))
+		e.Uint32(uint32(want))
+		done, resp, err := c.caller.Call(c.serverFor(p, chunk), "read", at, e.Bytes())
+		if err != nil {
+			return nil, done, err
+		}
+		at = done
+		d := wire.NewDecoder(resp)
+		part := d.Blob()
+		if derr := d.Finish(); derr != nil {
+			return nil, at, derr
+		}
+		if len(part) < want {
+			// Sparse region: zero-fill to the requested length.
+			part = append(part, make([]byte, want-len(part))...)
+		}
+		out = append(out, part...)
+	}
+	return out, at, nil
+}
+
+// Fsync flushes a file's chunks (one device sync on its first stripe
+// server).
+func (c *Client) Fsync(at vclock.Time, p string) (vclock.Time, error) {
+	p = namespace.Clean(p)
+	if len(c.cfg.DataAddrs) == 0 {
+		return at, nil
+	}
+	done, _, err := c.caller.Call(c.serverFor(p, 0), "sync", at, nil)
+	return done, err
+}
+
+// RemoveData drops a file's chunks from every data server.
+func (c *Client) RemoveData(at vclock.Time, p string) (vclock.Time, error) {
+	p = namespace.Clean(p)
+	latest := at
+	for _, addr := range c.cfg.DataAddrs {
+		e := wire.NewEncoder(len(p) + 4)
+		e.String(p)
+		done, _, err := c.caller.Call(addr, "drop", at, e.Bytes())
+		if err != nil {
+			return done, err
+		}
+		latest = vclock.Max(latest, done)
+	}
+	return latest, nil
+}

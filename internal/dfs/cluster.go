@@ -1,0 +1,70 @@
+package dfs
+
+import (
+	"pacon/internal/fsapi"
+	"pacon/internal/namespace"
+	"pacon/internal/rpc"
+	"pacon/internal/vclock"
+)
+
+// Cluster assembles one BeeGFS-like deployment on a transport: one or
+// more MDSes plus data servers, mirroring the paper's testbed (1 MDS, 3
+// data servers on dedicated storage nodes). Multiple MDSes share the
+// namespace and split the service load (§II.B's "scale the metadata
+// server cluster" approach).
+type Cluster struct {
+	Net       rpc.Network
+	Model     vclock.LatencyModel
+	MDS       *MDS // first metadata server (kept for white-box access)
+	MDSes     []*MDS
+	MDSAddr   string // first MDS address
+	MDSAddrs  []string
+	Data      []*DataServer
+	DataAddrs []string
+	RootCred  fsapi.Cred
+}
+
+// NewCluster registers an MDS on mdsNode and one data server per entry
+// of dataNodes. The namespace root is owned by rootCred.
+func NewCluster(net rpc.Network, model vclock.LatencyModel, rootCred fsapi.Cred, mdsNode string, dataNodes []string) *Cluster {
+	return NewClusterMulti(net, model, rootCred, []string{mdsNode}, dataNodes)
+}
+
+// NewClusterMulti deploys one metadata server per node in mdsNodes, all
+// sharing one namespace; clients spread their RPCs across the pool by
+// path hash.
+func NewClusterMulti(net rpc.Network, model vclock.LatencyModel, rootCred fsapi.Cred, mdsNodes []string, dataNodes []string) *Cluster {
+	c := &Cluster{Net: net, Model: model, RootCred: rootCred}
+	tree := namespace.NewTree(rootCred)
+	for _, node := range mdsNodes {
+		addr := node + "/mds"
+		m := NewMDSWithTree(addr, model, tree)
+		net.Register(addr, m.Service())
+		c.MDSes = append(c.MDSes, m)
+		c.MDSAddrs = append(c.MDSAddrs, addr)
+	}
+	c.MDS = c.MDSes[0]
+	c.MDSAddr = c.MDSAddrs[0]
+	for _, node := range dataNodes {
+		addr := node + "/data"
+		ds := NewDataServer(addr, model)
+		c.Data = append(c.Data, ds)
+		c.DataAddrs = append(c.DataAddrs, addr)
+		net.Register(addr, ds.Service())
+	}
+	return c
+}
+
+// NewClient builds a client on the given node. TTL 0 gives the paper's
+// strong-consistency baseline behavior.
+func (c *Cluster) NewClient(node string, cred fsapi.Cred, cacheCap int, ttl vclock.Duration) *Client {
+	return NewClient(c.Net, ClientConfig{
+		Node:           node,
+		MDSAddrs:       c.MDSAddrs,
+		DataAddrs:      c.DataAddrs,
+		Cred:           cred,
+		Model:          c.Model,
+		DentryCacheCap: cacheCap,
+		DentryTTL:      ttl,
+	})
+}

@@ -1,0 +1,150 @@
+package dfs
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"pacon/internal/rpc"
+	"pacon/internal/vclock"
+	"pacon/internal/wire"
+)
+
+// ChunkSize is the stripe unit: consecutive chunks of a file land on
+// consecutive data servers (BeeGFS default striping).
+const ChunkSize = 512 << 10
+
+// DataServer stores file chunks. Chunks hold real bytes so data-path
+// tests verify content, while the virtual-time model charges the device
+// cost per chunk plus per KiB.
+type DataServer struct {
+	model vclock.LatencyModel
+	res   *vclock.Resource
+
+	mu     sync.Mutex
+	chunks map[chunkKey][]byte
+
+	bytesIn  atomic.Int64
+	bytesOut atomic.Int64
+}
+
+type chunkKey struct {
+	path string
+	idx  int64
+}
+
+// NewDataServer creates a data server.
+func NewDataServer(name string, model vclock.LatencyModel) *DataServer {
+	workers := model.DataWorkers
+	if workers <= 0 {
+		workers = 8
+	}
+	return &DataServer{
+		model:  model,
+		res:    vclock.NewResource(name, workers),
+		chunks: make(map[chunkKey][]byte),
+	}
+}
+
+func (s *DataServer) ioCost(n int) vclock.Duration {
+	return s.model.DataChunkCost + vclock.Duration(int64(s.model.DataPerKB)*int64(n)/1024)
+}
+
+// writeChunk stores data at [off, off+len) within one chunk.
+func (s *DataServer) writeChunk(path string, idx int64, off int, data []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key := chunkKey{path: path, idx: idx}
+	chunk := s.chunks[key]
+	if need := off + len(data); len(chunk) < need {
+		grown := make([]byte, need)
+		copy(grown, chunk)
+		chunk = grown
+	}
+	copy(chunk[off:], data)
+	s.chunks[key] = chunk
+}
+
+// readChunk returns up to n bytes at off within one chunk.
+func (s *DataServer) readChunk(path string, idx int64, off, n int) []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	chunk := s.chunks[chunkKey{path: path, idx: idx}]
+	if off >= len(chunk) {
+		return nil
+	}
+	end := off + n
+	if end > len(chunk) {
+		end = len(chunk)
+	}
+	out := make([]byte, end-off)
+	copy(out, chunk[off:end])
+	return out
+}
+
+// dropFile removes all chunks of path on this server.
+func (s *DataServer) dropFile(path string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for k := range s.chunks {
+		if k.path == path {
+			delete(s.chunks, k)
+		}
+	}
+}
+
+// ChunkCount reports resident chunks (test/diagnostic use).
+func (s *DataServer) ChunkCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.chunks)
+}
+
+// Service exposes the data-server RPC methods.
+func (s *DataServer) Service() *rpc.Service {
+	svc := rpc.NewService()
+	svc.Handle("write", func(at vclock.Time, body []byte) (vclock.Time, []byte, error) {
+		d := wire.NewDecoder(body)
+		path := d.String()
+		idx := d.Int64()
+		off := int(d.Uint32())
+		data := d.BlobView()
+		if err := d.Finish(); err != nil {
+			return at, nil, err
+		}
+		done := s.res.Acquire(at, s.ioCost(len(data)))
+		s.writeChunk(path, idx, off, data)
+		s.bytesIn.Add(int64(len(data)))
+		return done, nil, nil
+	})
+	svc.Handle("read", func(at vclock.Time, body []byte) (vclock.Time, []byte, error) {
+		d := wire.NewDecoder(body)
+		path := d.String()
+		idx := d.Int64()
+		off := int(d.Uint32())
+		n := int(d.Uint32())
+		if err := d.Finish(); err != nil {
+			return at, nil, err
+		}
+		out := s.readChunk(path, idx, off, n)
+		done := s.res.Acquire(at, s.ioCost(len(out)))
+		s.bytesOut.Add(int64(len(out)))
+		e := wire.NewEncoder(len(out) + 8)
+		e.Blob(out)
+		return done, e.Bytes(), nil
+	})
+	svc.Handle("drop", func(at vclock.Time, body []byte) (vclock.Time, []byte, error) {
+		d := wire.NewDecoder(body)
+		path := d.String()
+		if err := d.Finish(); err != nil {
+			return at, nil, err
+		}
+		done := s.res.Acquire(at, s.model.DataChunkCost)
+		s.dropFile(path)
+		return done, nil, nil
+	})
+	svc.Handle("sync", func(at vclock.Time, body []byte) (vclock.Time, []byte, error) {
+		// fsync: charge one device op.
+		return s.res.Acquire(at, s.model.DataChunkCost), nil, nil
+	})
+	return svc
+}

@@ -1,0 +1,458 @@
+package dfs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"pacon/internal/fsapi"
+	"pacon/internal/rpc"
+	"pacon/internal/vclock"
+)
+
+var (
+	rootCred = fsapi.Cred{UID: 0, GID: 0}
+	appCred  = fsapi.Cred{UID: 1000, GID: 1000}
+)
+
+func testCluster(t *testing.T) *Cluster {
+	t.Helper()
+	return NewCluster(rpc.NewBus(), vclock.Default(), rootCred, "storage0", []string{"storage1", "storage2", "storage3"})
+}
+
+// appClient returns a client with an app workspace prepared at /w.
+func appClient(t *testing.T, c *Cluster) *Client {
+	t.Helper()
+	root := c.NewClient("node0", rootCred, 0, 0)
+	if _, err := root.Mkdir(0, "/w", 0o777); err != nil {
+		t.Fatal(err)
+	}
+	return c.NewClient("node0", appCred, 0, 0)
+}
+
+func TestMkdirCreateStat(t *testing.T) {
+	c := testCluster(t)
+	cl := appClient(t, c)
+	if _, err := cl.Mkdir(0, "/w/d", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Create(0, "/w/d/f", 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, _, err := cl.Stat(0, "/w/d/f")
+	if err != nil || st.Type != fsapi.TypeFile || st.UID != appCred.UID {
+		t.Fatalf("stat = %+v, %v", st, err)
+	}
+	st, _, err = cl.Stat(0, "/w/d")
+	if err != nil || !st.IsDir() {
+		t.Fatalf("dir stat = %+v, %v", st, err)
+	}
+}
+
+func TestNamespaceConventionsOverRPC(t *testing.T) {
+	c := testCluster(t)
+	cl := appClient(t, c)
+	cl.Create(0, "/w/f", 0o644)
+	if _, err := cl.Create(0, "/w/f", 0o644); !errors.Is(err, fsapi.ErrExist) {
+		t.Fatalf("dup create = %v", err)
+	}
+	if _, err := cl.Create(0, "/w/ghost/f", 0o644); !errors.Is(err, fsapi.ErrNotExist) {
+		t.Fatalf("orphan create = %v", err)
+	}
+	if _, err := cl.Remove(0, "/w/ghost"); !errors.Is(err, fsapi.ErrNotExist) {
+		t.Fatalf("remove missing = %v", err)
+	}
+	if _, _, err := cl.Stat(0, "/w/nothing"); !errors.Is(err, fsapi.ErrNotExist) {
+		t.Fatalf("stat missing = %v", err)
+	}
+}
+
+func TestPermissionEnforcement(t *testing.T) {
+	c := testCluster(t)
+	root := c.NewClient("node0", rootCred, 0, 0)
+	// /private is root-owned, no access for others.
+	if _, err := root.Mkdir(0, "/private", 0o700); err != nil {
+		t.Fatal(err)
+	}
+	app := c.NewClient("node0", appCred, 0, 0)
+	if _, err := app.Create(0, "/private/f", 0o644); !errors.Is(err, fsapi.ErrPermission) {
+		t.Fatalf("create in private dir = %v", err)
+	}
+	if _, _, err := app.Stat(0, "/private/f"); !errors.Is(err, fsapi.ErrPermission) {
+		t.Fatalf("stat through private dir = %v", err)
+	}
+	// A world-writable dir admits the app user.
+	if _, err := root.Mkdir(0, "/shared", 0o777); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := app.Create(0, "/shared/f", 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReaddir(t *testing.T) {
+	c := testCluster(t)
+	cl := appClient(t, c)
+	cl.Create(0, "/w/b", 0o644)
+	cl.Mkdir(0, "/w/a", 0o755)
+	ents, _, err := cl.Readdir(0, "/w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 2 || ents[0].Name != "a" || !((ents[0].Type == fsapi.TypeDir) && (ents[1].Type == fsapi.TypeFile)) {
+		t.Fatalf("readdir = %v", ents)
+	}
+}
+
+func TestRmdirAndRmTree(t *testing.T) {
+	c := testCluster(t)
+	cl := appClient(t, c)
+	cl.Mkdir(0, "/w/d", 0o755)
+	cl.Create(0, "/w/d/f1", 0o644)
+	if _, err := cl.Rmdir(0, "/w/d"); !errors.Is(err, fsapi.ErrNotEmpty) {
+		t.Fatalf("rmdir non-empty = %v", err)
+	}
+	removed, _, err := cl.RmTree(0, "/w/d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(removed) != 2 || removed[len(removed)-1] != "/w/d" {
+		t.Fatalf("rmtree removed = %v", removed)
+	}
+	if _, _, err := cl.Stat(0, "/w/d"); !errors.Is(err, fsapi.ErrNotExist) {
+		t.Fatal("dir survived rmtree")
+	}
+}
+
+func TestTraversalCostGrowsWithDepth(t *testing.T) {
+	c := testCluster(t)
+	cl := appClient(t, c)
+	// Build /w/d1/d2/d3/d4/d5.
+	p := "/w"
+	for i := 1; i <= 5; i++ {
+		p = fmt.Sprintf("%s/d%d", p, i)
+		if _, err := cl.Mkdir(0, p, 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Stat at depth 2 vs depth 6; each uses a fresh client (cold cache)
+	// and an idle MDS (at well past previous completions).
+	base := vclock.Time(time.Second)
+	c2 := c.NewClient("node9", appCred, 0, 0)
+	_, d2done, err := c2.Stat(base, "/w/d1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c6 := c.NewClient("node9", appCred, 0, 0)
+	_, d6done, err := c6.Stat(base+vclock.Time(time.Second), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat2 := d2done.Sub(base)
+	lat6 := d6done.Sub(base + vclock.Time(time.Second))
+	if lat6 <= lat2 {
+		t.Fatalf("deep stat (%v) must cost more than shallow stat (%v)", lat6, lat2)
+	}
+	// Depth 6 resolves 7 components vs 3 — at least twice the RPCs.
+	if float64(lat6) < 1.8*float64(lat2) {
+		t.Fatalf("depth cost ratio too small: %v vs %v", lat6, lat2)
+	}
+}
+
+func TestDentryCacheCutsLookups(t *testing.T) {
+	c := testCluster(t)
+	root := c.NewClient("node0", rootCred, 0, 0)
+	root.Mkdir(0, "/w", 0o777)
+	cached := c.NewClient("node0", appCred, 1024, time.Hour)
+	at := vclock.Time(0)
+	var err error
+	for i := 0; i < 50; i++ {
+		at, err = cached.Create(at, fmt.Sprintf("/w/f%d", i), 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 2 ancestor lookups on the first create, none after.
+	if got := cached.LookupRPCs(); got != 2 {
+		t.Fatalf("cached client lookups = %d, want 2", got)
+	}
+
+	uncached := c.NewClient("node0", appCred, 0, 0)
+	at = 0
+	for i := 0; i < 50; i++ {
+		at, err = uncached.Create(at, fmt.Sprintf("/w/u%d", i), 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := uncached.LookupRPCs(); got != 100 {
+		t.Fatalf("uncached client lookups = %d, want 100", got)
+	}
+}
+
+func TestMDSSaturationLimitsAggregateThroughput(t *testing.T) {
+	c := testCluster(t)
+	root := c.NewClient("node0", rootCred, 0, 0)
+	root.Mkdir(0, "/w", 0o777)
+
+	const clients = 32
+	const per = 40
+	var wg sync.WaitGroup
+	var wm vclock.Watermark
+	pacer := vclock.NewPacer(clients, 0)
+	for g := 0; g < clients; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			defer pacer.Done(g)
+			cl := c.NewClient(fmt.Sprintf("node%d", g%16), appCred, 0, 0)
+			cl.Pace(pacer, g)
+			now := vclock.Time(0)
+			var err error
+			for i := 0; i < per; i++ {
+				now, err = cl.Create(now, fmt.Sprintf("/w/c%d-f%d", g, i), 0o644)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			wm.Observe(now)
+		}(g)
+	}
+	wg.Wait()
+
+	// The MDS pool must be the bottleneck: its busy time across workers
+	// should dominate the horizon.
+	horizon := wm.Load().Sub(0)
+	util := c.MDS.Resource().Utilization(horizon)
+	if util < 0.8 {
+		t.Fatalf("MDS utilization %.2f — expected saturation under 32 concurrent clients", util)
+	}
+	if c.MDS.Tree().Len() != clients*per+1 {
+		t.Fatalf("namespace has %d objects", c.MDS.Tree().Len())
+	}
+}
+
+func TestDataPathWriteReadRoundTrip(t *testing.T) {
+	c := testCluster(t)
+	cl := appClient(t, c)
+	cl.Create(0, "/w/data.bin", 0o644)
+
+	// 1.2 MB spans 3 chunks across the 3 data servers.
+	payload := make([]byte, 1200*1024)
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+	at, err := cl.WriteAt(0, "/w/data.bin", 0, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, at, err := cl.Stat(at, "/w/data.bin")
+	if err != nil || st.Size != int64(len(payload)) {
+		t.Fatalf("size = %d, err %v", st.Size, err)
+	}
+	got, _, err := cl.ReadAt(at, "/w/data.bin", 0, len(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("read-back mismatch")
+	}
+	// Unaligned read across a chunk boundary.
+	got, _, err = cl.ReadAt(at, "/w/data.bin", ChunkSize-100, 200)
+	if err != nil || len(got) != 200 {
+		t.Fatalf("boundary read len=%d err=%v", len(got), err)
+	}
+	if !bytes.Equal(got, payload[ChunkSize-100:ChunkSize+100]) {
+		t.Fatal("boundary read mismatch")
+	}
+}
+
+func TestDataStripingUsesAllServers(t *testing.T) {
+	c := testCluster(t)
+	cl := appClient(t, c)
+	cl.Create(0, "/w/big", 0o644)
+	if _, err := cl.WriteAt(0, "/w/big", 0, make([]byte, 3*ChunkSize)); err != nil {
+		t.Fatal(err)
+	}
+	for i, ds := range c.Data {
+		if ds.ChunkCount() == 0 {
+			t.Fatalf("data server %d received no chunks", i)
+		}
+	}
+	// RemoveData clears them all.
+	if _, err := cl.RemoveData(0, "/w/big"); err != nil {
+		t.Fatal(err)
+	}
+	for i, ds := range c.Data {
+		if ds.ChunkCount() != 0 {
+			t.Fatalf("data server %d still holds chunks", i)
+		}
+	}
+}
+
+func TestReadPastEOFAndSparse(t *testing.T) {
+	c := testCluster(t)
+	cl := appClient(t, c)
+	cl.Create(0, "/w/f", 0o644)
+	cl.WriteAt(0, "/w/f", 0, []byte("abc"))
+	got, _, err := cl.ReadAt(0, "/w/f", 10, 5)
+	if err != nil || got != nil {
+		t.Fatalf("past-EOF read = %q, %v", got, err)
+	}
+	// Sparse write at an offset: the gap reads back as zeros.
+	cl.WriteAt(0, "/w/f", 100, []byte("xyz"))
+	got, _, err = cl.ReadAt(0, "/w/f", 0, 103)
+	if err != nil || len(got) != 103 {
+		t.Fatalf("sparse read len=%d err=%v", len(got), err)
+	}
+	if string(got[:3]) != "abc" || got[50] != 0 || string(got[100:]) != "xyz" {
+		t.Fatal("sparse content wrong")
+	}
+}
+
+func TestWriteToDirectoryFails(t *testing.T) {
+	c := testCluster(t)
+	cl := appClient(t, c)
+	if _, err := cl.WriteAt(0, "/w", 0, []byte("x")); !errors.Is(err, fsapi.ErrIsDir) {
+		t.Fatalf("write to dir = %v", err)
+	}
+}
+
+func TestFsyncCharges(t *testing.T) {
+	c := testCluster(t)
+	cl := appClient(t, c)
+	cl.Create(0, "/w/f", 0o644)
+	done, err := cl.Fsync(vclock.Time(time.Millisecond), "/w/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done <= vclock.Time(time.Millisecond) {
+		t.Fatal("fsync must advance virtual time")
+	}
+}
+
+func TestMDSStatsCount(t *testing.T) {
+	c := testCluster(t)
+	cl := appClient(t, c)
+	cl.Create(0, "/w/f", 0o644)
+	cl.Stat(0, "/w/f")
+	cl.Readdir(0, "/w")
+	st := c.MDS.Stats()
+	if st.Writes < 2 { // /w mkdir + create
+		t.Fatalf("writes = %d", st.Writes)
+	}
+	if st.Lookups == 0 || st.Reads == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestClientRenameMovesDataChunks(t *testing.T) {
+	c := testCluster(t)
+	cl := appClient(t, c)
+	cl.Create(0, "/w/src.bin", 0o644)
+	payload := bytes.Repeat([]byte{7}, 600*1024) // spans two chunks
+	at, err := cl.WriteAt(0, "/w/src.bin", 0, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if at, err = cl.Rename(at, "/w/src.bin", "/w/dst.bin"); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := cl.ReadAt(at, "/w/dst.bin", 0, len(payload))
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("data after rename: len=%d err=%v", len(got), err)
+	}
+	if _, _, err := cl.Stat(at, "/w/src.bin"); !errors.Is(err, fsapi.ErrNotExist) {
+		t.Fatalf("source still present: %v", err)
+	}
+}
+
+func TestDentryTTLExpiry(t *testing.T) {
+	c := testCluster(t)
+	root := c.NewClient("node0", rootCred, 0, 0)
+	root.Mkdir(0, "/w", 0o777)
+	// TTL-limited cache: lookups repeat once entries expire.
+	cl := c.NewClient("node0", appCred, 1024, 100*time.Microsecond)
+	at := vclock.Time(0)
+	var err error
+	if at, err = cl.Create(at, "/w/f0", 0o644); err != nil {
+		t.Fatal(err)
+	}
+	first := cl.LookupRPCs()
+	// Well past the TTL: ancestors must be re-fetched.
+	if _, err = cl.Create(at+vclock.Time(time.Second), "/w/f1", 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if cl.LookupRPCs() <= first {
+		t.Fatal("expired dentries were reused")
+	}
+}
+
+func TestMultiMDSSharesNamespaceAndScales(t *testing.T) {
+	bus := rpc.NewBus()
+	c := NewClusterMulti(bus, vclock.Default(), rootCred,
+		[]string{"m0", "m1", "m2", "m3"}, []string{"s1"})
+	root := c.NewClient("node0", rootCred, 0, 0)
+	if _, err := root.Mkdir(0, "/w", 0o777); err != nil {
+		t.Fatal(err)
+	}
+	cl := c.NewClient("node0", appCred, 0, 0)
+	at := vclock.Time(0)
+	var err error
+	for i := 0; i < 200; i++ {
+		if at, err = cl.Create(at, fmt.Sprintf("/w/f%03d", i), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One shared namespace: every file visible regardless of which MDS
+	// served it, and all four MDSes carried load.
+	if c.MDS.Tree().Len() != 201 {
+		t.Fatalf("namespace objects = %d", c.MDS.Tree().Len())
+	}
+	for i, m := range c.MDSes {
+		if m.Stats().Writes == 0 && m.Stats().Lookups == 0 {
+			t.Fatalf("MDS %d idle — path-hash routing broken", i)
+		}
+	}
+	// And a saturated multi-MDS run outpaces a single MDS.
+	single := NewCluster(rpc.NewBus(), vclock.Default(), rootCred, "m0", []string{"s1"})
+	sr := single.NewClient("node0", rootCred, 0, 0)
+	sr.Mkdir(0, "/w", 0o777)
+
+	run := func(cluster *Cluster) vclock.Duration {
+		const clients, per = 24, 30
+		var wg sync.WaitGroup
+		var wm vclock.Watermark
+		pacer := vclock.NewPacer(clients, 0)
+		for g := 0; g < clients; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				defer pacer.Done(g)
+				cl := cluster.NewClient(fmt.Sprintf("node%d", g%8), appCred, 0, 0)
+				cl.Pace(pacer, g)
+				now := vclock.Time(0)
+				var err error
+				for i := 0; i < per; i++ {
+					now, err = cl.Create(now, fmt.Sprintf("/w/c%d-%d", g, i), 0o644)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+				}
+				wm.Observe(now)
+			}(g)
+		}
+		wg.Wait()
+		return wm.Load().Sub(0)
+	}
+	multiTime := run(c)
+	singleTime := run(single)
+	if float64(singleTime) < 1.5*float64(multiTime) {
+		t.Fatalf("4 MDSes (%v) should be well faster than 1 (%v)", multiTime, singleTime)
+	}
+}

@@ -1,0 +1,242 @@
+// Package dfs is the BeeGFS-like distributed file system the experiments
+// deploy Pacon on: a centralized metadata server (MDS) holding the
+// global namespace, a set of data servers striping file contents, and a
+// client library that resolves paths component by component against the
+// MDS — the synchronous, traversal-heavy metadata path whose saturation
+// the paper's Figures 1, 2, 7 and 11 measure.
+package dfs
+
+import (
+	"sync/atomic"
+
+	"pacon/internal/fsapi"
+	"pacon/internal/namespace"
+	"pacon/internal/rpc"
+	"pacon/internal/vclock"
+	"pacon/internal/wire"
+)
+
+// MDS is the centralized metadata server. All metadata operations pass
+// through its single service pool (cfg.Model.MDSWorkers wide), which is
+// what limits client scalability in the BeeGFS baseline.
+type MDS struct {
+	tree  *namespace.Tree
+	model vclock.LatencyModel
+	res   *vclock.Resource
+
+	lookups atomic.Int64
+	reads   atomic.Int64
+	writes  atomic.Int64
+}
+
+// NewMDS creates a metadata server whose root is owned by cred.
+func NewMDS(name string, model vclock.LatencyModel, cred fsapi.Cred) *MDS {
+	return NewMDSWithTree(name, model, namespace.NewTree(cred))
+}
+
+// NewMDSWithTree creates a metadata server over an existing namespace —
+// the multi-MDS deployment (paper §II.B / §V: BeeGFS, Lustre and CephFS
+// scale the metadata service cluster): servers share the namespace state
+// while each contributes its own service pool, and clients spread
+// requests across them by path hash.
+func NewMDSWithTree(name string, model vclock.LatencyModel, tree *namespace.Tree) *MDS {
+	workers := model.MDSWorkers
+	if workers <= 0 {
+		workers = 4
+	}
+	return &MDS{
+		tree:  tree,
+		model: model,
+		res:   vclock.NewResource(name, workers),
+	}
+}
+
+// Tree exposes the namespace for white-box assertions in tests and for
+// checkpoint verification.
+func (m *MDS) Tree() *namespace.Tree { return m.tree }
+
+// Resource exposes the MDS service pool for utilization reporting.
+func (m *MDS) Resource() *vclock.Resource { return m.res }
+
+// MDSStats reports served op counts.
+type MDSStats struct {
+	Lookups, Reads, Writes int64
+}
+
+// Stats returns counters.
+func (m *MDS) Stats() MDSStats {
+	return MDSStats{Lookups: m.lookups.Load(), Reads: m.reads.Load(), Writes: m.writes.Load()}
+}
+
+// lookupCost models a dentry lookup at the given path depth: deeper
+// entries are colder in the MDS-local file system (DESIGN.md §5), which
+// is what makes the paper's Fig 2 loss super-linear.
+func (m *MDS) lookupCost(depth int) vclock.Duration {
+	return m.model.MDSReadCost + vclock.Duration(depth)*m.model.MDSLookupDepthCost
+}
+
+// checkParentWritable enforces the write permission on a mutation's
+// parent directory.
+func (m *MDS) checkParentWritable(op, p string, cred fsapi.Cred) error {
+	dir, _ := namespace.Split(p)
+	st, err := m.tree.Lookup(dir)
+	if err != nil {
+		return err
+	}
+	if !st.IsDir() {
+		return fsapi.WrapPath(op, p, fsapi.ErrNotDir)
+	}
+	if !st.Mode.Allows(cred.ClassFor(st.UID, st.GID), fsapi.WantWrite|fsapi.WantExec) {
+		return fsapi.WrapPath(op, p, fsapi.ErrPermission)
+	}
+	return nil
+}
+
+// Service exposes the MDS RPC methods.
+func (m *MDS) Service() *rpc.Service {
+	svc := rpc.NewService()
+
+	// lookup: resolve one path (used per component by the client). The
+	// service cost grows with the looked-up depth.
+	svc.Handle("lookup", func(at vclock.Time, body []byte) (vclock.Time, []byte, error) {
+		d := wire.NewDecoder(body)
+		p := d.String()
+		if err := d.Finish(); err != nil {
+			return at, nil, err
+		}
+		m.lookups.Add(1)
+		done := m.res.Acquire(at, m.lookupCost(namespace.Depth(p)))
+		st, err := m.tree.Lookup(p)
+		if err != nil {
+			return done, nil, err
+		}
+		return done, fsapi.MarshalStat(st), nil
+	})
+
+	// mutation ops: create, mkdir, setstat, remove, rmdir.
+	mutate := func(op string, fn func(p string, cred fsapi.Cred, st fsapi.Stat) error) rpc.Handler {
+		return func(at vclock.Time, body []byte) (vclock.Time, []byte, error) {
+			d := wire.NewDecoder(body)
+			p := d.String()
+			cred := fsapi.Cred{UID: d.Uint32(), GID: d.Uint32()}
+			st := fsapi.DecodeStat(d)
+			if err := d.Finish(); err != nil {
+				return at, nil, err
+			}
+			m.writes.Add(1)
+			done := m.res.Acquire(at, m.model.MDSWriteCost)
+			return done, nil, fn(p, cred, st)
+		}
+	}
+	svc.Handle("create", mutate("create", func(p string, cred fsapi.Cred, st fsapi.Stat) error {
+		// Existence first (POSIX: mkdir/creat of an existing name is
+		// EEXIST even in an unwritable parent).
+		if m.tree.Exists(p) {
+			return fsapi.WrapPath("create", p, fsapi.ErrExist)
+		}
+		if err := m.checkParentWritable("create", p, cred); err != nil {
+			return err
+		}
+		return m.tree.Create(p, st)
+	}))
+	svc.Handle("mkdir", mutate("mkdir", func(p string, cred fsapi.Cred, st fsapi.Stat) error {
+		if m.tree.Exists(p) {
+			return fsapi.WrapPath("mkdir", p, fsapi.ErrExist)
+		}
+		if err := m.checkParentWritable("mkdir", p, cred); err != nil {
+			return err
+		}
+		return m.tree.Mkdir(p, st)
+	}))
+	svc.Handle("setstat", mutate("setstat", func(p string, cred fsapi.Cred, st fsapi.Stat) error {
+		return m.tree.SetStat(p, st)
+	}))
+	svc.Handle("remove", mutate("remove", func(p string, cred fsapi.Cred, _ fsapi.Stat) error {
+		if err := m.checkParentWritable("remove", p, cred); err != nil {
+			return err
+		}
+		return m.tree.Remove(p)
+	}))
+	svc.Handle("rmdir", mutate("rmdir", func(p string, cred fsapi.Cred, _ fsapi.Stat) error {
+		if err := m.checkParentWritable("rmdir", p, cred); err != nil {
+			return err
+		}
+		return m.tree.Rmdir(p)
+	}))
+
+	// rename: move a file or subtree (extension; the paper's evaluation
+	// never renames, but the substrate supports it so Pacon can treat it
+	// as a dependent operation).
+	svc.Handle("rename", func(at vclock.Time, body []byte) (vclock.Time, []byte, error) {
+		d := wire.NewDecoder(body)
+		src := d.String()
+		dst := d.String()
+		cred := fsapi.Cred{UID: d.Uint32(), GID: d.Uint32()}
+		if err := d.Finish(); err != nil {
+			return at, nil, err
+		}
+		m.writes.Add(1)
+		done := m.res.Acquire(at, m.model.MDSWriteCost)
+		if err := m.checkParentWritable("rename", src, cred); err != nil {
+			return done, nil, err
+		}
+		if err := m.checkParentWritable("rename", dst, cred); err != nil {
+			return done, nil, err
+		}
+		return done, nil, m.tree.Rename(src, dst)
+	})
+
+	// rmtree: recursive removal, used by Pacon's commit module for
+	// directory removal. Returns the removed paths (the commit module
+	// mirrors the cleanup into the distributed cache). Cost scales with
+	// the subtree size.
+	svc.Handle("rmtree", func(at vclock.Time, body []byte) (vclock.Time, []byte, error) {
+		d := wire.NewDecoder(body)
+		p := d.String()
+		cred := fsapi.Cred{UID: d.Uint32(), GID: d.Uint32()}
+		if err := d.Finish(); err != nil {
+			return at, nil, err
+		}
+		m.writes.Add(1)
+		if err := m.checkParentWritable("rmdir", p, cred); err != nil {
+			return m.res.Acquire(at, m.model.MDSReadCost), nil, err
+		}
+		removed, err := m.tree.RemoveSubtree(p)
+		cost := m.model.MDSWriteCost * vclock.Duration(1+len(removed))
+		done := m.res.Acquire(at, cost)
+		if err != nil {
+			return done, nil, err
+		}
+		e := wire.NewEncoder(32 * len(removed))
+		e.Uvarint(uint64(len(removed)))
+		for _, rp := range removed {
+			e.String(rp)
+		}
+		return done, e.Bytes(), nil
+	})
+
+	// readdir: list a directory; cost scales with the entry count.
+	svc.Handle("readdir", func(at vclock.Time, body []byte) (vclock.Time, []byte, error) {
+		d := wire.NewDecoder(body)
+		p := d.String()
+		if err := d.Finish(); err != nil {
+			return at, nil, err
+		}
+		m.reads.Add(1)
+		ents, err := m.tree.Readdir(p)
+		cost := m.model.MDSReadCost + vclock.Duration(len(ents))*m.model.MDSReaddirEntryCost
+		done := m.res.Acquire(at, cost)
+		if err != nil {
+			return done, nil, err
+		}
+		e := wire.NewEncoder(16 * len(ents))
+		e.Uvarint(uint64(len(ents)))
+		for _, ent := range ents {
+			e.String(ent.Name)
+			e.Byte(byte(ent.Type))
+		}
+		return done, e.Bytes(), nil
+	})
+
+	return svc
+}

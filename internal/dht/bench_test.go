@@ -1,0 +1,33 @@
+package dht
+
+import (
+	"fmt"
+	"testing"
+)
+
+func BenchmarkLookup16Members(b *testing.B) {
+	members := make([]string, 16)
+	for i := range members {
+		members[i] = fmt.Sprintf("node%d/cache", i)
+	}
+	r := NewWithMembers(0, members...)
+	keys := make([]string, 1024)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("/scratch/app/rank%04d/out.%d", i%320, i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r.Lookup(keys[i%len(keys)]) == "" {
+			b.Fatal("empty owner")
+		}
+	}
+}
+
+func BenchmarkAddRemoveMember(b *testing.B) {
+	r := NewWithMembers(0, "a", "b", "c")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Add("transient")
+		r.Remove("transient")
+	}
+}

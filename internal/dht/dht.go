@@ -1,0 +1,144 @@
+// Package dht implements the consistent-hash ring Pacon uses to
+// distribute full-path metadata keys across the distributed cache nodes
+// of a consistent region (paper §III.A: "uses full path as the key to
+// store the metadata, and distributes them in the distributed cache by
+// DHT"). Virtual nodes smooth the key distribution so a 16-node region
+// stays balanced even for adversarial path sets.
+package dht
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+)
+
+// DefaultVirtualNodes is the per-member vnode count; 128 keeps the
+// max/min key imbalance under ~15% for realistic member counts.
+const DefaultVirtualNodes = 128
+
+// Ring is a consistent-hash ring mapping keys to member addresses.
+// It is safe for concurrent lookup; membership changes take the write
+// lock.
+type Ring struct {
+	mu      sync.RWMutex
+	vnodes  int
+	hashes  []uint64          // sorted vnode positions
+	owner   map[uint64]string // vnode position -> member
+	members map[string]struct{}
+}
+
+// New creates a ring with the given virtual-node count per member
+// (DefaultVirtualNodes if vnodes <= 0).
+func New(vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	return &Ring{
+		vnodes:  vnodes,
+		owner:   make(map[uint64]string),
+		members: make(map[string]struct{}),
+	}
+}
+
+// NewWithMembers builds a ring pre-populated with members.
+func NewWithMembers(vnodes int, members ...string) *Ring {
+	r := New(vnodes)
+	for _, m := range members {
+		r.Add(m)
+	}
+	return r
+}
+
+func hashKey(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return mix64(h.Sum64())
+}
+
+// mix64 is the splitmix64 finalizer; FNV alone clusters badly on short
+// vnode labels, which skews ring ownership.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Add inserts a member. Adding an existing member is a no-op.
+func (r *Ring) Add(member string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.members[member]; ok {
+		return
+	}
+	r.members[member] = struct{}{}
+	for i := 0; i < r.vnodes; i++ {
+		h := hashKey(fmt.Sprintf("%s#%d", member, i))
+		// In the astronomically unlikely event of a vnode collision the
+		// later member silently wins that slot; correctness (some member
+		// owns every key) is unaffected.
+		if _, taken := r.owner[h]; !taken {
+			r.hashes = append(r.hashes, h)
+		}
+		r.owner[h] = member
+	}
+	sort.Slice(r.hashes, func(i, j int) bool { return r.hashes[i] < r.hashes[j] })
+}
+
+// Remove deletes a member and its vnodes; keys re-home to the successor
+// members. Removing an absent member is a no-op.
+func (r *Ring) Remove(member string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.members[member]; !ok {
+		return
+	}
+	delete(r.members, member)
+	kept := r.hashes[:0]
+	for _, h := range r.hashes {
+		if r.owner[h] == member {
+			delete(r.owner, h)
+		} else {
+			kept = append(kept, h)
+		}
+	}
+	r.hashes = kept
+}
+
+// Lookup returns the member owning key. It returns "" when the ring is
+// empty.
+func (r *Ring) Lookup(key string) string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.hashes) == 0 {
+		return ""
+	}
+	h := hashKey(key)
+	i := sort.Search(len(r.hashes), func(i int) bool { return r.hashes[i] >= h })
+	if i == len(r.hashes) {
+		i = 0 // wrap around
+	}
+	return r.owner[r.hashes[i]]
+}
+
+// Members returns the current member set in sorted order.
+func (r *Ring) Members() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.members))
+	for m := range r.members {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Size returns the member count.
+func (r *Ring) Size() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.members)
+}

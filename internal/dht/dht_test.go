@@ -1,0 +1,135 @@
+package dht
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyRing(t *testing.T) {
+	r := New(0)
+	if got := r.Lookup("/a/b"); got != "" {
+		t.Fatalf("empty ring lookup = %q", got)
+	}
+	if r.Size() != 0 {
+		t.Fatal("empty ring size != 0")
+	}
+}
+
+func TestSingleMemberOwnsEverything(t *testing.T) {
+	r := NewWithMembers(0, "node0")
+	for i := 0; i < 100; i++ {
+		if got := r.Lookup(fmt.Sprintf("/w/f%d", i)); got != "node0" {
+			t.Fatalf("key %d -> %q", i, got)
+		}
+	}
+}
+
+func TestLookupDeterministic(t *testing.T) {
+	r := NewWithMembers(0, "a", "b", "c", "d")
+	for i := 0; i < 50; i++ {
+		k := fmt.Sprintf("/dir/file%d", i)
+		first := r.Lookup(k)
+		for j := 0; j < 5; j++ {
+			if r.Lookup(k) != first {
+				t.Fatalf("lookup of %q not deterministic", k)
+			}
+		}
+	}
+}
+
+func TestAddIdempotent(t *testing.T) {
+	r := NewWithMembers(0, "a", "b")
+	before := r.Lookup("/x")
+	r.Add("a")
+	if r.Size() != 2 {
+		t.Fatalf("size = %d", r.Size())
+	}
+	if r.Lookup("/x") != before {
+		t.Fatal("re-adding member moved keys")
+	}
+}
+
+func TestRemoveRedistributesOnlyRemovedKeys(t *testing.T) {
+	r := NewWithMembers(0, "a", "b", "c")
+	const n = 2000
+	owner := make(map[string]string, n)
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("/w/d%d/f%d", i%7, i)
+		owner[k] = r.Lookup(k)
+	}
+	r.Remove("b")
+	for k, before := range owner {
+		after := r.Lookup(k)
+		if after == "b" {
+			t.Fatalf("key %q still maps to removed member", k)
+		}
+		if before != "b" && after != before {
+			t.Fatalf("key %q moved from %q to %q though its owner stayed", k, before, after)
+		}
+	}
+	if r.Size() != 2 {
+		t.Fatalf("size = %d", r.Size())
+	}
+}
+
+func TestRemoveAbsentMemberNoop(t *testing.T) {
+	r := NewWithMembers(0, "a")
+	r.Remove("zzz")
+	if r.Size() != 1 || r.Lookup("/k") != "a" {
+		t.Fatal("removing absent member changed ring")
+	}
+}
+
+func TestBalance(t *testing.T) {
+	members := []string{"n0", "n1", "n2", "n3", "n4", "n5", "n6", "n7"}
+	r := NewWithMembers(0, members...)
+	counts := make(map[string]int)
+	const n = 40000
+	for i := 0; i < n; i++ {
+		counts[r.Lookup(fmt.Sprintf("/app/rank%d/out.%d", i%320, i))]++
+	}
+	want := n / len(members)
+	for _, m := range members {
+		c := counts[m]
+		if c < want/2 || c > want*2 {
+			t.Fatalf("member %s owns %d keys, want within [%d,%d]", m, c, want/2, want*2)
+		}
+	}
+}
+
+func TestMembersSorted(t *testing.T) {
+	r := NewWithMembers(0, "z", "a", "m")
+	got := r.Members()
+	if len(got) != 3 || got[0] != "a" || got[1] != "m" || got[2] != "z" {
+		t.Fatalf("Members() = %v", got)
+	}
+}
+
+// Property: every key maps to a current member.
+func TestLookupAlwaysReturnsMemberProperty(t *testing.T) {
+	r := NewWithMembers(4, "a", "b", "c")
+	valid := map[string]bool{"a": true, "b": true, "c": true}
+	f := func(key string) bool { return valid[r.Lookup(key)] }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentLookupDuringMembershipChange(t *testing.T) {
+	r := NewWithMembers(0, "a", "b")
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			r.Add(fmt.Sprintf("extra%d", i%3))
+			r.Remove(fmt.Sprintf("extra%d", i%3))
+		}
+	}()
+	for i := 0; i < 1000; i++ {
+		if r.Lookup(fmt.Sprintf("/k%d", i)) == "" {
+			t.Fatal("lookup returned empty on non-empty ring")
+		}
+	}
+	<-done
+}

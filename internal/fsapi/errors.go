@@ -1,0 +1,141 @@
+package fsapi
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sentinel errors shared by all metadata services. They mirror the POSIX
+// errno vocabulary the paper's "namespace conventions" (§III.E.1) are
+// phrased in: the object to be created must not exist (ErrExist), the
+// parent must exist (ErrNotExist), the deleted object must have been
+// created (ErrNotExist), rmdir requires an empty directory (ErrNotEmpty).
+var (
+	ErrNotExist   = errors.New("no such file or directory")
+	ErrExist      = errors.New("file exists")
+	ErrNotDir     = errors.New("not a directory")
+	ErrIsDir      = errors.New("is a directory")
+	ErrNotEmpty   = errors.New("directory not empty")
+	ErrPermission = errors.New("permission denied")
+	// ErrStale signals a CAS version conflict in the distributed cache;
+	// callers retry the read-modify-write loop (§III.D.3).
+	ErrStale = errors.New("stale version (cas conflict)")
+	// ErrReadOnly signals a write into a merged consistent region, which
+	// Pacon only supports read-only access to (§III.D.4).
+	ErrReadOnly = errors.New("merged region is read-only")
+	// ErrOutOfSpace signals that a cache or store refused an insert.
+	ErrOutOfSpace = errors.New("out of space")
+	// ErrClosed signals use of a closed service.
+	ErrClosed = errors.New("service closed")
+	// ErrTooLarge signals an inline write beyond the small-file threshold
+	// on a path that must stay inline.
+	ErrTooLarge = errors.New("object too large")
+)
+
+// PathError decorates a sentinel error with the operation and path, like
+// os.PathError, so test failures and example output read naturally.
+type PathError struct {
+	Op   string
+	Path string
+	Err  error
+}
+
+// Error implements error.
+func (e *PathError) Error() string { return fmt.Sprintf("%s %s: %v", e.Op, e.Path, e.Err) }
+
+// Unwrap exposes the sentinel for errors.Is.
+func (e *PathError) Unwrap() error { return e.Err }
+
+// WrapPath wraps err with op/path context; nil stays nil.
+func WrapPath(op, path string, err error) error {
+	if err == nil {
+		return nil
+	}
+	return &PathError{Op: op, Path: path, Err: err}
+}
+
+// Errno-style codes used on the wire. RPC responses carry a code instead
+// of a free-form string so errors.Is keeps working across transports.
+const (
+	CodeOK uint8 = iota
+	CodeNotExist
+	CodeExist
+	CodeNotDir
+	CodeIsDir
+	CodeNotEmpty
+	CodePermission
+	CodeStale
+	CodeReadOnly
+	CodeOutOfSpace
+	CodeClosed
+	CodeTooLarge
+	CodeOther
+)
+
+// CodeOf maps an error chain to its wire code.
+func CodeOf(err error) uint8 {
+	switch {
+	case err == nil:
+		return CodeOK
+	case errors.Is(err, ErrNotExist):
+		return CodeNotExist
+	case errors.Is(err, ErrExist):
+		return CodeExist
+	case errors.Is(err, ErrNotDir):
+		return CodeNotDir
+	case errors.Is(err, ErrIsDir):
+		return CodeIsDir
+	case errors.Is(err, ErrNotEmpty):
+		return CodeNotEmpty
+	case errors.Is(err, ErrPermission):
+		return CodePermission
+	case errors.Is(err, ErrStale):
+		return CodeStale
+	case errors.Is(err, ErrReadOnly):
+		return CodeReadOnly
+	case errors.Is(err, ErrOutOfSpace):
+		return CodeOutOfSpace
+	case errors.Is(err, ErrClosed):
+		return CodeClosed
+	case errors.Is(err, ErrTooLarge):
+		return CodeTooLarge
+	default:
+		return CodeOther
+	}
+}
+
+// ErrOf maps a wire code back to the sentinel error (nil for CodeOK).
+// CodeOther round-trips as a generic error carrying the supplied detail.
+func ErrOf(code uint8, detail string) error {
+	switch code {
+	case CodeOK:
+		return nil
+	case CodeNotExist:
+		return ErrNotExist
+	case CodeExist:
+		return ErrExist
+	case CodeNotDir:
+		return ErrNotDir
+	case CodeIsDir:
+		return ErrIsDir
+	case CodeNotEmpty:
+		return ErrNotEmpty
+	case CodePermission:
+		return ErrPermission
+	case CodeStale:
+		return ErrStale
+	case CodeReadOnly:
+		return ErrReadOnly
+	case CodeOutOfSpace:
+		return ErrOutOfSpace
+	case CodeClosed:
+		return ErrClosed
+	case CodeTooLarge:
+		return ErrTooLarge
+	default:
+		if detail == "" {
+			detail = "remote error"
+		}
+		return errors.New(detail)
+	}
+}

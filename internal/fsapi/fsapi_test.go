@@ -1,0 +1,172 @@
+package fsapi
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"pacon/internal/wire"
+)
+
+func TestModeAllows(t *testing.T) {
+	m := Mode(0o754) // user rwx, group r-x, other r--
+	cases := []struct {
+		class AccessClass
+		want  AccessWant
+		ok    bool
+	}{
+		{ClassUser, WantRead | WantWrite | WantExec, true},
+		{ClassGroup, WantRead | WantExec, true},
+		{ClassGroup, WantWrite, false},
+		{ClassOther, WantRead, true},
+		{ClassOther, WantExec, false},
+		{ClassOther, WantRead | WantWrite, false},
+	}
+	for _, c := range cases {
+		if got := m.Allows(c.class, c.want); got != c.ok {
+			t.Errorf("Allows(%v, %v) = %v, want %v", c.class, c.want, got, c.ok)
+		}
+	}
+}
+
+func TestCredClassFor(t *testing.T) {
+	c := Cred{UID: 10, GID: 20}
+	if c.ClassFor(10, 99) != ClassUser {
+		t.Fatal("uid match must be user class")
+	}
+	if c.ClassFor(99, 20) != ClassGroup {
+		t.Fatal("gid match must be group class")
+	}
+	if c.ClassFor(99, 99) != ClassOther {
+		t.Fatal("no match must be other class")
+	}
+}
+
+func TestNewStatDefaults(t *testing.T) {
+	cred := Cred{UID: 1, GID: 2}
+	d := NewDirStat(cred, 0o755)
+	if !d.IsDir() || d.UID != 1 || d.GID != 2 || d.Nlink != 2 || d.Mtime == 0 {
+		t.Fatalf("dir stat = %+v", d)
+	}
+	f := NewFileStat(cred, 0o644)
+	if f.IsDir() || f.Nlink != 1 {
+		t.Fatalf("file stat = %+v", f)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if TypeFile.String() != "file" || TypeDir.String() != "dir" {
+		t.Fatal("FileType.String wrong")
+	}
+	if FileType(9).String() == "" {
+		t.Fatal("unknown type must still render")
+	}
+	if Mode(0o755).String() != "0755" {
+		t.Fatalf("mode string = %s", Mode(0o755).String())
+	}
+}
+
+func TestErrorCodesRoundTrip(t *testing.T) {
+	sentinels := []error{
+		nil, ErrNotExist, ErrExist, ErrNotDir, ErrIsDir, ErrNotEmpty,
+		ErrPermission, ErrStale, ErrReadOnly, ErrOutOfSpace, ErrClosed, ErrTooLarge,
+	}
+	for _, err := range sentinels {
+		code := CodeOf(err)
+		back := ErrOf(code, "")
+		if err == nil {
+			if back != nil {
+				t.Fatal("nil must round-trip to nil")
+			}
+			continue
+		}
+		if !errors.Is(back, err) {
+			t.Fatalf("%v round-tripped to %v", err, back)
+		}
+	}
+	// Wrapped errors map to their sentinel's code.
+	wrapped := WrapPath("stat", "/x", ErrNotExist)
+	if CodeOf(wrapped) != CodeNotExist {
+		t.Fatal("wrapped error lost its code")
+	}
+	// Unknown errors keep their message through CodeOther.
+	odd := errors.New("weird failure")
+	if CodeOf(odd) != CodeOther {
+		t.Fatal("unknown error must be CodeOther")
+	}
+	if got := ErrOf(CodeOther, "weird failure"); got.Error() != "weird failure" {
+		t.Fatalf("detail lost: %v", got)
+	}
+	if got := ErrOf(CodeOther, ""); got == nil {
+		t.Fatal("CodeOther with no detail must still be an error")
+	}
+}
+
+func TestPathError(t *testing.T) {
+	err := WrapPath("mkdir", "/a/b", ErrExist)
+	if err.Error() != "mkdir /a/b: file exists" {
+		t.Fatalf("message = %q", err.Error())
+	}
+	if !errors.Is(err, ErrExist) {
+		t.Fatal("unwrap broken")
+	}
+	if WrapPath("op", "/p", nil) != nil {
+		t.Fatal("nil must stay nil")
+	}
+}
+
+func TestStatCodecRoundTrip(t *testing.T) {
+	in := Stat{
+		Type: TypeFile, Mode: 0o640, UID: 7, GID: 8,
+		Size: 12345, Nlink: 3, Mtime: 111, Ctime: 222,
+		Inline: []byte("inline-data"),
+	}
+	out, err := UnmarshalStat(MarshalStat(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Type != in.Type || out.Mode != in.Mode || out.Size != in.Size ||
+		out.UID != in.UID || out.GID != in.GID || out.Nlink != in.Nlink ||
+		out.Mtime != in.Mtime || out.Ctime != in.Ctime || string(out.Inline) != string(in.Inline) {
+		t.Fatalf("round trip: %+v vs %+v", in, out)
+	}
+}
+
+func TestStatCodecProperty(t *testing.T) {
+	f := func(typ bool, mode uint16, uid, gid uint32, size int64, inline []byte) bool {
+		in := Stat{Mode: Mode(mode & 0o777), UID: uid, GID: gid, Size: size, Inline: inline}
+		if typ {
+			in.Type = TypeDir
+		}
+		out, err := UnmarshalStat(MarshalStat(in))
+		if err != nil {
+			return false
+		}
+		return out.Type == in.Type && out.Mode == in.Mode && out.Size == in.Size &&
+			out.UID == in.UID && string(out.Inline) == string(in.Inline)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatCodecRejectsGarbage(t *testing.T) {
+	if _, err := UnmarshalStat([]byte{1, 2}); err == nil {
+		t.Fatal("truncated stat must fail")
+	}
+	// Trailing junk is schema drift, not silently ignored.
+	e := wire.NewEncoder(64)
+	EncodeStat(e, Stat{})
+	e.Byte(0xFF)
+	if _, err := UnmarshalStat(e.Bytes()); err == nil {
+		t.Fatal("trailing bytes must fail")
+	}
+}
+
+func TestDirEntryUsage(t *testing.T) {
+	ents := []DirEntry{{Name: "a", Type: TypeDir}, {Name: "b", Type: TypeFile}}
+	if fmt.Sprintf("%s/%s", ents[0].Name, ents[0].Type) != "a/dir" {
+		t.Fatal("DirEntry fields wrong")
+	}
+}

@@ -1,0 +1,89 @@
+package indexfs
+
+import (
+	"time"
+
+	"pacon/internal/fsapi"
+	"pacon/internal/lsmkv"
+	"pacon/internal/rpc"
+	"pacon/internal/vclock"
+)
+
+// DefaultLeaseTTL matches IndexFS's short dentry leases: long enough to
+// cover a burst of operations under one directory, short enough that the
+// bounded client cache keeps churning under random access.
+const DefaultLeaseTTL = 2 * time.Millisecond
+
+// Cluster assembles an IndexFS deployment: one metadata server
+// co-located with each client node (the paper's fair-comparison
+// configuration).
+type Cluster struct {
+	Net     rpc.Network
+	Model   vclock.LatencyModel
+	Servers []*Server
+	Addrs   []string
+}
+
+// ClusterConfig tunes a deployment.
+type ClusterConfig struct {
+	// LeaseTTL overrides DefaultLeaseTTL when > 0.
+	LeaseTTL vclock.Duration
+	// StoreFor, when set, supplies per-server LSM options (e.g. OS-backed
+	// stores); by default each server gets an in-memory store.
+	StoreFor func(i int) lsmkv.Options
+}
+
+// NewCluster starts one server per node in nodes.
+func NewCluster(net rpc.Network, model vclock.LatencyModel, nodes []string, cfg ClusterConfig) (*Cluster, error) {
+	ttl := cfg.LeaseTTL
+	if ttl <= 0 {
+		ttl = DefaultLeaseTTL
+	}
+	c := &Cluster{Net: net, Model: model}
+	for i, node := range nodes {
+		addr := node + "/indexfs"
+		store := lsmkv.Options{}
+		if cfg.StoreFor != nil {
+			store = cfg.StoreFor(i)
+		}
+		s, err := NewServer(addr, ServerConfig{
+			Index:    i,
+			Store:    store,
+			Model:    model,
+			Workers:  model.IndexFSWorkers,
+			LeaseTTL: ttl,
+		})
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		net.Register(addr, s.Service())
+		c.Servers = append(c.Servers, s)
+		c.Addrs = append(c.Addrs, addr)
+	}
+	return c, nil
+}
+
+// NewClient builds a client on node. leaseCap 0 disables the client
+// dentry cache.
+func (c *Cluster) NewClient(node string, cred fsapi.Cred, leaseCap int, bulk bool) *Client {
+	return NewClient(c.Net, ClientConfig{
+		Node:          node,
+		ServerAddrs:   c.Addrs,
+		Cred:          cred,
+		Model:         c.Model,
+		LeaseCacheCap: leaseCap,
+		Bulk:          bulk,
+	})
+}
+
+// Close shuts every server down.
+func (c *Cluster) Close() error {
+	var first error
+	for _, s := range c.Servers {
+		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

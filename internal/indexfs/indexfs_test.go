@@ -1,0 +1,370 @@
+package indexfs
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"pacon/internal/fsapi"
+	"pacon/internal/rpc"
+	"pacon/internal/vclock"
+)
+
+var appCred = fsapi.Cred{UID: 1000, GID: 1000}
+
+func testCluster(t *testing.T, nodes int) *Cluster {
+	t.Helper()
+	names := make([]string, nodes)
+	for i := range names {
+		names[i] = fmt.Sprintf("node%d", i)
+	}
+	c, err := NewCluster(rpc.NewBus(), vclock.Default(), names, ClusterConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestMkdirCreateStat(t *testing.T) {
+	c := testCluster(t, 4)
+	cl := c.NewClient("node0", appCred, 1024, false)
+	if _, err := cl.Mkdir(0, "/w", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Mkdir(0, "/w/d", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Create(0, "/w/d/f", 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, _, err := cl.Stat(0, "/w/d/f")
+	if err != nil || st.Type != fsapi.TypeFile {
+		t.Fatalf("stat = %+v, %v", st, err)
+	}
+	st, _, err = cl.Stat(0, "/")
+	if err != nil || !st.IsDir() {
+		t.Fatalf("root stat = %v", err)
+	}
+}
+
+func TestNamespaceConventions(t *testing.T) {
+	c := testCluster(t, 2)
+	cl := c.NewClient("node0", appCred, 1024, false)
+	cl.Mkdir(0, "/w", 0o755)
+	cl.Create(0, "/w/f", 0o644)
+	if _, err := cl.Create(0, "/w/f", 0o644); !errors.Is(err, fsapi.ErrExist) {
+		t.Fatalf("dup create = %v", err)
+	}
+	if _, err := cl.Create(0, "/ghost/f", 0o644); !errors.Is(err, fsapi.ErrNotExist) {
+		t.Fatalf("orphan create = %v", err)
+	}
+	if _, err := cl.Remove(0, "/w/ghost"); !errors.Is(err, fsapi.ErrNotExist) {
+		t.Fatalf("remove missing = %v", err)
+	}
+	if _, err := cl.Remove(0, "/w/d"); !errors.Is(err, fsapi.ErrNotExist) {
+		t.Fatalf("remove missing dir = %v", err)
+	}
+}
+
+func TestCrossClientVisibility(t *testing.T) {
+	c := testCluster(t, 4)
+	a := c.NewClient("node0", appCred, 1024, false)
+	b := c.NewClient("node3", appCred, 1024, false)
+	a.Mkdir(0, "/w", 0o755)
+	a.Create(0, "/w/shared", 0o644)
+	// IndexFS is a centralized (if partitioned) service: other clients
+	// see writes immediately.
+	if _, _, err := b.Stat(0, "/w/shared"); err != nil {
+		t.Fatalf("cross-client stat = %v", err)
+	}
+}
+
+func TestDirectoriesPartitionAcrossServers(t *testing.T) {
+	c := testCluster(t, 4)
+	cl := c.NewClient("node0", appCred, 1024, false)
+	cl.Mkdir(0, "/w", 0o755)
+	for i := 0; i < 32; i++ {
+		if _, err := cl.Mkdir(0, fmt.Sprintf("/w/d%02d", i), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cl.Create(0, fmt.Sprintf("/w/d%02d/f", i), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The created subdirectories' files should spread across servers.
+	busy := 0
+	for _, s := range c.Servers {
+		if s.Stats().Inserts > 0 {
+			busy++
+		}
+	}
+	if busy < 3 {
+		t.Fatalf("only %d of 4 servers received inserts", busy)
+	}
+}
+
+func TestReaddir(t *testing.T) {
+	c := testCluster(t, 2)
+	cl := c.NewClient("node0", appCred, 1024, false)
+	cl.Mkdir(0, "/w", 0o755)
+	cl.Create(0, "/w/b", 0o644)
+	cl.Mkdir(0, "/w/a", 0o755)
+	ents, _, err := cl.Readdir(0, "/w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 2 || ents[0].Name != "a" || ents[0].Type != fsapi.TypeDir || ents[1].Name != "b" {
+		t.Fatalf("readdir = %v", ents)
+	}
+	// Empty dir lists empty.
+	ents, _, err = cl.Readdir(0, "/w/a")
+	if err != nil || len(ents) != 0 {
+		t.Fatalf("empty readdir = %v, %v", ents, err)
+	}
+}
+
+func TestRmdirSemantics(t *testing.T) {
+	c := testCluster(t, 3)
+	cl := c.NewClient("node0", appCred, 1024, false)
+	cl.Mkdir(0, "/w", 0o755)
+	cl.Mkdir(0, "/w/d", 0o755)
+	cl.Create(0, "/w/d/f", 0o644)
+	if _, err := cl.Rmdir(0, "/w/d"); !errors.Is(err, fsapi.ErrNotEmpty) {
+		t.Fatalf("rmdir non-empty = %v", err)
+	}
+	if _, err := cl.Remove(0, "/w/d/f"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Rmdir(0, "/w/d"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := cl.Stat(0, "/w/d"); !errors.Is(err, fsapi.ErrNotExist) {
+		t.Fatal("dir still visible after rmdir")
+	}
+	// Removing a file via Rmdir fails.
+	cl.Create(0, "/w/f", 0o644)
+	if _, err := cl.Rmdir(0, "/w/f"); !errors.Is(err, fsapi.ErrNotDir) {
+		t.Fatalf("rmdir on file = %v", err)
+	}
+}
+
+func TestPermissionTraversal(t *testing.T) {
+	c := testCluster(t, 2)
+	root := c.NewClient("node0", fsapi.Cred{UID: 0, GID: 0}, 0, false)
+	root.Mkdir(0, "/locked", 0o700)
+	app := c.NewClient("node0", appCred, 0, false)
+	if _, err := app.Create(0, "/locked/f", 0o644); !errors.Is(err, fsapi.ErrPermission) {
+		t.Fatalf("create under locked dir = %v", err)
+	}
+}
+
+func TestLeaseCacheCutsLookups(t *testing.T) {
+	c := testCluster(t, 2)
+	cl := c.NewClient("node0", appCred, 1024, false)
+	cl.Mkdir(0, "/w", 0o755)
+	at := vclock.Time(0)
+	var err error
+	for i := 0; i < 50; i++ {
+		// All creates resolve the same parent; the lease (2ms TTL at
+		// these op latencies) keeps traversal local after the first.
+		at, err = cl.Create(at, fmt.Sprintf("/w/f%d", i), 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := cl.LookupRPCs(); got > 5 {
+		t.Fatalf("lookup RPCs with leases = %d, want few", got)
+	}
+
+	uncached := c.NewClient("node0", appCred, 0, false)
+	at = 0
+	for i := 0; i < 50; i++ {
+		at, err = uncached.Create(at, fmt.Sprintf("/w/u%d", i), 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := uncached.LookupRPCs(); got != 50 {
+		t.Fatalf("uncached lookups = %d, want 50", got)
+	}
+}
+
+func TestLeaseExpiry(t *testing.T) {
+	c := testCluster(t, 2)
+	cl := c.NewClient("node0", appCred, 1024, false)
+	cl.Mkdir(0, "/w", 0o755)
+	cl.Create(0, "/w/f", 0o644)
+	before := cl.LookupRPCs()
+	// Far beyond the lease TTL, the same stat must re-fetch.
+	cl.Stat(vclock.Time(time.Hour), "/w/f")
+	if cl.LookupRPCs() <= before {
+		t.Fatal("expired lease did not trigger re-lookup")
+	}
+}
+
+func TestBulkInsertionMode(t *testing.T) {
+	c := testCluster(t, 4)
+	setup := c.NewClient("node0", appCred, 1024, false)
+	setup.Mkdir(0, "/w", 0o755)
+
+	bulk := c.NewClient("node0", appCred, 1024, true)
+	at := vclock.Time(0)
+	var err error
+	const n = 500
+	for i := 0; i < n; i++ {
+		at, err = bulk.Create(at, fmt.Sprintf("/w/f%06d", i), 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if at, err = bulk.FlushBulk(at); err != nil {
+		t.Fatal(err)
+	}
+	// Every file visible to a normal client afterwards.
+	reader := c.NewClient("node1", appCred, 1024, false)
+	for i := 0; i < n; i += 37 {
+		if _, _, err := reader.Stat(0, fmt.Sprintf("/w/f%06d", i)); err != nil {
+			t.Fatalf("bulk file %d invisible: %v", i, err)
+		}
+	}
+	ents, _, err := reader.Readdir(0, "/w")
+	if err != nil || len(ents) != n {
+		t.Fatalf("readdir after bulk = %d entries, %v", len(ents), err)
+	}
+}
+
+func TestBulkFasterThanSynchronousInVirtualTime(t *testing.T) {
+	// Separate clusters: virtual-time resource schedules persist within
+	// a cluster, so the two phases must not share servers.
+	const n = 256
+	runPhase := func(bulkMode bool) vclock.Time {
+		c := testCluster(t, 2)
+		setup := c.NewClient("node0", appCred, 1024, false)
+		if _, err := setup.Mkdir(0, "/w", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		cl := c.NewClient("node0", appCred, 1024, bulkMode)
+		at := vclock.Time(0)
+		var err error
+		for i := 0; i < n; i++ {
+			at, err = cl.Create(at, fmt.Sprintf("/w/f%d", i), 0o644)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		if bulkMode {
+			at, err = cl.FlushBulk(at)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		return at
+	}
+	syncTime := runPhase(false)
+	bulkTime := runPhase(true)
+	if bulkTime*5 >= syncTime {
+		t.Fatalf("bulk insertion (%v) should be >5x faster than synchronous (%v)", bulkTime, syncTime)
+	}
+}
+
+func TestConcurrentClientsSaturateServers(t *testing.T) {
+	c := testCluster(t, 4)
+	setup := c.NewClient("node0", appCred, 1024, false)
+	setup.Mkdir(0, "/w", 0o755)
+
+	const clients = 16
+	const per = 50
+	var wg sync.WaitGroup
+	var wm vclock.Watermark
+	pacer := vclock.NewPacer(clients, 0)
+	for g := 0; g < clients; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			defer pacer.Done(g)
+			cl := c.NewClient(fmt.Sprintf("node%d", g%4), appCred, 1024, false)
+			cl.Pace(pacer, g)
+			now := vclock.Time(0)
+			var err error
+			for i := 0; i < per; i++ {
+				now, err = cl.Create(now, fmt.Sprintf("/w/c%d-f%d", g, i), 0o644)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			wm.Observe(now)
+		}(g)
+	}
+	wg.Wait()
+	// A single hot directory is bound by its per-server partition
+	// critical sections (GIGA+ dirent contention): aggregate throughput
+	// approaches servers/PartitionCost and cannot exceed it.
+	horizon := wm.Load().Sub(0)
+	ops := float64(clients * per)
+	got := ops / horizon.Seconds()
+	bound := float64(len(c.Servers)) / vclock.Default().PartitionCost.Seconds()
+	if got > 1.05*bound {
+		t.Fatalf("single-dir create OPS %.0f exceeds the partition bound %.0f", got, bound)
+	}
+	if got < 0.6*bound {
+		t.Fatalf("single-dir create OPS %.0f far below the partition bound %.0f — wrong bottleneck", got, bound)
+	}
+}
+
+func TestSetStatOverwritesRow(t *testing.T) {
+	c := testCluster(t, 2)
+	cl := c.NewClient("node0", appCred, 1024, false)
+	cl.Mkdir(0, "/w", 0o755)
+	cl.Create(0, "/w/f", 0o644)
+	st, _, _ := cl.Stat(0, "/w/f")
+	st.Size = 777
+	if _, err := cl.SetStat(0, "/w/f", st); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := cl.Stat(0, "/w/f")
+	if err != nil || got.Size != 777 {
+		t.Fatalf("stat after setattr = %+v, %v", got, err)
+	}
+	if _, err := cl.SetStat(0, "/w/ghost", st); !errors.Is(err, fsapi.ErrNotExist) {
+		t.Fatalf("setattr missing = %v", err)
+	}
+}
+
+func TestDeepChainTraversal(t *testing.T) {
+	c := testCluster(t, 4)
+	cl := c.NewClient("node0", appCred, 1024, false)
+	p := ""
+	for i := 0; i < 8; i++ {
+		p += fmt.Sprintf("/lvl%d", i)
+		if _, err := cl.Mkdir(0, p, 0o755); err != nil {
+			t.Fatalf("mkdir %s: %v", p, err)
+		}
+	}
+	if _, err := cl.Create(0, p+"/leaf", 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A cold client resolves the whole chain.
+	cold := c.NewClient("node3", appCred, 0, false)
+	st, _, err := cold.Stat(0, p+"/leaf")
+	if err != nil || st.Type != fsapi.TypeFile {
+		t.Fatalf("deep stat = %+v, %v", st, err)
+	}
+	if got := cold.LookupRPCs(); got != 9 { // 8 dirs + leaf
+		t.Fatalf("cold lookups = %d, want 9", got)
+	}
+}
+
+func TestRootReaddir(t *testing.T) {
+	c := testCluster(t, 2)
+	cl := c.NewClient("node0", appCred, 1024, false)
+	cl.Mkdir(0, "/a", 0o755)
+	cl.Mkdir(0, "/b", 0o755)
+	ents, _, err := cl.Readdir(0, "/")
+	if err != nil || len(ents) != 2 {
+		t.Fatalf("root readdir = %v, %v", ents, err)
+	}
+}

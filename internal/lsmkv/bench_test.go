@@ -1,0 +1,145 @@
+package lsmkv
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"pacon/internal/vfs"
+)
+
+func benchDB(b *testing.B) *DB {
+	b.Helper()
+	db, err := Open(Options{FS: vfs.NewMemFS(), MemtableBytes: 8 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { db.Close() })
+	return db
+}
+
+func BenchmarkPut(b *testing.B) {
+	db := benchDB(b)
+	val := make([]byte, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("/w/d%d/f%08d", i%16, i)), val); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGetMemtable(b *testing.B) {
+	db := benchDB(b)
+	val := make([]byte, 128)
+	const n = 10000
+	for i := 0; i < n; i++ {
+		db.Put([]byte(fmt.Sprintf("k%08d", i)), val)
+	}
+	rnd := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok, err := db.Get([]byte(fmt.Sprintf("k%08d", rnd.Intn(n)))); err != nil || !ok {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGetSSTable(b *testing.B) {
+	db := benchDB(b)
+	val := make([]byte, 128)
+	const n = 20000
+	for i := 0; i < n; i++ {
+		db.Put([]byte(fmt.Sprintf("k%08d", i)), val)
+	}
+	if err := db.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	if err := db.Compact(); err != nil {
+		b.Fatal(err)
+	}
+	rnd := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok, err := db.Get([]byte(fmt.Sprintf("k%08d", rnd.Intn(n)))); err != nil || !ok {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGetMissBloomFiltered(b *testing.B) {
+	db := benchDB(b)
+	val := make([]byte, 128)
+	for i := 0; i < 20000; i++ {
+		db.Put([]byte(fmt.Sprintf("k%08d", i)), val)
+	}
+	db.Flush()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok, _ := db.Get([]byte(fmt.Sprintf("missing-%d", i))); ok {
+			b.Fatal("phantom")
+		}
+	}
+}
+
+func BenchmarkScan100(b *testing.B) {
+	db := benchDB(b)
+	val := make([]byte, 64)
+	for d := 0; d < 50; d++ {
+		for i := 0; i < 100; i++ {
+			db.Put([]byte(fmt.Sprintf("/dir%03d/f%04d", d, i)), val)
+		}
+	}
+	db.Flush()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it := db.Scan([]byte(fmt.Sprintf("/dir%03d/", i%50)))
+		n := 0
+		for it.Next() {
+			n++
+		}
+		if n != 100 {
+			b.Fatalf("scanned %d", n)
+		}
+	}
+}
+
+func BenchmarkBulkIngest1k(b *testing.B) {
+	val := make([]byte, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		db := benchDB(b)
+		pairs := make([]KV, 1000)
+		for j := range pairs {
+			pairs[j] = KV{Key: []byte(fmt.Sprintf("run%d-%06d", i, j)), Value: val}
+		}
+		b.StartTimer()
+		if err := db.BulkIngest(pairs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSkiplistSet(b *testing.B) {
+	s := newSkiplist(1)
+	val := []byte("v")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.set([]byte(fmt.Sprintf("k%09d", i)), memEntry{seq: uint64(i), value: val})
+	}
+}
+
+func BenchmarkWALAppend(b *testing.B) {
+	fs := vfs.NewMemFS()
+	f, _ := fs.Create("bench.wal")
+	w := newWALWriter(f, false)
+	rec := walRecord{seq: 1, kind: kindPut, key: []byte("/w/some/path/file"), value: make([]byte, 128)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec.seq = uint64(i)
+		if err := w.append(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

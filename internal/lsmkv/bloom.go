@@ -1,0 +1,74 @@
+package lsmkv
+
+import "hash/fnv"
+
+// bloomBitsPerKey gives ~1% false positives with 4 probes.
+const (
+	bloomBitsPerKey = 10
+	bloomProbes     = 4
+)
+
+// bloomFilter is a classic split-free bloom filter built once per
+// SSTable and serialized after the data blocks.
+type bloomFilter struct {
+	bits []byte
+}
+
+func bloomHashes(key []byte) (uint64, uint64) {
+	h1 := fnv.New64a()
+	h1.Write(key)
+	a := h1.Sum64()
+	// Second hash derived by re-mixing; double hashing g_i = a + i*b.
+	b := a*0x9E3779B97F4A7C15 + 0x5851F42D4C957F2D
+	b ^= b >> 33
+	return a, b
+}
+
+// newBloomFilter builds a filter sized for n keys.
+func newBloomFilter(n int) *bloomFilter {
+	if n < 1 {
+		n = 1
+	}
+	nbits := n * bloomBitsPerKey
+	if nbits < 64 {
+		nbits = 64
+	}
+	return &bloomFilter{bits: make([]byte, (nbits+7)/8)}
+}
+
+func (f *bloomFilter) nbits() uint64 { return uint64(len(f.bits)) * 8 }
+
+// add inserts a key.
+func (f *bloomFilter) add(key []byte) {
+	a, b := bloomHashes(key)
+	m := f.nbits()
+	for i := uint64(0); i < bloomProbes; i++ {
+		pos := (a + i*b) % m
+		f.bits[pos/8] |= 1 << (pos % 8)
+	}
+}
+
+// mayContain reports whether key may have been added (no false
+// negatives; ~1% false positives).
+func (f *bloomFilter) mayContain(key []byte) bool {
+	if len(f.bits) == 0 {
+		return true
+	}
+	a, b := bloomHashes(key)
+	m := f.nbits()
+	for i := uint64(0); i < bloomProbes; i++ {
+		pos := (a + i*b) % m
+		if f.bits[pos/8]&(1<<(pos%8)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// marshal returns the raw bit array.
+func (f *bloomFilter) marshal() []byte { return f.bits }
+
+// unmarshalBloom wraps a serialized bit array.
+func unmarshalBloom(b []byte) *bloomFilter {
+	return &bloomFilter{bits: b}
+}

@@ -1,0 +1,571 @@
+package lsmkv
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"pacon/internal/fsapi"
+	"pacon/internal/vfs"
+)
+
+// Options configures a DB.
+type Options struct {
+	// FS is the file backend (vfs.NewMemFS() for tests/benches,
+	// vfs.NewOSFS(dir) for real persistence).
+	FS vfs.FS
+	// MemtableBytes triggers a flush when the memtable grows past it.
+	// Default 4 MiB.
+	MemtableBytes int64
+	// MaxTables triggers a full compaction when exceeded. Default 8.
+	MaxTables int
+	// SyncWAL fsyncs the log after every append (durability at the cost
+	// of write latency — the virtual-time model charges this separately).
+	SyncWAL bool
+	// Seed feeds the skiplist's height generator; fixed by default so
+	// runs are reproducible.
+	Seed int64
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.FS == nil {
+		out.FS = vfs.NewMemFS()
+	}
+	if out.MemtableBytes <= 0 {
+		out.MemtableBytes = 4 << 20
+	}
+	if out.MaxTables <= 0 {
+		out.MaxTables = 8
+	}
+	if out.Seed == 0 {
+		out.Seed = 0x5ac0de
+	}
+	return out
+}
+
+// KV is a key/value pair for bulk ingestion.
+type KV struct {
+	Key   []byte
+	Value []byte
+}
+
+// Stats is a point-in-time snapshot of DB shape.
+type Stats struct {
+	MemEntries    int
+	MemBytes      int64
+	Tables        int
+	TableEntries  uint64
+	Flushes       int64
+	Compactions   int64
+	BulkIngests   int64
+	Puts, Deletes int64
+	Gets          int64
+	// Quarantined counts corrupt SSTables set aside at Open (normally
+	// flush-interrupted leftovers whose data the WAL replay recovered).
+	Quarantined int64
+}
+
+// DB is the log-structured store. Writers are serialized (WAL order is
+// commit order, as in LevelDB); reads and scans run concurrently.
+// Memtable flush and compaction run inline on the writer path once
+// thresholds trip — the same back-pressure LevelDB applies by stalling
+// writers on a full L0.
+type DB struct {
+	opts Options
+
+	writeMu sync.Mutex // serializes Put/Delete/Flush/Compact/BulkIngest
+
+	mu      sync.RWMutex // guards mem, tables, closed
+	mem     *skiplist
+	tables  []*table // newest first
+	closed  bool
+	wal     *walWriter
+	walName string
+
+	nextSeq  atomic.Uint64
+	nextFile atomic.Uint64
+
+	nFlush, nCompact, nBulk, nPut, nDel, nGet atomic.Int64
+	nQuarantined                              atomic.Int64
+}
+
+// Open loads or creates a DB: SSTables are discovered from the backend,
+// surviving WALs are replayed (torn tails discarded), and a fresh WAL is
+// started.
+func Open(opts Options) (*DB, error) {
+	o := opts.withDefaults()
+	db := &DB{opts: o, mem: newSkiplist(o.Seed)}
+
+	names, err := o.FS.List("")
+	if err != nil {
+		return nil, err
+	}
+	var walNames []string
+	var sstNums []uint64
+	maxNum := uint64(0)
+	for _, name := range names {
+		num, kind, ok := parseFileName(name)
+		if !ok {
+			continue
+		}
+		if num > maxNum {
+			maxNum = num
+		}
+		switch kind {
+		case "wal":
+			walNames = append(walNames, name)
+		case "sst":
+			sstNums = append(sstNums, num)
+		}
+	}
+	db.nextFile.Store(maxNum + 1)
+
+	// Load tables newest (highest number) first. A table that fails to
+	// open is a flush interrupted by a crash: its WAL still exists (the
+	// WAL is only retired after the table completes), so the data is
+	// recovered by replay below. The partial file is quarantined rather
+	// than deleted so genuine corruption stays inspectable.
+	sort.Slice(sstNums, func(i, j int) bool { return sstNums[i] > sstNums[j] })
+	maxSeq := uint64(0)
+	for _, num := range sstNums {
+		f, err := o.FS.Open(sstName(num))
+		if err != nil {
+			return nil, err
+		}
+		t, err := openTable(f, num)
+		if err != nil {
+			f.Close()
+			if !errors.Is(err, ErrCorrupt) {
+				return nil, err
+			}
+			if rerr := o.FS.Rename(sstName(num), sstName(num)+".bad"); rerr != nil {
+				return nil, rerr
+			}
+			db.nQuarantined.Add(1)
+			continue
+		}
+		db.tables = append(db.tables, t)
+		if t.maxSeq > maxSeq {
+			maxSeq = t.maxSeq
+		}
+	}
+
+	// Replay surviving WALs in file order into the fresh memtable.
+	sort.Strings(walNames)
+	for _, name := range walNames {
+		f, err := o.FS.Open(name)
+		if err != nil {
+			return nil, err
+		}
+		err = replayWAL(f, func(r walRecord) error {
+			db.mem.set(r.key, memEntry{seq: r.seq, kind: r.kind, value: r.value})
+			if r.seq > maxSeq {
+				maxSeq = r.seq
+			}
+			return nil
+		})
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+	}
+	db.nextSeq.Store(maxSeq + 1)
+
+	// Persist recovered entries immediately, then retire the old WALs.
+	if db.mem.count() > 0 {
+		if err := db.flushLocked(); err != nil {
+			return nil, err
+		}
+	}
+	for _, name := range walNames {
+		if err := o.FS.Remove(name); err != nil {
+			return nil, err
+		}
+	}
+
+	// flushLocked during recovery already rotated in a fresh WAL; only
+	// create one here if recovery had nothing to flush.
+	if db.wal == nil {
+		if err := db.rotateWAL(); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+func sstName(num uint64) string { return fmt.Sprintf("%08d.sst", num) }
+func walName(num uint64) string { return fmt.Sprintf("%08d.wal", num) }
+
+func parseFileName(name string) (num uint64, kind string, ok bool) {
+	i := strings.IndexByte(name, '.')
+	if i < 0 {
+		return 0, "", false
+	}
+	n, err := strconv.ParseUint(name[:i], 10, 64)
+	if err != nil {
+		return 0, "", false
+	}
+	switch name[i+1:] {
+	case "wal", "sst":
+		return n, name[i+1:], true
+	}
+	return 0, "", false
+}
+
+func (db *DB) rotateWAL() error {
+	num := db.nextFile.Add(1) - 1
+	name := walName(num)
+	f, err := db.opts.FS.Create(name)
+	if err != nil {
+		return err
+	}
+	db.wal = newWALWriter(f, db.opts.SyncWAL)
+	db.walName = name
+	return nil
+}
+
+// Put inserts or overwrites key.
+func (db *DB) Put(key, value []byte) error {
+	db.nPut.Add(1)
+	return db.write(walRecord{kind: kindPut, key: key, value: value})
+}
+
+// Delete writes a tombstone for key.
+func (db *DB) Delete(key []byte) error {
+	db.nDel.Add(1)
+	return db.write(walRecord{kind: kindDelete, key: key})
+}
+
+func (db *DB) write(r walRecord) error {
+	db.writeMu.Lock()
+	defer db.writeMu.Unlock()
+	db.mu.RLock()
+	closed := db.closed
+	db.mu.RUnlock()
+	if closed {
+		return fsapi.ErrClosed
+	}
+	r.seq = db.nextSeq.Add(1)
+	if err := db.wal.append(r); err != nil {
+		return err
+	}
+	db.mem.set(r.key, memEntry{seq: r.seq, kind: r.kind, value: append([]byte(nil), r.value...)})
+	if db.mem.approxBytes() >= db.opts.MemtableBytes {
+		if err := db.flushLocked(); err != nil {
+			return err
+		}
+		if len(db.snapshotTables()) > db.opts.MaxTables {
+			return db.compactLocked()
+		}
+	}
+	return nil
+}
+
+// Get returns the newest live value for key.
+func (db *DB) Get(key []byte) ([]byte, bool, error) {
+	db.nGet.Add(1)
+	db.mu.RLock()
+	if db.closed {
+		db.mu.RUnlock()
+		return nil, false, fsapi.ErrClosed
+	}
+	mem := db.mem
+	tables := append([]*table(nil), db.tables...)
+	db.mu.RUnlock()
+
+	if e, ok := mem.get(key); ok {
+		if e.kind == kindDelete {
+			return nil, false, nil
+		}
+		return append([]byte(nil), e.value...), true, nil
+	}
+	for _, t := range tables {
+		e, ok, err := t.get(key)
+		if err != nil {
+			return nil, false, err
+		}
+		if ok {
+			if e.kind == kindDelete {
+				return nil, false, nil
+			}
+			return e.value, true, nil
+		}
+	}
+	return nil, false, nil
+}
+
+// Scan returns an iterator over live entries whose key starts with
+// prefix, in ascending key order. Pass nil to scan everything.
+func (db *DB) Scan(prefix []byte) *Iterator {
+	db.mu.RLock()
+	mem := db.mem
+	tables := append([]*table(nil), db.tables...)
+	db.mu.RUnlock()
+
+	sources := make([]entryIterator, 0, 1+len(tables))
+	var tableIts []*tableIterator
+	sources = append(sources, mem.iter(prefix))
+	for _, t := range tables {
+		ti := t.iter(prefix)
+		tableIts = append(tableIts, ti)
+		sources = append(sources, ti)
+	}
+	return &Iterator{
+		m:      newMergeIterator(sources, true),
+		prefix: append([]byte(nil), prefix...),
+		srcs:   tableIts,
+	}
+}
+
+// Flush forces the memtable to an SSTable.
+func (db *DB) Flush() error {
+	db.writeMu.Lock()
+	defer db.writeMu.Unlock()
+	return db.flushLocked()
+}
+
+// flushLocked writes the current memtable to a new SSTable and swaps in
+// a fresh memtable and WAL. Caller holds writeMu.
+func (db *DB) flushLocked() error {
+	if db.mem.count() == 0 {
+		return nil
+	}
+	db.nFlush.Add(1)
+	num := db.nextFile.Add(1) - 1
+	name := sstName(num)
+	f, err := db.opts.FS.Create(name)
+	if err != nil {
+		return err
+	}
+	if _, _, err := writeSSTable(f, db.mem.iter(nil), db.mem.count()); err != nil {
+		f.Close()
+		return err
+	}
+	// Reopen for reading (backend files are single-role handles).
+	if err := f.Close(); err != nil {
+		return err
+	}
+	rf, err := db.opts.FS.Open(name)
+	if err != nil {
+		return err
+	}
+	t, err := openTable(rf, num)
+	if err != nil {
+		rf.Close()
+		return err
+	}
+
+	oldWALName := db.walName
+	oldWAL := db.wal
+	db.mu.Lock()
+	db.tables = append([]*table{t}, db.tables...)
+	db.mem = newSkiplist(db.opts.Seed + int64(num))
+	db.mu.Unlock()
+
+	if oldWAL != nil {
+		if err := oldWAL.close(); err != nil {
+			return err
+		}
+		if err := db.opts.FS.Remove(oldWALName); err != nil {
+			return err
+		}
+	}
+	return db.rotateWAL()
+}
+
+// Compact merges every SSTable into one, dropping tombstones.
+func (db *DB) Compact() error {
+	db.writeMu.Lock()
+	defer db.writeMu.Unlock()
+	return db.compactLocked()
+}
+
+func (db *DB) compactLocked() error {
+	old := db.snapshotTables()
+	if len(old) <= 1 {
+		return nil
+	}
+	db.nCompact.Add(1)
+	sources := make([]entryIterator, len(old))
+	total := 0
+	for i, t := range old {
+		sources[i] = t.iter(nil)
+		total += int(t.count)
+	}
+	merged := newMergeIterator(sources, true) // full compaction: drop tombstones
+
+	num := db.nextFile.Add(1) - 1
+	name := sstName(num)
+	f, err := db.opts.FS.Create(name)
+	if err != nil {
+		return err
+	}
+	count, _, err := writeSSTable(f, merged, total)
+	if err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+
+	var newTables []*table
+	if count > 0 {
+		rf, err := db.opts.FS.Open(name)
+		if err != nil {
+			return err
+		}
+		t, err := openTable(rf, num)
+		if err != nil {
+			rf.Close()
+			return err
+		}
+		newTables = []*table{t}
+	} else if err := db.opts.FS.Remove(name); err != nil {
+		return err
+	}
+
+	db.mu.Lock()
+	db.tables = newTables
+	db.mu.Unlock()
+
+	for _, t := range old {
+		if err := t.close(); err != nil {
+			return err
+		}
+		if err := db.opts.FS.Remove(sstName(t.num)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BulkIngest loads key-ascending pairs directly into a new SSTable,
+// bypassing the WAL and memtable — the paper's "bulk insertion"
+// (IndexFS/BatchFS §II.B): clients buffer inserts locally and merge them
+// into the store in batches.
+func (db *DB) BulkIngest(pairs []KV) error {
+	if len(pairs) == 0 {
+		return nil
+	}
+	db.writeMu.Lock()
+	defer db.writeMu.Unlock()
+	db.nBulk.Add(1)
+
+	seqBase := db.nextSeq.Add(uint64(len(pairs))) - uint64(len(pairs))
+	i := 0
+	it := kvIterator{pairs: pairs, seqBase: seqBase, i: &i}
+
+	num := db.nextFile.Add(1) - 1
+	name := sstName(num)
+	f, err := db.opts.FS.Create(name)
+	if err != nil {
+		return err
+	}
+	if _, _, err := writeSSTable(f, &it, len(pairs)); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	rf, err := db.opts.FS.Open(name)
+	if err != nil {
+		return err
+	}
+	t, err := openTable(rf, num)
+	if err != nil {
+		rf.Close()
+		return err
+	}
+	db.mu.Lock()
+	db.tables = append([]*table{t}, db.tables...)
+	db.mu.Unlock()
+	return nil
+}
+
+type kvIterator struct {
+	pairs   []KV
+	seqBase uint64
+	i       *int
+}
+
+func (it *kvIterator) next() (key []byte, e memEntry, ok bool) {
+	if *it.i >= len(it.pairs) {
+		return nil, memEntry{}, false
+	}
+	p := it.pairs[*it.i]
+	e = memEntry{seq: it.seqBase + uint64(*it.i), kind: kindPut, value: p.Value}
+	*it.i++
+	return p.Key, e, true
+}
+
+func (db *DB) snapshotTables() []*table {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return append([]*table(nil), db.tables...)
+}
+
+// Stats returns a snapshot of shape counters.
+func (db *DB) Stats() Stats {
+	db.mu.RLock()
+	s := Stats{
+		MemEntries: db.mem.count(),
+		MemBytes:   db.mem.approxBytes(),
+		Tables:     len(db.tables),
+	}
+	for _, t := range db.tables {
+		s.TableEntries += t.count
+	}
+	db.mu.RUnlock()
+	s.Flushes = db.nFlush.Load()
+	s.Compactions = db.nCompact.Load()
+	s.BulkIngests = db.nBulk.Load()
+	s.Puts = db.nPut.Load()
+	s.Deletes = db.nDel.Load()
+	s.Gets = db.nGet.Load()
+	s.Quarantined = db.nQuarantined.Load()
+	return s
+}
+
+// Close flushes the memtable and releases all files.
+func (db *DB) Close() error {
+	db.writeMu.Lock()
+	defer db.writeMu.Unlock()
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return nil
+	}
+	db.mu.Unlock()
+
+	if err := db.flushLocked(); err != nil {
+		return err
+	}
+	db.mu.Lock()
+	db.closed = true
+	tables := db.tables
+	db.tables = nil
+	db.mu.Unlock()
+
+	for _, t := range tables {
+		if err := t.close(); err != nil {
+			return err
+		}
+	}
+	if db.wal != nil {
+		if err := db.wal.close(); err != nil {
+			return err
+		}
+		// The final WAL is empty (flushLocked rotated it); remove it.
+		if err := db.opts.FS.Remove(db.walName); err != nil {
+			return err
+		}
+	}
+	return nil
+}

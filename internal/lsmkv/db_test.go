@@ -1,0 +1,497 @@
+package lsmkv
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pacon/internal/fsapi"
+	"pacon/internal/vfs"
+)
+
+func openTestDB(t *testing.T, fs vfs.FS) *DB {
+	t.Helper()
+	db, err := Open(Options{FS: fs, MemtableBytes: 1 << 16, MaxTables: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestPutGetDelete(t *testing.T) {
+	db := openTestDB(t, vfs.NewMemFS())
+	defer db.Close()
+
+	if err := db.Put([]byte("/a"), []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := db.Get([]byte("/a"))
+	if err != nil || !ok || string(v) != "1" {
+		t.Fatalf("get = %q %v %v", v, ok, err)
+	}
+	if err := db.Delete([]byte("/a")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := db.Get([]byte("/a")); ok {
+		t.Fatal("deleted key still visible")
+	}
+	if _, ok, _ := db.Get([]byte("/missing")); ok {
+		t.Fatal("missing key visible")
+	}
+}
+
+func TestOverwriteNewestWins(t *testing.T) {
+	db := openTestDB(t, vfs.NewMemFS())
+	defer db.Close()
+	for i := 0; i < 10; i++ {
+		if err := db.Put([]byte("k"), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v, ok, _ := db.Get([]byte("k"))
+	if !ok || string(v) != "v9" {
+		t.Fatalf("get = %q", v)
+	}
+}
+
+func TestGetAcrossFlushedTables(t *testing.T) {
+	db := openTestDB(t, vfs.NewMemFS())
+	defer db.Close()
+	if err := db.Put([]byte("old"), []byte("table-resident")); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if db.Stats().Tables == 0 {
+		t.Fatal("flush produced no table")
+	}
+	if err := db.Put([]byte("new"), []byte("mem-resident")); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"old", "new"} {
+		if _, ok, _ := db.Get([]byte(k)); !ok {
+			t.Fatalf("key %q lost", k)
+		}
+	}
+}
+
+func TestTombstoneShadowsTableValue(t *testing.T) {
+	db := openTestDB(t, vfs.NewMemFS())
+	defer db.Close()
+	db.Put([]byte("k"), []byte("v"))
+	db.Flush()
+	db.Delete([]byte("k"))
+	if _, ok, _ := db.Get([]byte("k")); ok {
+		t.Fatal("tombstone in memtable must shadow table value")
+	}
+	db.Flush()
+	if _, ok, _ := db.Get([]byte("k")); ok {
+		t.Fatal("tombstone in newer table must shadow older table value")
+	}
+}
+
+func TestScanPrefix(t *testing.T) {
+	db := openTestDB(t, vfs.NewMemFS())
+	defer db.Close()
+	for _, k := range []string{"/d1/a", "/d1/b", "/d2/x", "/d1/c", "/d0/z"} {
+		db.Put([]byte(k), []byte("v"))
+	}
+	db.Flush()
+	db.Put([]byte("/d1/d"), []byte("v")) // in memtable
+	db.Delete([]byte("/d1/b"))           // tombstone over table entry
+
+	it := db.Scan([]byte("/d1/"))
+	var got []string
+	for it.Next() {
+		got = append(got, string(it.Key()))
+	}
+	if err := it.Err(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"/d1/a", "/d1/c", "/d1/d"}
+	if len(got) != len(want) {
+		t.Fatalf("scan = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("scan = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestScanEmptyDB(t *testing.T) {
+	db := openTestDB(t, vfs.NewMemFS())
+	defer db.Close()
+	it := db.Scan([]byte("/"))
+	if it.Next() {
+		t.Fatal("empty db scan yielded entry")
+	}
+}
+
+func TestAutoFlushAndCompaction(t *testing.T) {
+	db := openTestDB(t, vfs.NewMemFS())
+	defer db.Close()
+	val := make([]byte, 512)
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("key-%06d", i)), val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := db.Stats()
+	if st.Flushes == 0 {
+		t.Fatal("expected automatic flushes")
+	}
+	if st.Compactions == 0 {
+		t.Fatal("expected automatic compactions")
+	}
+	if st.Tables > 5 {
+		t.Fatalf("table count %d not bounded by compaction", st.Tables)
+	}
+	// All keys must survive the churn.
+	for i := 0; i < n; i += 97 {
+		if _, ok, err := db.Get([]byte(fmt.Sprintf("key-%06d", i))); err != nil || !ok {
+			t.Fatalf("key %d lost after compaction (err %v)", i, err)
+		}
+	}
+}
+
+func TestCompactionDropsTombstones(t *testing.T) {
+	db := openTestDB(t, vfs.NewMemFS())
+	defer db.Close()
+	for i := 0; i < 100; i++ {
+		db.Put([]byte(fmt.Sprintf("k%03d", i)), []byte("v"))
+	}
+	db.Flush()
+	for i := 0; i < 100; i += 2 {
+		db.Delete([]byte(fmt.Sprintf("k%03d", i)))
+	}
+	db.Flush()
+	if err := db.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	st := db.Stats()
+	if st.Tables != 1 {
+		t.Fatalf("tables after full compaction = %d", st.Tables)
+	}
+	// 50 live keys remain; tombstones are gone from the table.
+	if st.TableEntries != 50 {
+		t.Fatalf("table entries = %d, want 50", st.TableEntries)
+	}
+	for i := 0; i < 100; i++ {
+		_, ok, _ := db.Get([]byte(fmt.Sprintf("k%03d", i)))
+		if want := i%2 == 1; ok != want {
+			t.Fatalf("key %d visibility = %v, want %v", i, ok, want)
+		}
+	}
+}
+
+func TestRecoveryFromWAL(t *testing.T) {
+	fs := vfs.NewMemFS()
+	db := openTestDB(t, fs)
+	db.Put([]byte("persisted"), []byte("yes"))
+	db.Put([]byte("deleted"), []byte("tmp"))
+	db.Delete([]byte("deleted"))
+	// Simulate crash: do NOT close; reopen from the same backend.
+	db2, err := Open(Options{FS: fs, MemtableBytes: 1 << 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	v, ok, _ := db2.Get([]byte("persisted"))
+	if !ok || string(v) != "yes" {
+		t.Fatalf("recovered value = %q %v", v, ok)
+	}
+	if _, ok, _ := db2.Get([]byte("deleted")); ok {
+		t.Fatal("deleted key resurrected by recovery")
+	}
+}
+
+func TestRecoveryAfterCleanClose(t *testing.T) {
+	fs := vfs.NewMemFS()
+	db := openTestDB(t, fs)
+	for i := 0; i < 500; i++ {
+		db.Put([]byte(fmt.Sprintf("k%04d", i)), []byte(fmt.Sprintf("v%d", i)))
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Open(Options{FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	for i := 0; i < 500; i += 13 {
+		v, ok, _ := db2.Get([]byte(fmt.Sprintf("k%04d", i)))
+		if !ok || string(v) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("key %d = %q %v", i, v, ok)
+		}
+	}
+}
+
+func TestRecoveryTornWALTail(t *testing.T) {
+	fs := vfs.NewMemFS()
+	db := openTestDB(t, fs)
+	db.Put([]byte("good"), []byte("1"))
+
+	// Corrupt the WAL by appending a torn record (header only).
+	names, _ := fs.List("")
+	var wal string
+	for _, n := range names {
+		if _, kind, ok := parseFileName(n); ok && kind == "wal" {
+			wal = n
+		}
+	}
+	if wal == "" {
+		t.Fatal("no wal found")
+	}
+	f, err := fs.Open(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{0xde, 0xad, 0xbe, 0xef, 0xff, 0x00, 0x00, 0x00}) // claims huge record, no payload
+	f.Close()
+
+	db2, err := Open(Options{FS: fs})
+	if err != nil {
+		t.Fatalf("torn tail must not fail recovery: %v", err)
+	}
+	defer db2.Close()
+	if _, ok, _ := db2.Get([]byte("good")); !ok {
+		t.Fatal("record before torn tail lost")
+	}
+}
+
+func TestRecoveryCorruptWALBody(t *testing.T) {
+	fs := vfs.NewMemFS()
+	db := openTestDB(t, fs)
+	db.Put([]byte("k"), []byte("v"))
+	names, _ := fs.List("")
+	for _, n := range names {
+		if _, kind, ok := parseFileName(n); ok && kind == "wal" {
+			f, _ := fs.Open(n)
+			// Flip a byte inside the first record's payload.
+			buf := make([]byte, 1)
+			f.ReadAt(buf, 12)
+			// Overwrite via truncate+rewrite is awkward; instead corrupt by
+			// appending a record with a bad CRC but full length.
+			f.Write([]byte{1, 2, 3, 4, 4, 0, 0, 0, 9, 9, 9, 9})
+			f.Close()
+		}
+	}
+	if _, err := Open(Options{FS: fs}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corrupt WAL body: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestBulkIngest(t *testing.T) {
+	db := openTestDB(t, vfs.NewMemFS())
+	defer db.Close()
+	var pairs []KV
+	for i := 0; i < 1000; i++ {
+		pairs = append(pairs, KV{
+			Key:   []byte(fmt.Sprintf("/bulk/%06d", i)),
+			Value: []byte(fmt.Sprintf("v%d", i)),
+		})
+	}
+	if err := db.BulkIngest(pairs); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := db.Get([]byte("/bulk/000500")); !ok {
+		t.Fatal("bulk key missing")
+	}
+	it := db.Scan([]byte("/bulk/"))
+	n := 0
+	for it.Next() {
+		n++
+	}
+	if n != 1000 {
+		t.Fatalf("scanned %d bulk keys", n)
+	}
+	if db.Stats().BulkIngests != 1 {
+		t.Fatal("bulk ingest not counted")
+	}
+}
+
+func TestBulkIngestShadowedByNewerPut(t *testing.T) {
+	db := openTestDB(t, vfs.NewMemFS())
+	defer db.Close()
+	db.BulkIngest([]KV{{Key: []byte("k"), Value: []byte("bulk")}})
+	db.Put([]byte("k"), []byte("newer"))
+	v, _, _ := db.Get([]byte("k"))
+	if string(v) != "newer" {
+		t.Fatalf("got %q", v)
+	}
+}
+
+func TestClosedDBRejectsOps(t *testing.T) {
+	db := openTestDB(t, vfs.NewMemFS())
+	db.Close()
+	if err := db.Put([]byte("k"), []byte("v")); !errors.Is(err, fsapi.ErrClosed) {
+		t.Fatalf("put after close = %v", err)
+	}
+	if _, _, err := db.Get([]byte("k")); !errors.Is(err, fsapi.ErrClosed) {
+		t.Fatalf("get after close = %v", err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal("double close must be nil")
+	}
+}
+
+func TestOSFSBackend(t *testing.T) {
+	osfs, err := vfs.NewOSFS(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := openTestDB(t, osfs)
+	for i := 0; i < 200; i++ {
+		db.Put([]byte(fmt.Sprintf("k%04d", i)), bytes.Repeat([]byte("x"), 100))
+	}
+	db.Flush()
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Open(Options{FS: osfs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if _, ok, _ := db2.Get([]byte("k0100")); !ok {
+		t.Fatal("key lost on OS backend")
+	}
+}
+
+// Property: after an arbitrary op sequence the DB agrees with a map model,
+// across flush/compaction boundaries.
+func TestDBMatchesModelProperty(t *testing.T) {
+	type op struct {
+		Key    uint8
+		Del    bool
+		Valueb uint8
+	}
+	f := func(ops []op) bool {
+		db := openTestDB(t, vfs.NewMemFS())
+		defer db.Close()
+		model := map[string]string{}
+		for i, o := range ops {
+			k := fmt.Sprintf("k%02d", o.Key%32)
+			if o.Del {
+				if db.Delete([]byte(k)) != nil {
+					return false
+				}
+				delete(model, k)
+			} else {
+				v := fmt.Sprintf("v%d", o.Valueb)
+				if db.Put([]byte(k), []byte(v)) != nil {
+					return false
+				}
+				model[k] = v
+			}
+			if i%7 == 3 {
+				db.Flush()
+			}
+			if i%23 == 11 {
+				db.Compact()
+			}
+		}
+		for k, v := range model {
+			got, ok, err := db.Get([]byte(k))
+			if err != nil || !ok || string(got) != v {
+				return false
+			}
+		}
+		// And nothing extra appears in a full scan.
+		it := db.Scan(nil)
+		n := 0
+		for it.Next() {
+			if model[string(it.Key())] != string(it.Value()) {
+				return false
+			}
+			n++
+		}
+		return n == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentReadersWithWriter(t *testing.T) {
+	db := openTestDB(t, vfs.NewMemFS())
+	defer db.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 3000; i++ {
+			db.Put([]byte(fmt.Sprintf("k%05d", i)), []byte("v"))
+		}
+	}()
+	rnd := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		db.Get([]byte(fmt.Sprintf("k%05d", rnd.Intn(3000))))
+		if i%100 == 0 {
+			it := db.Scan([]byte("k"))
+			for j := 0; j < 20 && it.Next(); j++ {
+			}
+			if err := it.Err(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	<-done
+}
+
+func TestStatsCounters(t *testing.T) {
+	db := openTestDB(t, vfs.NewMemFS())
+	defer db.Close()
+	db.Put([]byte("a"), []byte("1"))
+	db.Delete([]byte("a"))
+	db.Get([]byte("a"))
+	st := db.Stats()
+	if st.Puts != 1 || st.Deletes != 1 || st.Gets != 1 {
+		t.Fatalf("counters = %+v", st)
+	}
+}
+
+func TestRecoveryQuarantinesPartialSSTable(t *testing.T) {
+	fs := vfs.NewMemFS()
+	db := openTestDB(t, fs)
+	db.Put([]byte("survivor"), []byte("in-wal"))
+
+	// Simulate a crash in the middle of a flush: a partial SSTable file
+	// exists alongside the WAL that still holds the data.
+	f, err := fs.Create("00000099.sst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("partial flush, no footer"))
+	f.Close()
+
+	db2, err := Open(Options{FS: fs})
+	if err != nil {
+		t.Fatalf("open after flush crash: %v", err)
+	}
+	defer db2.Close()
+	if got := db2.Stats().Quarantined; got != 1 {
+		t.Fatalf("quarantined = %d", got)
+	}
+	v, ok, err := db2.Get([]byte("survivor"))
+	if err != nil || !ok || string(v) != "in-wal" {
+		t.Fatalf("data lost across flush crash: %q %v %v", v, ok, err)
+	}
+	// The partial file is preserved for inspection, not deleted.
+	if _, err := fs.Open("00000099.sst.bad"); err != nil {
+		t.Fatal("quarantined file missing")
+	}
+	// And a third open must not trip over the .bad file.
+	db2.Close()
+	db3, err := Open(Options{FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db3.Close()
+}

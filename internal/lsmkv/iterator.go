@@ -1,0 +1,161 @@
+package lsmkv
+
+import "bytes"
+
+// memIterator walks the skiplist in key order from a start key.
+type memIterator struct {
+	s    *skiplist
+	node *skipNode
+}
+
+func (s *skiplist) iter(start []byte) *memIterator {
+	return &memIterator{s: s, node: s.seek(start)}
+}
+
+// next implements entryIterator.
+func (it *memIterator) next() (key []byte, e memEntry, ok bool) {
+	if it.node == nil {
+		return nil, memEntry{}, false
+	}
+	key = it.node.key
+	e = it.s.readEntry(it.node)
+	it.node = it.s.next(it.node)
+	return key, e, true
+}
+
+// mergeSub is one source in a merge: a lookahead-buffered iterator with a
+// priority (0 = newest source; ties on key resolve to lowest priority).
+type mergeSub struct {
+	it   entryIterator
+	prio int
+	key  []byte
+	e    memEntry
+	ok   bool
+}
+
+func (m *mergeSub) advance() {
+	m.key, m.e, m.ok = m.it.next()
+}
+
+// mergeIterator merges several sorted sources, yielding the newest entry
+// per key. Sources must individually be duplicate-free and sorted. With
+// dropTombstones it hides deleted keys (user-facing scans and full
+// compactions); without, tombstones flow through (partial compactions).
+type mergeIterator struct {
+	subs           []*mergeSub
+	dropTombstones bool
+}
+
+// newMergeIterator builds a merge over sources ordered newest-first.
+func newMergeIterator(sources []entryIterator, dropTombstones bool) *mergeIterator {
+	m := &mergeIterator{dropTombstones: dropTombstones}
+	for i, src := range sources {
+		sub := &mergeSub{it: src, prio: i}
+		sub.advance()
+		m.subs = append(m.subs, sub)
+	}
+	return m
+}
+
+// next implements entryIterator.
+func (m *mergeIterator) next() (key []byte, e memEntry, ok bool) {
+	for {
+		// Find the smallest live key; among equals the lowest prio wins.
+		var best *mergeSub
+		for _, s := range m.subs {
+			if !s.ok {
+				continue
+			}
+			if best == nil {
+				best = s
+				continue
+			}
+			switch bytes.Compare(s.key, best.key) {
+			case -1:
+				best = s
+			case 0:
+				if s.prio < best.prio {
+					// s is newer: the older sub's version is shadowed.
+					best.advance()
+					best = s
+				} else {
+					s.advance()
+				}
+			}
+		}
+		if best == nil {
+			return nil, memEntry{}, false
+		}
+		key, e = best.key, best.e
+		best.advance()
+		// Consume shadowed duplicates left in other sources.
+		for _, s := range m.subs {
+			for s.ok && bytes.Equal(s.key, key) {
+				s.advance()
+			}
+		}
+		if m.dropTombstones && e.kind == kindDelete {
+			continue
+		}
+		return key, e, true
+	}
+}
+
+// Iterator is the user-facing scan handle returned by DB.Scan. Typical
+// use:
+//
+//	it := db.Scan(prefix)
+//	for it.Next() {
+//	    use(it.Key(), it.Value())
+//	}
+//	if err := it.Err(); err != nil { ... }
+type Iterator struct {
+	m      *mergeIterator
+	prefix []byte
+	key    []byte
+	value  []byte
+	srcs   []*tableIterator // retained to surface read errors
+	err    error
+}
+
+// Next advances to the next live entry under the prefix.
+func (it *Iterator) Next() bool {
+	if it.err != nil {
+		return false
+	}
+	key, e, ok := it.m.next()
+	if !ok {
+		it.checkSourceErrors()
+		return false
+	}
+	if len(it.prefix) > 0 && !bytes.HasPrefix(key, it.prefix) {
+		return false
+	}
+	it.key = append(it.key[:0], key...)
+	it.value = append(it.value[:0], e.value...)
+	return true
+}
+
+// Key returns the current key; valid until the next call to Next.
+func (it *Iterator) Key() []byte { return it.key }
+
+// Value returns the current value; valid until the next call to Next.
+func (it *Iterator) Value() []byte { return it.value }
+
+// Err reports the first underlying read error.
+func (it *Iterator) Err() error {
+	it.checkSourceErrors()
+	return it.err
+}
+
+func (it *Iterator) checkSourceErrors() {
+	if it.err != nil {
+		return
+	}
+	for _, s := range it.srcs {
+		if s.err != nil {
+			it.err = s.err
+			return
+		}
+	}
+}

@@ -1,0 +1,156 @@
+// Package lsmkv is a from-scratch log-structured merge KV store standing
+// in for LevelDB in the IndexFS-like metadata service (paper §II.B). It
+// provides a skiplist memtable, a CRC-framed write-ahead log, block-based
+// SSTables with bloom filters and sparse indexes, size-tiered compaction
+// and merged iterators for prefix scans (readdir).
+package lsmkv
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+)
+
+const (
+	skiplistMaxHeight = 16
+	skiplistBranch    = 4 // P(level promotion) = 1/4
+)
+
+// entryKind distinguishes live values from tombstones.
+type entryKind uint8
+
+const (
+	kindPut entryKind = iota
+	kindDelete
+)
+
+// memEntry is a memtable value cell: the newest write for its key.
+type memEntry struct {
+	seq   uint64
+	kind  entryKind
+	value []byte
+}
+
+type skipNode struct {
+	key   []byte
+	entry memEntry
+	next  []*skipNode
+}
+
+// skiplist is the memtable: sorted by key, newest write wins in place.
+// A single RWMutex guards it — writers are already serialized by the
+// WAL, and readers only hold the lock per operation. Nodes are never
+// removed (deletes are tombstones), so iterators may hop lock-free
+// between Next calls.
+type skiplist struct {
+	mu     sync.RWMutex
+	head   *skipNode
+	height int
+	rnd    *rand.Rand
+	n      int   // live node count
+	bytes  int64 // approximate memory footprint
+}
+
+func newSkiplist(seed int64) *skiplist {
+	return &skiplist{
+		head:   &skipNode{next: make([]*skipNode, skiplistMaxHeight)},
+		height: 1,
+		rnd:    rand.New(rand.NewSource(seed)),
+	}
+}
+
+func (s *skiplist) randomHeight() int {
+	h := 1
+	for h < skiplistMaxHeight && s.rnd.Intn(skiplistBranch) == 0 {
+		h++
+	}
+	return h
+}
+
+// findGreaterOrEqual walks to the first node with key >= target, filling
+// prev with the rightmost node before the target at each level.
+func (s *skiplist) findGreaterOrEqual(key []byte, prev []*skipNode) *skipNode {
+	x := s.head
+	for level := s.height - 1; level >= 0; level-- {
+		for x.next[level] != nil && bytes.Compare(x.next[level].key, key) < 0 {
+			x = x.next[level]
+		}
+		if prev != nil {
+			prev[level] = x
+		}
+	}
+	return x.next[0]
+}
+
+// set inserts or overwrites key with the given entry.
+func (s *skiplist) set(key []byte, e memEntry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	prev := make([]*skipNode, skiplistMaxHeight)
+	for i := range prev {
+		prev[i] = s.head
+	}
+	hit := s.findGreaterOrEqual(key, prev)
+	if hit != nil && bytes.Equal(hit.key, key) {
+		s.bytes += int64(len(e.value) - len(hit.entry.value))
+		hit.entry = e
+		return
+	}
+	h := s.randomHeight()
+	if h > s.height {
+		s.height = h
+	}
+	node := &skipNode{key: append([]byte(nil), key...), entry: e, next: make([]*skipNode, h)}
+	for level := 0; level < h; level++ {
+		node.next[level] = prev[level].next[level]
+		prev[level].next[level] = node
+	}
+	s.n++
+	s.bytes += int64(len(key) + len(e.value) + 48)
+}
+
+// get returns the newest entry for key.
+func (s *skiplist) get(key []byte) (memEntry, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	x := s.findGreaterOrEqual(key, nil)
+	if x != nil && bytes.Equal(x.key, key) {
+		return x.entry, true
+	}
+	return memEntry{}, false
+}
+
+// seek returns the first node with key >= target.
+func (s *skiplist) seek(key []byte) *skipNode {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.findGreaterOrEqual(key, nil)
+}
+
+// next advances from a node; nodes are immutable links so this only
+// needs the read lock to see a consistent entry value.
+func (s *skiplist) next(n *skipNode) *skipNode {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return n.next[0]
+}
+
+// readEntry snapshots a node's entry under the read lock (set may
+// overwrite entries in place).
+func (s *skiplist) readEntry(n *skipNode) memEntry {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return n.entry
+}
+
+func (s *skiplist) count() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.n
+}
+
+func (s *skiplist) approxBytes() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.bytes
+}

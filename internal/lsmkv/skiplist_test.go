@@ -1,0 +1,201 @@
+package lsmkv
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+func TestSkiplistSetGet(t *testing.T) {
+	s := newSkiplist(1)
+	s.set([]byte("b"), memEntry{seq: 1, value: []byte("vb")})
+	s.set([]byte("a"), memEntry{seq: 2, value: []byte("va")})
+	e, ok := s.get([]byte("a"))
+	if !ok || string(e.value) != "va" {
+		t.Fatalf("get a = %v %v", e, ok)
+	}
+	if _, ok := s.get([]byte("c")); ok {
+		t.Fatal("phantom key")
+	}
+	if s.count() != 2 {
+		t.Fatalf("count = %d", s.count())
+	}
+}
+
+func TestSkiplistOverwriteInPlace(t *testing.T) {
+	s := newSkiplist(1)
+	s.set([]byte("k"), memEntry{seq: 1, value: []byte("old")})
+	s.set([]byte("k"), memEntry{seq: 2, value: []byte("newer")})
+	e, _ := s.get([]byte("k"))
+	if string(e.value) != "newer" || e.seq != 2 {
+		t.Fatalf("overwrite lost: %v", e)
+	}
+	if s.count() != 1 {
+		t.Fatalf("count after overwrite = %d", s.count())
+	}
+}
+
+func TestSkiplistTombstoneVisible(t *testing.T) {
+	s := newSkiplist(1)
+	s.set([]byte("k"), memEntry{seq: 1, value: []byte("v")})
+	s.set([]byte("k"), memEntry{seq: 2, kind: kindDelete})
+	e, ok := s.get([]byte("k"))
+	if !ok || e.kind != kindDelete {
+		t.Fatal("tombstone must shadow the value inside the memtable")
+	}
+}
+
+func TestSkiplistOrderedIteration(t *testing.T) {
+	s := newSkiplist(7)
+	keys := []string{"m", "a", "z", "k", "b", "y", "c"}
+	for i, k := range keys {
+		s.set([]byte(k), memEntry{seq: uint64(i), value: []byte(k)})
+	}
+	want := append([]string(nil), keys...)
+	sort.Strings(want)
+	it := s.iter(nil)
+	var got []string
+	for {
+		k, _, ok := it.next()
+		if !ok {
+			break
+		}
+		got = append(got, string(k))
+	}
+	if len(got) != len(want) {
+		t.Fatalf("iterated %d keys, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order mismatch at %d: %v vs %v", i, got, want)
+		}
+	}
+}
+
+func TestSkiplistSeek(t *testing.T) {
+	s := newSkiplist(3)
+	for _, k := range []string{"aa", "cc", "ee"} {
+		s.set([]byte(k), memEntry{value: []byte(k)})
+	}
+	it := s.iter([]byte("bb"))
+	k, _, ok := it.next()
+	if !ok || string(k) != "cc" {
+		t.Fatalf("seek(bb) first = %q", k)
+	}
+	it = s.iter([]byte("zz"))
+	if _, _, ok := it.next(); ok {
+		t.Fatal("seek past end must be empty")
+	}
+}
+
+func TestSkiplistRandomizedAgainstMap(t *testing.T) {
+	s := newSkiplist(42)
+	model := map[string]string{}
+	rnd := rand.New(rand.NewSource(99))
+	for i := 0; i < 5000; i++ {
+		k := fmt.Sprintf("key-%04d", rnd.Intn(800))
+		v := fmt.Sprintf("val-%d", i)
+		s.set([]byte(k), memEntry{seq: uint64(i), value: []byte(v)})
+		model[k] = v
+	}
+	for k, v := range model {
+		e, ok := s.get([]byte(k))
+		if !ok || string(e.value) != v {
+			t.Fatalf("key %s: got %q ok=%v, want %q", k, e.value, ok, v)
+		}
+	}
+	if s.count() != len(model) {
+		t.Fatalf("count = %d, want %d", s.count(), len(model))
+	}
+	// Iteration must be sorted and complete.
+	it := s.iter(nil)
+	var prev []byte
+	n := 0
+	for {
+		k, _, ok := it.next()
+		if !ok {
+			break
+		}
+		if prev != nil && bytes.Compare(prev, k) >= 0 {
+			t.Fatalf("iteration out of order: %q then %q", prev, k)
+		}
+		prev = append(prev[:0], k...)
+		n++
+	}
+	if n != len(model) {
+		t.Fatalf("iterated %d, want %d", n, len(model))
+	}
+}
+
+func TestSkiplistConcurrentReadersOneWriter(t *testing.T) {
+	s := newSkiplist(5)
+	const n = 2000
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			s.set([]byte(fmt.Sprintf("k%05d", i)), memEntry{seq: uint64(i), value: []byte("v")})
+		}
+	}()
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				s.get([]byte(fmt.Sprintf("k%05d", i%100)))
+				it := s.iter([]byte("k"))
+				for j := 0; j < 10; j++ {
+					if _, _, ok := it.next(); !ok {
+						break
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if s.count() != n {
+		t.Fatalf("count = %d", s.count())
+	}
+}
+
+func TestBloomNoFalseNegatives(t *testing.T) {
+	f := newBloomFilter(1000)
+	for i := 0; i < 1000; i++ {
+		f.add([]byte(fmt.Sprintf("/dir/file%d", i)))
+	}
+	for i := 0; i < 1000; i++ {
+		if !f.mayContain([]byte(fmt.Sprintf("/dir/file%d", i))) {
+			t.Fatalf("false negative for %d", i)
+		}
+	}
+}
+
+func TestBloomFalsePositiveRate(t *testing.T) {
+	f := newBloomFilter(5000)
+	for i := 0; i < 5000; i++ {
+		f.add([]byte(fmt.Sprintf("in-%d", i)))
+	}
+	fp := 0
+	const probes = 20000
+	for i := 0; i < probes; i++ {
+		if f.mayContain([]byte(fmt.Sprintf("out-%d", i))) {
+			fp++
+		}
+	}
+	if rate := float64(fp) / probes; rate > 0.05 {
+		t.Fatalf("false positive rate %.3f too high", rate)
+	}
+}
+
+func TestBloomRoundTrip(t *testing.T) {
+	f := newBloomFilter(100)
+	f.add([]byte("x"))
+	g := unmarshalBloom(f.marshal())
+	if !g.mayContain([]byte("x")) {
+		t.Fatal("serialized filter lost key")
+	}
+}

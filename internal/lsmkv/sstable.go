@@ -1,0 +1,346 @@
+package lsmkv
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"pacon/internal/vfs"
+	"pacon/internal/wire"
+)
+
+const (
+	sstMagic     = 0x70636F6E // "pcon"
+	sstBlockSize = 4096
+	// footer: indexOff u64 | indexLen u32 | bloomOff u64 | bloomLen u32 |
+	// count u64 | maxSeq u64 | magic u32
+	sstFooterSize = 8 + 4 + 8 + 4 + 8 + 8 + 4
+)
+
+// entryIterator yields key/entry pairs in ascending key order. It is the
+// contract between memtable flush, compaction merges and the SSTable
+// writer.
+type entryIterator interface {
+	// next returns the next pair; ok=false ends the stream.
+	next() (key []byte, e memEntry, ok bool)
+}
+
+// writeSSTable serializes the iterator's entries into f. Entries must
+// arrive in strictly ascending key order (enforced; violations are a
+// programming error in the merge path and return ErrCorrupt).
+func writeSSTable(f vfs.File, it entryIterator, sizeHint int) (count uint64, maxSeq uint64, err error) {
+	bloom := newBloomFilter(sizeHint)
+	var (
+		block    = wire.NewEncoder(sstBlockSize + 512)
+		index    = wire.NewEncoder(1024)
+		firstKey []byte
+		lastKey  []byte
+		offset   uint64
+	)
+	flushBlock := func() error {
+		if block.Len() == 0 {
+			return nil
+		}
+		index.Blob(firstKey)
+		index.Uint64(offset)
+		index.Uint32(uint32(block.Len()))
+		if _, werr := f.Write(block.Bytes()); werr != nil {
+			return werr
+		}
+		offset += uint64(block.Len())
+		block.Reset()
+		firstKey = nil
+		return nil
+	}
+
+	for {
+		key, e, ok := it.next()
+		if !ok {
+			break
+		}
+		if lastKey != nil && bytes.Compare(key, lastKey) <= 0 {
+			return 0, 0, fmt.Errorf("%w: keys out of order in sstable write (%q after %q)", ErrCorrupt, key, lastKey)
+		}
+		lastKey = append(lastKey[:0], key...)
+		if firstKey == nil {
+			firstKey = append([]byte(nil), key...)
+		}
+		bloom.add(key)
+		block.Blob(key)
+		block.Uint64(e.seq)
+		block.Byte(byte(e.kind))
+		block.Blob(e.value)
+		count++
+		if e.seq > maxSeq {
+			maxSeq = e.seq
+		}
+		if block.Len() >= sstBlockSize {
+			if err := flushBlock(); err != nil {
+				return 0, 0, err
+			}
+		}
+	}
+	if err := flushBlock(); err != nil {
+		return 0, 0, err
+	}
+
+	indexOff := offset
+	if _, err := f.Write(index.Bytes()); err != nil {
+		return 0, 0, err
+	}
+	bloomOff := indexOff + uint64(index.Len())
+	bloomBytes := bloom.marshal()
+	if _, err := f.Write(bloomBytes); err != nil {
+		return 0, 0, err
+	}
+
+	var footer [sstFooterSize]byte
+	binary.LittleEndian.PutUint64(footer[0:], indexOff)
+	binary.LittleEndian.PutUint32(footer[8:], uint32(index.Len()))
+	binary.LittleEndian.PutUint64(footer[12:], bloomOff)
+	binary.LittleEndian.PutUint32(footer[20:], uint32(len(bloomBytes)))
+	binary.LittleEndian.PutUint64(footer[24:], count)
+	binary.LittleEndian.PutUint64(footer[32:], maxSeq)
+	binary.LittleEndian.PutUint32(footer[40:], sstMagic)
+	if _, err := f.Write(footer[:]); err != nil {
+		return 0, 0, err
+	}
+	return count, maxSeq, f.Sync()
+}
+
+// blockRef locates one data block.
+type blockRef struct {
+	firstKey []byte
+	offset   uint64
+	length   uint32
+}
+
+// table is an open, immutable SSTable: sparse index and bloom filter in
+// memory, data blocks read on demand. Safe for concurrent reads.
+type table struct {
+	f      vfs.File
+	num    uint64 // file number, for ordering and deletion
+	index  []blockRef
+	bloom  *bloomFilter
+	count  uint64
+	maxSeq uint64
+}
+
+// openTable loads a table's index and bloom filter.
+func openTable(f vfs.File, num uint64) (*table, error) {
+	size, err := f.Size()
+	if err != nil {
+		return nil, err
+	}
+	if size < sstFooterSize {
+		return nil, fmt.Errorf("%w: sstable too small (%d bytes)", ErrCorrupt, size)
+	}
+	footer := make([]byte, sstFooterSize)
+	if _, err := f.ReadAt(footer, size-sstFooterSize); err != nil && err != io.EOF {
+		return nil, err
+	}
+	if binary.LittleEndian.Uint32(footer[40:]) != sstMagic {
+		return nil, fmt.Errorf("%w: bad sstable magic", ErrCorrupt)
+	}
+	indexOff := binary.LittleEndian.Uint64(footer[0:])
+	indexLen := binary.LittleEndian.Uint32(footer[8:])
+	bloomOff := binary.LittleEndian.Uint64(footer[12:])
+	bloomLen := binary.LittleEndian.Uint32(footer[20:])
+	body := uint64(size - sstFooterSize)
+	if indexOff+uint64(indexLen) > body || bloomOff+uint64(bloomLen) > body {
+		return nil, fmt.Errorf("%w: sstable footer regions out of bounds", ErrCorrupt)
+	}
+
+	t := &table{
+		f:      f,
+		num:    num,
+		count:  binary.LittleEndian.Uint64(footer[24:]),
+		maxSeq: binary.LittleEndian.Uint64(footer[32:]),
+	}
+
+	indexBytes := make([]byte, indexLen)
+	if _, err := f.ReadAt(indexBytes, int64(indexOff)); err != nil && err != io.EOF {
+		return nil, err
+	}
+	d := wire.NewDecoder(indexBytes)
+	for d.Remaining() > 0 {
+		ref := blockRef{
+			firstKey: d.Blob(),
+			offset:   d.Uint64(),
+			length:   d.Uint32(),
+		}
+		if d.Err() != nil {
+			return nil, fmt.Errorf("%w: sstable index: %v", ErrCorrupt, d.Err())
+		}
+		// Block references must stay inside the data region; a corrupt
+		// index must fail here, not panic in a later read.
+		if ref.offset+uint64(ref.length) > indexOff || ref.offset > uint64(size) {
+			return nil, fmt.Errorf("%w: sstable index entry out of bounds", ErrCorrupt)
+		}
+		t.index = append(t.index, ref)
+	}
+
+	bloomBytes := make([]byte, bloomLen)
+	if _, err := f.ReadAt(bloomBytes, int64(bloomOff)); err != nil && err != io.EOF {
+		return nil, err
+	}
+	t.bloom = unmarshalBloom(bloomBytes)
+	return t, nil
+}
+
+func (t *table) close() error { return t.f.Close() }
+
+// blockIndexFor returns the index of the block that may contain key, or
+// -1 if key precedes the table.
+func (t *table) blockIndexFor(key []byte) int {
+	lo, hi := 0, len(t.index)-1
+	ans := -1
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		if bytes.Compare(t.index[mid].firstKey, key) <= 0 {
+			ans = mid
+			lo = mid + 1
+		} else {
+			hi = mid - 1
+		}
+	}
+	return ans
+}
+
+func (t *table) readBlock(i int) ([]byte, error) {
+	ref := t.index[i]
+	buf := make([]byte, ref.length)
+	if _, err := t.f.ReadAt(buf, int64(ref.offset)); err != nil && err != io.EOF {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// get looks up key in this table.
+func (t *table) get(key []byte) (memEntry, bool, error) {
+	if !t.bloom.mayContain(key) {
+		return memEntry{}, false, nil
+	}
+	bi := t.blockIndexFor(key)
+	if bi < 0 {
+		return memEntry{}, false, nil
+	}
+	block, err := t.readBlock(bi)
+	if err != nil {
+		return memEntry{}, false, err
+	}
+	d := wire.NewDecoder(block)
+	for d.Remaining() > 0 {
+		k := d.BlobView()
+		seq := d.Uint64()
+		kind := entryKind(d.Byte())
+		v := d.BlobView()
+		if d.Err() != nil {
+			return memEntry{}, false, fmt.Errorf("%w: sstable block: %v", ErrCorrupt, d.Err())
+		}
+		switch bytes.Compare(k, key) {
+		case 0:
+			return memEntry{seq: seq, kind: kind, value: append([]byte(nil), v...)}, true, nil
+		case 1:
+			return memEntry{}, false, nil // sorted: passed it
+		}
+	}
+	return memEntry{}, false, nil
+}
+
+// tableIterator scans a table in key order, starting at the first key
+// >= the seek target.
+type tableIterator struct {
+	t        *table
+	blockIdx int
+	dec      *wire.Decoder
+	err      error
+}
+
+// iter positions an iterator at the first entry with key >= start
+// (nil/empty start = table beginning).
+func (t *table) iter(start []byte) *tableIterator {
+	it := &tableIterator{t: t}
+	if len(t.index) == 0 {
+		it.blockIdx = 0
+		return it
+	}
+	bi := 0
+	if len(start) > 0 {
+		if bi = t.blockIndexFor(start); bi < 0 {
+			bi = 0
+		}
+	}
+	it.blockIdx = bi
+	it.loadBlock()
+	// Skip entries before start within the block.
+	if len(start) > 0 {
+		it.skipTo(start)
+	}
+	return it
+}
+
+func (it *tableIterator) loadBlock() {
+	if it.blockIdx >= len(it.t.index) {
+		it.dec = nil
+		return
+	}
+	block, err := it.t.readBlock(it.blockIdx)
+	if err != nil {
+		it.err = err
+		it.dec = nil
+		return
+	}
+	it.dec = wire.NewDecoder(block)
+}
+
+// skipTo advances until the next entry has key >= start, then rewinds by
+// one entry so the caller's next() re-yields it. The rewind restores the
+// full pre-call position (block index and decoder), so crossing a block
+// boundary during the probe replays correctly.
+func (it *tableIterator) skipTo(start []byte) {
+	for {
+		saveIdx := it.blockIdx
+		var saveDec *wire.Decoder
+		if it.dec != nil {
+			cp := *it.dec
+			saveDec = &cp
+		}
+		k, _, ok := it.next()
+		if !ok {
+			return
+		}
+		if bytes.Compare(k, start) >= 0 {
+			it.blockIdx = saveIdx
+			it.dec = saveDec
+			return
+		}
+	}
+}
+
+// next implements entryIterator.
+func (it *tableIterator) next() (key []byte, e memEntry, ok bool) {
+	for {
+		if it.dec == nil || it.err != nil {
+			return nil, memEntry{}, false
+		}
+		if it.dec.Remaining() == 0 {
+			it.blockIdx++
+			if it.blockIdx >= len(it.t.index) {
+				return nil, memEntry{}, false
+			}
+			it.loadBlock()
+			continue
+		}
+		k := it.dec.Blob()
+		seq := it.dec.Uint64()
+		kind := entryKind(it.dec.Byte())
+		v := it.dec.Blob()
+		if it.dec.Err() != nil {
+			it.err = fmt.Errorf("%w: sstable scan: %v", ErrCorrupt, it.dec.Err())
+			return nil, memEntry{}, false
+		}
+		return k, memEntry{seq: seq, kind: kind, value: v}, true
+	}
+}

@@ -1,0 +1,236 @@
+package lsmkv
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"pacon/internal/vfs"
+)
+
+// buildTable writes the pairs into an SSTable and opens it.
+func buildTable(t *testing.T, pairs []KV) *table {
+	t.Helper()
+	fs := vfs.NewMemFS()
+	f, err := fs.Create("t.sst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := 0
+	it := kvIterator{pairs: pairs, seqBase: 1, i: &i}
+	if _, _, err := writeSSTable(f, &it, len(pairs)); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	rf, err := fs.Open("t.sst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := openTable(rf, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tb
+}
+
+func manyPairs(n int) []KV {
+	pairs := make([]KV, n)
+	for i := range pairs {
+		// Keys ascend lexicographically: dir buckets of 500, files within.
+		pairs[i] = KV{
+			Key:   []byte(fmt.Sprintf("/ws/dir%02d/file%06d", i/500, i)),
+			Value: []byte(fmt.Sprintf("stat-%d", i)),
+		}
+	}
+	return pairs
+}
+
+func TestSSTableGet(t *testing.T) {
+	pairs := manyPairs(5000) // spans many 4KB blocks
+	tb := buildTable(t, pairs)
+	defer tb.close()
+	if len(tb.index) < 2 {
+		t.Fatalf("expected multiple blocks, got %d", len(tb.index))
+	}
+	for i := 0; i < 5000; i += 111 {
+		e, ok, err := tb.get(pairs[i].Key)
+		if err != nil || !ok {
+			t.Fatalf("key %d: ok=%v err=%v", i, ok, err)
+		}
+		if string(e.value) != string(pairs[i].Value) {
+			t.Fatalf("key %d: value %q", i, e.value)
+		}
+	}
+	if _, ok, _ := tb.get([]byte("/zz/nothere")); ok {
+		t.Fatal("phantom key")
+	}
+	if _, ok, _ := tb.get([]byte("/aa/before-first")); ok {
+		t.Fatal("key before table start")
+	}
+}
+
+func TestSSTableFullScan(t *testing.T) {
+	pairs := manyPairs(3000)
+	tb := buildTable(t, pairs)
+	defer tb.close()
+	it := tb.iter(nil)
+	n := 0
+	var prev []byte
+	for {
+		k, _, ok := it.next()
+		if !ok {
+			break
+		}
+		if prev != nil && string(prev) >= string(k) {
+			t.Fatal("scan out of order")
+		}
+		prev = append(prev[:0], k...)
+		n++
+	}
+	if it.err != nil {
+		t.Fatal(it.err)
+	}
+	if n != 3000 {
+		t.Fatalf("scanned %d", n)
+	}
+}
+
+func TestSSTableSeekMidBlockAndAcrossBlocks(t *testing.T) {
+	pairs := manyPairs(5000)
+	tb := buildTable(t, pairs)
+	defer tb.close()
+
+	// Seek to an existing mid-table key.
+	it := tb.iter(pairs[2500].Key)
+	k, _, ok := it.next()
+	if !ok || string(k) != string(pairs[2500].Key) {
+		t.Fatalf("seek landed on %q, want %q", k, pairs[2500].Key)
+	}
+	// Continue across block boundaries for a while.
+	for i := 2501; i < 2600; i++ {
+		k, _, ok = it.next()
+		if !ok || string(k) != string(pairs[i].Key) {
+			t.Fatalf("entry %d: %q", i, k)
+		}
+	}
+
+	// Seek between keys lands on the successor.
+	it = tb.iter([]byte("/ws/dir05/file00000"))
+	k, _, ok = it.next()
+	if !ok || string(k) <= "/ws/dir05/file00000" {
+		t.Fatalf("between-keys seek got %q", k)
+	}
+
+	// Seek past the end is empty.
+	it = tb.iter([]byte("~~~"))
+	if _, _, ok := it.next(); ok {
+		t.Fatal("seek past end yielded entry")
+	}
+}
+
+func TestSSTableEmpty(t *testing.T) {
+	tb := buildTable(t, nil)
+	defer tb.close()
+	if _, ok, _ := tb.get([]byte("k")); ok {
+		t.Fatal("empty table hit")
+	}
+	if _, _, ok := tb.iter(nil).next(); ok {
+		t.Fatal("empty table scan")
+	}
+}
+
+func TestSSTableRejectsOutOfOrderWrite(t *testing.T) {
+	fs := vfs.NewMemFS()
+	f, _ := fs.Create("bad.sst")
+	pairs := []KV{{Key: []byte("b")}, {Key: []byte("a")}}
+	i := 0
+	it := kvIterator{pairs: pairs, seqBase: 1, i: &i}
+	if _, _, err := writeSSTable(f, &it, 2); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestOpenTableRejectsGarbage(t *testing.T) {
+	fs := vfs.NewMemFS()
+	f, _ := fs.Create("junk.sst")
+	f.Write([]byte("this is not an sstable, definitely not one at all......"))
+	f.Close()
+	rf, _ := fs.Open("junk.sst")
+	if _, err := openTable(rf, 1); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+	sf, _ := fs.Create("tiny.sst")
+	sf.Write([]byte("xx"))
+	sf.Close()
+	rf2, _ := fs.Open("tiny.sst")
+	if _, err := openTable(rf2, 2); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("tiny err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestWALRoundTrip(t *testing.T) {
+	fs := vfs.NewMemFS()
+	f, _ := fs.Create("w.wal")
+	w := newWALWriter(f, false)
+	recs := []walRecord{
+		{seq: 1, kind: kindPut, key: []byte("/a"), value: []byte("v1")},
+		{seq: 2, kind: kindDelete, key: []byte("/a")},
+		{seq: 3, kind: kindPut, key: []byte("/b/c"), value: make([]byte, 5000)},
+	}
+	for _, r := range recs {
+		if err := w.append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.close()
+
+	rf, _ := fs.Open("w.wal")
+	var got []walRecord
+	if err := replayWAL(rf, func(r walRecord) error { got = append(got, r); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("replayed %d records", len(got))
+	}
+	if got[0].seq != 1 || string(got[0].key) != "/a" || string(got[0].value) != "v1" {
+		t.Fatalf("rec0 = %+v", got[0])
+	}
+	if got[1].kind != kindDelete {
+		t.Fatal("tombstone kind lost")
+	}
+	if len(got[2].value) != 5000 {
+		t.Fatal("large value truncated")
+	}
+}
+
+func TestMergeIteratorNewestWinsAcrossSources(t *testing.T) {
+	newer := newSkiplist(1)
+	older := newSkiplist(2)
+	older.set([]byte("a"), memEntry{seq: 1, value: []byte("old-a")})
+	older.set([]byte("b"), memEntry{seq: 2, value: []byte("old-b")})
+	newer.set([]byte("a"), memEntry{seq: 5, value: []byte("new-a")})
+	newer.set([]byte("c"), memEntry{seq: 6, kind: kindDelete})
+
+	m := newMergeIterator([]entryIterator{newer.iter(nil), older.iter(nil)}, true)
+	var got []string
+	for {
+		k, e, ok := m.next()
+		if !ok {
+			break
+		}
+		got = append(got, string(k)+"="+string(e.value))
+	}
+	if len(got) != 2 || got[0] != "a=new-a" || got[1] != "b=old-b" {
+		t.Fatalf("merge = %v", got)
+	}
+}
+
+func TestMergeIteratorKeepsTombstonesWhenAsked(t *testing.T) {
+	s := newSkiplist(1)
+	s.set([]byte("x"), memEntry{seq: 1, kind: kindDelete})
+	m := newMergeIterator([]entryIterator{s.iter(nil)}, false)
+	k, e, ok := m.next()
+	if !ok || string(k) != "x" || e.kind != kindDelete {
+		t.Fatal("tombstone must flow through when dropTombstones=false")
+	}
+}

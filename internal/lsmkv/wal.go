@@ -1,0 +1,130 @@
+package lsmkv
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"sync"
+
+	"pacon/internal/vfs"
+	"pacon/internal/wire"
+)
+
+// ErrCorrupt reports a WAL or SSTable integrity failure.
+var ErrCorrupt = errors.New("lsmkv: corrupt data")
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// walRecord is one logged mutation.
+type walRecord struct {
+	seq   uint64
+	kind  entryKind
+	key   []byte
+	value []byte
+}
+
+func encodeWALPayload(e *wire.Encoder, r walRecord) {
+	e.Uint64(r.seq)
+	e.Byte(byte(r.kind))
+	e.Blob(r.key)
+	e.Blob(r.value)
+}
+
+func decodeWALPayload(b []byte) (walRecord, error) {
+	d := wire.NewDecoder(b)
+	r := walRecord{
+		seq:  d.Uint64(),
+		kind: entryKind(d.Byte()),
+	}
+	r.key = d.Blob()
+	r.value = d.Blob()
+	if err := d.Finish(); err != nil {
+		return walRecord{}, fmt.Errorf("%w: wal payload: %v", ErrCorrupt, err)
+	}
+	return r, nil
+}
+
+// walWriter appends CRC-framed records to a backend file. Frame layout:
+//
+//	u32 crc32c(payload) | u32 len(payload) | payload
+//
+// Writers are serialized by the DB's write mutex; the internal mutex
+// only protects against Close racing a final append.
+type walWriter struct {
+	mu   sync.Mutex
+	f    vfs.File
+	enc  *wire.Encoder
+	sync bool // fsync after every append
+}
+
+func newWALWriter(f vfs.File, syncEvery bool) *walWriter {
+	return &walWriter{f: f, enc: wire.NewEncoder(256), sync: syncEvery}
+}
+
+func (w *walWriter) append(r walRecord) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.enc.Reset()
+	encodeWALPayload(w.enc, r)
+	payload := w.enc.Bytes()
+
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[:4], crc32.Checksum(payload, crcTable))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(payload)))
+	if _, err := w.f.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.f.Write(payload); err != nil {
+		return err
+	}
+	if w.sync {
+		return w.f.Sync()
+	}
+	return nil
+}
+
+func (w *walWriter) close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	return w.f.Close()
+}
+
+// replayWAL streams records from a log file into fn, stopping cleanly at
+// a truncated tail (the crash case) and failing on checksum mismatch.
+func replayWAL(f vfs.File, fn func(walRecord) error) error {
+	var off int64
+	hdr := make([]byte, 8)
+	for {
+		if _, err := f.ReadAt(hdr, off); err != nil {
+			if err == io.EOF {
+				return nil // clean end or truncated header: stop replay
+			}
+			return err
+		}
+		wantCRC := binary.LittleEndian.Uint32(hdr[:4])
+		n := binary.LittleEndian.Uint32(hdr[4:])
+		payload := make([]byte, n)
+		if _, err := f.ReadAt(payload, off+8); err != nil {
+			if err == io.EOF {
+				return nil // torn write at tail: discard
+			}
+			return err
+		}
+		if crc32.Checksum(payload, crcTable) != wantCRC {
+			return fmt.Errorf("%w: wal crc mismatch at offset %d", ErrCorrupt, off)
+		}
+		rec, err := decodeWALPayload(payload)
+		if err != nil {
+			return err
+		}
+		if err := fn(rec); err != nil {
+			return err
+		}
+		off += 8 + int64(n)
+	}
+}

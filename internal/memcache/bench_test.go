@@ -1,0 +1,75 @@
+package memcache
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"pacon/internal/vclock"
+)
+
+func BenchmarkServerSet(b *testing.B) {
+	s := NewServer("bench", ServerConfig{Model: vclock.Default()})
+	val := make([]byte, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := s.Set(0, fmt.Sprintf("/w/f%09d", i), val, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkServerGet(b *testing.B) {
+	s := NewServer("bench", ServerConfig{Model: vclock.Default()})
+	val := make([]byte, 128)
+	const n = 50000
+	for i := 0; i < n; i++ {
+		s.Set(0, fmt.Sprintf("/w/f%09d", i), val, 0)
+	}
+	rnd := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := s.Get(0, fmt.Sprintf("/w/f%09d", rnd.Intn(n))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkServerCAS(b *testing.B) {
+	s := NewServer("bench", ServerConfig{Model: vclock.Default()})
+	cas, _, _ := s.Set(0, "hot", make([]byte, 128), 0)
+	val := make([]byte, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		next, _, err := s.CAS(0, "hot", val, 0, cas)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cas = next
+	}
+}
+
+func BenchmarkClientSetThroughRing(b *testing.B) {
+	c, _ := clusterEnv(b, 8)
+	val := make([]byte, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := c.Set(0, fmt.Sprintf("/app/rank%d/out.%d", i%320, i), val, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkServerSetParallel(b *testing.B) {
+	s := NewServer("bench", ServerConfig{Model: vclock.Default()})
+	val := make([]byte, 128)
+	b.RunParallel(func(pb *testing.PB) {
+		i := rand.Int()
+		for pb.Next() {
+			i++
+			if _, _, err := s.Set(0, fmt.Sprintf("/w/f%d", i), val, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

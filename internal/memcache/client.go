@@ -1,0 +1,127 @@
+package memcache
+
+import (
+	"pacon/internal/dht"
+	"pacon/internal/rpc"
+	"pacon/internal/vclock"
+	"pacon/internal/wire"
+)
+
+// Client routes cache operations to the owning server through a
+// consistent-hash ring, exactly as Pacon distributes full-path metadata
+// keys across a consistent region's nodes.
+type Client struct {
+	caller *rpc.Caller
+	ring   *dht.Ring
+}
+
+// NewClient builds a client. The ring's members must be RPC addresses
+// (e.g. "node3/cache") registered on the caller's transport.
+func NewClient(caller *rpc.Caller, ring *dht.Ring) *Client {
+	return &Client{caller: caller, ring: ring}
+}
+
+// Ring exposes the routing ring (region merge reads a peer region's ring).
+func (c *Client) Ring() *dht.Ring { return c.ring }
+
+// Owner returns the server address responsible for key.
+func (c *Client) Owner(key string) string { return c.ring.Lookup(key) }
+
+func encodeKey(key string) []byte {
+	e := wire.NewEncoder(len(key) + 4)
+	e.String(key)
+	return e.Bytes()
+}
+
+func encodeStore(key string, value []byte, flags uint32, expect uint64) []byte {
+	e := wire.NewEncoder(len(key) + len(value) + 20)
+	e.String(key)
+	e.Uint32(flags)
+	e.Uint64(expect)
+	e.Blob(value)
+	return e.Bytes()
+}
+
+// Get fetches key from its owner.
+func (c *Client) Get(at vclock.Time, key string) (Item, vclock.Time, error) {
+	done, resp, err := c.caller.Call(c.Owner(key), "get", at, encodeKey(key))
+	if err != nil {
+		return Item{}, done, err
+	}
+	d := wire.NewDecoder(resp)
+	item := Item{CAS: d.Uint64(), Flags: d.Uint32(), Value: d.Blob()}
+	if derr := d.Finish(); derr != nil {
+		return Item{}, done, derr
+	}
+	return item, done, nil
+}
+
+func (c *Client) storeOp(method string, at vclock.Time, key string, value []byte, flags uint32, expect uint64) (uint64, vclock.Time, error) {
+	done, resp, err := c.caller.Call(c.Owner(key), method, at, encodeStore(key, value, flags, expect))
+	if err != nil {
+		return 0, done, err
+	}
+	d := wire.NewDecoder(resp)
+	cas := d.Uint64()
+	if derr := d.Finish(); derr != nil {
+		return 0, done, derr
+	}
+	return cas, done, nil
+}
+
+// Set unconditionally stores key.
+func (c *Client) Set(at vclock.Time, key string, value []byte, flags uint32) (uint64, vclock.Time, error) {
+	return c.storeOp("set", at, key, value, flags, 0)
+}
+
+// Add stores key only if absent.
+func (c *Client) Add(at vclock.Time, key string, value []byte, flags uint32) (uint64, vclock.Time, error) {
+	return c.storeOp("add", at, key, value, flags, 0)
+}
+
+// CAS stores key only if its version is still expect.
+func (c *Client) CAS(at vclock.Time, key string, value []byte, flags uint32, expect uint64) (uint64, vclock.Time, error) {
+	return c.storeOp("cas", at, key, value, flags, expect)
+}
+
+// Delete removes key from its owner.
+func (c *Client) Delete(at vclock.Time, key string) (vclock.Time, error) {
+	done, _, err := c.caller.Call(c.Owner(key), "delete", at, encodeKey(key))
+	return done, err
+}
+
+// FlushAll clears every server in the ring.
+func (c *Client) FlushAll(at vclock.Time) (vclock.Time, error) {
+	latest := at
+	for _, addr := range c.ring.Members() {
+		done, _, err := c.caller.Call(addr, "flush_all", at, nil)
+		if err != nil {
+			return done, err
+		}
+		latest = vclock.Max(latest, done)
+	}
+	return latest, nil
+}
+
+// StatsAll aggregates stats across every server in the ring.
+func (c *Client) StatsAll(at vclock.Time) (Stats, vclock.Time, error) {
+	var total Stats
+	latest := at
+	for _, addr := range c.ring.Members() {
+		done, resp, err := c.caller.Call(addr, "stats", at, nil)
+		if err != nil {
+			return Stats{}, done, err
+		}
+		d := wire.NewDecoder(resp)
+		total.Items += d.Int64()
+		total.UsedBytes += d.Int64()
+		total.Hits += d.Int64()
+		total.Misses += d.Int64()
+		total.Evictions += d.Int64()
+		if derr := d.Finish(); derr != nil {
+			return Stats{}, done, derr
+		}
+		latest = vclock.Max(latest, done)
+	}
+	return total, latest, nil
+}

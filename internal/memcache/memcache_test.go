@@ -1,0 +1,276 @@
+package memcache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"pacon/internal/dht"
+	"pacon/internal/fsapi"
+	"pacon/internal/rpc"
+	"pacon/internal/vclock"
+)
+
+func testServer(cfg ServerConfig) *Server {
+	cfg.Model = vclock.Default()
+	return NewServer("cache-test", cfg)
+}
+
+func TestServerSetGetDelete(t *testing.T) {
+	s := testServer(ServerConfig{})
+	cas, _, err := s.Set(0, "/a/b", []byte("v1"), 7)
+	if err != nil || cas == 0 {
+		t.Fatalf("set: cas=%d err=%v", cas, err)
+	}
+	item, _, err := s.Get(0, "/a/b")
+	if err != nil || string(item.Value) != "v1" || item.Flags != 7 || item.CAS != cas {
+		t.Fatalf("get = %+v err=%v", item, err)
+	}
+	if _, err := s.Delete(0, "/a/b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Get(0, "/a/b"); !errors.Is(err, fsapi.ErrNotExist) {
+		t.Fatalf("get after delete = %v", err)
+	}
+	if _, err := s.Delete(0, "/a/b"); !errors.Is(err, fsapi.ErrNotExist) {
+		t.Fatalf("double delete = %v", err)
+	}
+}
+
+func TestServerAddSemantics(t *testing.T) {
+	s := testServer(ServerConfig{})
+	if _, _, err := s.Add(0, "k", []byte("first"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Add(0, "k", []byte("second"), 0); !errors.Is(err, fsapi.ErrExist) {
+		t.Fatalf("second add = %v, want ErrExist", err)
+	}
+	item, _, _ := s.Get(0, "k")
+	if string(item.Value) != "first" {
+		t.Fatal("add overwrote existing value")
+	}
+}
+
+func TestServerCASSemantics(t *testing.T) {
+	s := testServer(ServerConfig{})
+	cas1, _, _ := s.Set(0, "k", []byte("v1"), 0)
+	cas2, _, err := s.CAS(0, "k", []byte("v2"), 0, cas1)
+	if err != nil || cas2 <= cas1 {
+		t.Fatalf("cas: %d err=%v", cas2, err)
+	}
+	// Retrying with the stale version must fail.
+	if _, _, err := s.CAS(0, "k", []byte("v3"), 0, cas1); !errors.Is(err, fsapi.ErrStale) {
+		t.Fatalf("stale cas = %v", err)
+	}
+	// CAS on a missing key reports ErrNotExist.
+	if _, _, err := s.CAS(0, "ghost", []byte("v"), 0, 1); !errors.Is(err, fsapi.ErrNotExist) {
+		t.Fatalf("cas missing = %v", err)
+	}
+	item, _, _ := s.Get(0, "k")
+	if string(item.Value) != "v2" {
+		t.Fatalf("value = %q", item.Value)
+	}
+}
+
+// The lock-free update loop from paper §III.D.3: concurrent writers CAS
+// until they win; every increment must land exactly once.
+func TestCASRetryLoopLinearizes(t *testing.T) {
+	s := testServer(ServerConfig{})
+	s.Set(0, "counter", []byte{0, 0, 0, 0}, 0)
+	const writers = 8
+	const perWriter = 200
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				for {
+					item, _, err := s.Get(0, "counter")
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					n := uint32(item.Value[0]) | uint32(item.Value[1])<<8 | uint32(item.Value[2])<<16 | uint32(item.Value[3])<<24
+					n++
+					nv := []byte{byte(n), byte(n >> 8), byte(n >> 16), byte(n >> 24)}
+					if _, _, err := s.CAS(0, "counter", nv, 0, item.CAS); err == nil {
+						break
+					} else if !errors.Is(err, fsapi.ErrStale) {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	item, _, _ := s.Get(0, "counter")
+	n := uint32(item.Value[0]) | uint32(item.Value[1])<<8 | uint32(item.Value[2])<<16 | uint32(item.Value[3])<<24
+	if n != writers*perWriter {
+		t.Fatalf("counter = %d, want %d", n, writers*perWriter)
+	}
+}
+
+func TestCapacityRejectWithoutLRU(t *testing.T) {
+	s := testServer(ServerConfig{CapacityBytes: 400})
+	if _, _, err := s.Set(0, "a", make([]byte, 200), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Set(0, "b", make([]byte, 200), 0); !errors.Is(err, fsapi.ErrOutOfSpace) {
+		t.Fatalf("over-capacity set = %v, want ErrOutOfSpace", err)
+	}
+	// Replacing the existing value within budget still works.
+	if _, _, err := s.Set(0, "a", make([]byte, 100), 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCapacityLRUEviction(t *testing.T) {
+	// Capacity is sliced per shard (8192/16 = 512 bytes ≈ 3 items of 131
+	// bytes); storing many keys must evict rather than reject.
+	s := testServer(ServerConfig{CapacityBytes: 8192, EvictLRU: true})
+	for i := 0; i < 200; i++ {
+		if _, _, err := s.Set(0, fmt.Sprintf("k%03d", i), make([]byte, 64), 0); err != nil {
+			t.Fatalf("set %d: %v", i, err)
+		}
+	}
+	st := s.Stats()
+	if st.UsedBytes > 8192 {
+		t.Fatalf("used %d exceeds capacity", st.UsedBytes)
+	}
+	if st.Evictions == 0 {
+		t.Fatal("expected LRU evictions")
+	}
+}
+
+func TestFlushAllAndStats(t *testing.T) {
+	s := testServer(ServerConfig{})
+	s.Set(0, "a", []byte("1"), 0)
+	s.Set(0, "b", []byte("2"), 0)
+	s.Get(0, "a")
+	s.Get(0, "ghost")
+	st := s.Stats()
+	if st.Items != 2 || st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	s.FlushAll(0)
+	st = s.Stats()
+	if st.Items != 0 || st.UsedBytes != 0 {
+		t.Fatalf("stats after flush = %+v", st)
+	}
+}
+
+func TestServerVirtualTimeQueueing(t *testing.T) {
+	model := vclock.Default()
+	s := NewServer("q", ServerConfig{Model: model, Workers: 1})
+	_, d1, _ := s.Set(0, "a", nil, 0)
+	_, d2, _ := s.Set(0, "b", nil, 0)
+	if d1 != vclock.Time(model.CacheOpCost) {
+		t.Fatalf("d1 = %v", d1)
+	}
+	if d2 != vclock.Time(2*model.CacheOpCost) {
+		t.Fatalf("d2 = %v, want serialized", d2)
+	}
+}
+
+// clusterEnv builds an n-server cache cluster on an in-proc bus.
+func clusterEnv(t testing.TB, n int) (*Client, []*Server) {
+	t.Helper()
+	bus := rpc.NewBus()
+	model := vclock.Default()
+	ring := dht.New(0)
+	servers := make([]*Server, n)
+	for i := 0; i < n; i++ {
+		addr := fmt.Sprintf("node%d/cache", i)
+		servers[i] = NewServer(addr, ServerConfig{Model: model})
+		bus.Register(addr, servers[i].Service())
+		ring.Add(addr)
+	}
+	caller := rpc.NewCaller(bus, model, "node0")
+	return NewClient(caller, ring), servers
+}
+
+func TestClientRoutesByRing(t *testing.T) {
+	c, servers := clusterEnv(t, 4)
+	const n = 400
+	for i := 0; i < n; i++ {
+		if _, _, err := c.Set(0, fmt.Sprintf("/w/f%03d", i), []byte("v"), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Every server should hold some keys, and the total must be n.
+	total := int64(0)
+	for i, s := range servers {
+		st := s.Stats()
+		if st.Items == 0 {
+			t.Fatalf("server %d got no keys — ring not distributing", i)
+		}
+		total += st.Items
+	}
+	if total != n {
+		t.Fatalf("total items = %d, want %d", total, n)
+	}
+	// Reads find every key.
+	for i := 0; i < n; i++ {
+		item, _, err := c.Get(0, fmt.Sprintf("/w/f%03d", i))
+		if err != nil || string(item.Value) != "v" {
+			t.Fatalf("get %d: %v", i, err)
+		}
+	}
+}
+
+func TestClientCASThroughRPC(t *testing.T) {
+	c, _ := clusterEnv(t, 2)
+	cas, _, err := c.Add(0, "k", []byte("v1"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.CAS(0, "k", []byte("v2"), 0, cas+99); !errors.Is(err, fsapi.ErrStale) {
+		t.Fatalf("wrong-version cas = %v", err)
+	}
+	if _, _, err := c.CAS(0, "k", []byte("v2"), 0, cas); err != nil {
+		t.Fatal(err)
+	}
+	item, _, _ := c.Get(0, "k")
+	if string(item.Value) != "v2" {
+		t.Fatalf("value = %q", item.Value)
+	}
+}
+
+func TestClientStatsAllAndFlushAll(t *testing.T) {
+	c, _ := clusterEnv(t, 3)
+	for i := 0; i < 60; i++ {
+		c.Set(0, fmt.Sprintf("k%d", i), []byte("v"), 0)
+	}
+	st, _, err := c.StatsAll(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Items != 60 {
+		t.Fatalf("aggregated items = %d", st.Items)
+	}
+	if _, err := c.FlushAll(0); err != nil {
+		t.Fatal(err)
+	}
+	st, _, _ = c.StatsAll(0)
+	if st.Items != 0 {
+		t.Fatalf("items after flush = %d", st.Items)
+	}
+}
+
+func TestClientVirtualLatencyCrossNode(t *testing.T) {
+	c, _ := clusterEnv(t, 1) // single server on node0, caller on node0
+	model := vclock.Default()
+	_, done, err := c.Set(0, "k", []byte("v"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same-node RTT + one cache op (+ tiny transfer cost).
+	min := vclock.Time(model.SameNodeRTT + model.CacheOpCost)
+	max := min.Add(model.PerKB) // payload well under 1 KiB
+	if done < min || done > max {
+		t.Fatalf("done = %v, want in [%v, %v]", done, min, max)
+	}
+}

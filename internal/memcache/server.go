@@ -1,0 +1,367 @@
+// Package memcache implements the distributed in-memory KV cache Pacon
+// builds its metadata cache on (paper §III.A: a Memcached cluster
+// launched on the application's nodes, keys distributed by DHT). The
+// server supports the memcached operations Pacon relies on — get, set,
+// add, cas, delete, stats, flush — with CAS versioning for lock-free
+// concurrent updates (§III.D.3) and byte-accurate memory accounting for
+// the cache-space-management experiments (§III.F).
+package memcache
+
+import (
+	"container/list"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+
+	"pacon/internal/fsapi"
+	"pacon/internal/rpc"
+	"pacon/internal/vclock"
+	"pacon/internal/wire"
+)
+
+const numShards = 16
+
+// Item is one cache entry.
+type Item struct {
+	Value []byte
+	Flags uint32
+	CAS   uint64
+}
+
+// ServerConfig configures a cache server.
+type ServerConfig struct {
+	// CapacityBytes bounds resident value+key bytes. 0 = unlimited.
+	CapacityBytes int64
+	// EvictLRU selects behavior at capacity: true evicts the
+	// least-recently-used items (classic memcached); false rejects the
+	// insert with ErrOutOfSpace so the owner (Pacon's region eviction,
+	// §III.F) decides what to drop — LRU eviction could silently discard
+	// dirty, not-yet-committed metadata.
+	EvictLRU bool
+	// Model supplies the per-op service cost; Workers the pool width.
+	Model   vclock.LatencyModel
+	Workers int
+}
+
+// Server is one cache node. Safe for concurrent use.
+type Server struct {
+	cfg    ServerConfig
+	res    *vclock.Resource
+	shards [numShards]shard
+
+	casSeq    atomic.Uint64
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+	used      atomic.Int64
+}
+
+type shard struct {
+	mu    sync.Mutex
+	items map[string]*shardItem
+	lru   list.List // front = most recent
+	used  int64     // resident bytes in this shard
+	cap   int64     // per-shard capacity slice (0 = unlimited)
+}
+
+type shardItem struct {
+	item Item
+	elem *list.Element // nil unless EvictLRU
+}
+
+// NewServer builds a cache server.
+func NewServer(name string, cfg ServerConfig) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 8
+	}
+	s := &Server{cfg: cfg, res: vclock.NewResource(name, cfg.Workers)}
+	for i := range s.shards {
+		s.shards[i].items = make(map[string]*shardItem)
+		if cfg.CapacityBytes > 0 {
+			// Capacity is accounted per shard, like memcached's slab
+			// classes; eviction/rejection decisions stay shard-local so
+			// no cross-shard lock ordering exists.
+			s.shards[i].cap = cfg.CapacityBytes / numShards
+			if s.shards[i].cap < 1 {
+				s.shards[i].cap = 1
+			}
+		}
+	}
+	return s
+}
+
+func (s *Server) shardFor(key string) *shard {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return &s.shards[h.Sum32()%numShards]
+}
+
+func itemBytes(key string, v []byte) int64 { return int64(len(key) + len(v) + 64) }
+
+// acquire charges one cache op on the service resource.
+func (s *Server) acquire(at vclock.Time) vclock.Time {
+	return s.res.Acquire(at, s.cfg.Model.CacheOpCost)
+}
+
+// Get returns the item for key.
+func (s *Server) Get(at vclock.Time, key string) (Item, vclock.Time, error) {
+	done := s.acquire(at)
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	si, ok := sh.items[key]
+	if !ok {
+		s.misses.Add(1)
+		return Item{}, done, fsapi.ErrNotExist
+	}
+	s.hits.Add(1)
+	if si.elem != nil {
+		sh.lru.MoveToFront(si.elem)
+	}
+	out := si.item
+	out.Value = append([]byte(nil), si.item.Value...)
+	return out, done, nil
+}
+
+// Set unconditionally stores key and returns the new CAS version.
+func (s *Server) Set(at vclock.Time, key string, value []byte, flags uint32) (uint64, vclock.Time, error) {
+	done := s.acquire(at)
+	cas, err := s.store(key, value, flags, storeSet, 0)
+	return cas, done, err
+}
+
+// Add stores key only if absent (memcached "add").
+func (s *Server) Add(at vclock.Time, key string, value []byte, flags uint32) (uint64, vclock.Time, error) {
+	done := s.acquire(at)
+	cas, err := s.store(key, value, flags, storeAdd, 0)
+	return cas, done, err
+}
+
+// CAS stores key only if the current version matches expect, returning
+// the new version. ErrStale on version mismatch, ErrNotExist if the key
+// vanished (paper §III.D.3: conflicting writers retry).
+func (s *Server) CAS(at vclock.Time, key string, value []byte, flags uint32, expect uint64) (uint64, vclock.Time, error) {
+	done := s.acquire(at)
+	cas, err := s.store(key, value, flags, storeCAS, expect)
+	return cas, done, err
+}
+
+type storeMode uint8
+
+const (
+	storeSet storeMode = iota
+	storeAdd
+	storeCAS
+)
+
+func (s *Server) store(key string, value []byte, flags uint32, mode storeMode, expect uint64) (uint64, error) {
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+
+	si, exists := sh.items[key]
+	switch mode {
+	case storeAdd:
+		if exists {
+			return 0, fsapi.ErrExist
+		}
+	case storeCAS:
+		if !exists {
+			return 0, fsapi.ErrNotExist
+		}
+		if si.item.CAS != expect {
+			return 0, fsapi.ErrStale
+		}
+	}
+
+	delta := itemBytes(key, value)
+	if exists {
+		delta -= itemBytes(key, si.item.Value)
+	}
+	if s.cfg.CapacityBytes > 0 {
+		if !s.cfg.EvictLRU {
+			// Reject mode checks the global budget: the owner (Pacon's
+			// region-level round-robin eviction) reacts to aggregate usage.
+			if s.used.Load()+delta > s.cfg.CapacityBytes {
+				return 0, fsapi.ErrOutOfSpace
+			}
+		} else if sh.used+delta > sh.cap {
+			if !s.evictLocked(sh, key, delta) {
+				return 0, fsapi.ErrOutOfSpace
+			}
+		}
+	}
+
+	cas := s.casSeq.Add(1)
+	v := append([]byte(nil), value...)
+	if exists {
+		si.item = Item{Value: v, Flags: flags, CAS: cas}
+		if si.elem != nil {
+			sh.lru.MoveToFront(si.elem)
+		}
+	} else {
+		si = &shardItem{item: Item{Value: v, Flags: flags, CAS: cas}}
+		if s.cfg.EvictLRU {
+			si.elem = sh.lru.PushFront(key)
+		}
+		sh.items[key] = si
+	}
+	sh.used += delta
+	s.used.Add(delta)
+	return cas, nil
+}
+
+// evictLocked frees room within one shard for an insert of size delta.
+// The key being stored is never chosen as a victim.
+func (s *Server) evictLocked(sh *shard, storing string, delta int64) bool {
+	for sh.used+delta > sh.cap {
+		back := sh.lru.Back()
+		for back != nil && back.Value.(string) == storing {
+			back = back.Prev()
+		}
+		if back == nil {
+			return false
+		}
+		key := back.Value.(string)
+		victim := sh.items[key]
+		freed := itemBytes(key, victim.item.Value)
+		sh.used -= freed
+		s.used.Add(-freed)
+		sh.lru.Remove(back)
+		delete(sh.items, key)
+		s.evictions.Add(1)
+	}
+	return true
+}
+
+// Delete removes key.
+func (s *Server) Delete(at vclock.Time, key string) (vclock.Time, error) {
+	done := s.acquire(at)
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	si, ok := sh.items[key]
+	if !ok {
+		return done, fsapi.ErrNotExist
+	}
+	freed := itemBytes(key, si.item.Value)
+	sh.used -= freed
+	s.used.Add(-freed)
+	if si.elem != nil {
+		sh.lru.Remove(si.elem)
+	}
+	delete(sh.items, key)
+	return done, nil
+}
+
+// FlushAll drops every item.
+func (s *Server) FlushAll(at vclock.Time) vclock.Time {
+	done := s.acquire(at)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		sh.items = make(map[string]*shardItem)
+		sh.lru.Init()
+		sh.used = 0
+		sh.mu.Unlock()
+	}
+	s.used.Store(0)
+	return done
+}
+
+// Stats is a server statistics snapshot (memcached "stats").
+type Stats struct {
+	Items     int64
+	UsedBytes int64
+	Hits      int64
+	Misses    int64
+	Evictions int64
+}
+
+// Stats returns current counters.
+func (s *Server) Stats() Stats {
+	var items int64
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		items += int64(len(sh.items))
+		sh.mu.Unlock()
+	}
+	return Stats{
+		Items:     items,
+		UsedBytes: s.used.Load(),
+		Hits:      s.hits.Load(),
+		Misses:    s.misses.Load(),
+		Evictions: s.evictions.Load(),
+	}
+}
+
+// Resource exposes the service resource for utilization reporting.
+func (s *Server) Resource() *vclock.Resource { return s.res }
+
+// Service wires the server's methods into an RPC mux.
+func (s *Server) Service() *rpc.Service {
+	svc := rpc.NewService()
+	svc.Handle("get", func(at vclock.Time, body []byte) (vclock.Time, []byte, error) {
+		d := wire.NewDecoder(body)
+		key := d.String()
+		if err := d.Finish(); err != nil {
+			return at, nil, err
+		}
+		item, done, err := s.Get(at, key)
+		if err != nil {
+			return done, nil, err
+		}
+		e := wire.NewEncoder(16 + len(item.Value))
+		e.Uint64(item.CAS)
+		e.Uint32(item.Flags)
+		e.Blob(item.Value)
+		return done, e.Bytes(), nil
+	})
+	store := func(mode storeMode) rpc.Handler {
+		return func(at vclock.Time, body []byte) (vclock.Time, []byte, error) {
+			d := wire.NewDecoder(body)
+			key := d.String()
+			flags := d.Uint32()
+			expect := d.Uint64()
+			value := d.BlobView()
+			if err := d.Finish(); err != nil {
+				return at, nil, err
+			}
+			done := s.acquire(at)
+			cas, err := s.store(key, value, flags, mode, expect)
+			if err != nil {
+				return done, nil, err
+			}
+			e := wire.NewEncoder(8)
+			e.Uint64(cas)
+			return done, e.Bytes(), nil
+		}
+	}
+	svc.Handle("set", store(storeSet))
+	svc.Handle("add", store(storeAdd))
+	svc.Handle("cas", store(storeCAS))
+	svc.Handle("delete", func(at vclock.Time, body []byte) (vclock.Time, []byte, error) {
+		d := wire.NewDecoder(body)
+		key := d.String()
+		if err := d.Finish(); err != nil {
+			return at, nil, err
+		}
+		done, err := s.Delete(at, key)
+		return done, nil, err
+	})
+	svc.Handle("flush_all", func(at vclock.Time, body []byte) (vclock.Time, []byte, error) {
+		return s.FlushAll(at), nil, nil
+	})
+	svc.Handle("stats", func(at vclock.Time, body []byte) (vclock.Time, []byte, error) {
+		st := s.Stats()
+		e := wire.NewEncoder(64)
+		e.Int64(st.Items)
+		e.Int64(st.UsedBytes)
+		e.Int64(st.Hits)
+		e.Int64(st.Misses)
+		e.Int64(st.Evictions)
+		return s.acquire(at), e.Bytes(), nil
+	})
+	return svc
+}

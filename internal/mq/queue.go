@@ -1,0 +1,135 @@
+// Package mq provides the commit-queue machinery of Pacon's commit
+// module (paper §III.D.1, Fig 5): a per-node publish/subscribe FIFO
+// (ZeroMQ in the paper's prototype) carrying metadata operations from
+// clients to the node's commit process, plus the barrier-epoch protocol
+// (§III.E.2, Fig 6) that orders dependent operations across every commit
+// process of a consistent region.
+package mq
+
+import (
+	"sync"
+
+	"pacon/internal/fsapi"
+)
+
+// Queue is an unbounded FIFO of messages from a node's clients
+// (publishers) to the node's commit process (subscriber). Barrier
+// markers are interleaved in FIFO position with ordinary messages.
+//
+// One simplification versus the paper: Fig 6 has every client push its
+// own barrier message and the commit process count them. Pushes into a
+// node queue are serialized anyway, so a single marker per node carries
+// the same information; the coordinator (Barrier) still counts one
+// arrival per node, which is the paper's multi-node decision rule.
+type Queue[T any] struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []queueItem[T]
+	closed bool
+
+	pushed  int64
+	popped  int64
+	maxSeen int
+}
+
+type queueItem[T any] struct {
+	barrier bool
+	epoch   uint64
+	v       T
+}
+
+// NewQueue returns an empty open queue.
+func NewQueue[T any]() *Queue[T] {
+	q := &Queue[T]{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// Push publishes an operation message. Push on a closed queue returns
+// ErrClosed.
+func (q *Queue[T]) Push(v T) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return fsapi.ErrClosed
+	}
+	q.items = append(q.items, queueItem[T]{v: v})
+	q.pushed++
+	if len(q.items) > q.maxSeen {
+		q.maxSeen = len(q.items)
+	}
+	q.cond.Signal()
+	return nil
+}
+
+// PushBarrier publishes a barrier marker for epoch.
+func (q *Queue[T]) PushBarrier(epoch uint64) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return fsapi.ErrClosed
+	}
+	q.items = append(q.items, queueItem[T]{barrier: true, epoch: epoch})
+	q.cond.Signal()
+	return nil
+}
+
+// Pop blocks for the next message. ok=false means the queue was closed
+// and fully drained. barrier=true marks a barrier message whose epoch is
+// returned; v is the zero value then.
+func (q *Queue[T]) Pop() (v T, barrier bool, epoch uint64, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.items) == 0 {
+		return v, false, 0, false
+	}
+	it := q.items[0]
+	q.items = q.items[1:]
+	q.popped++
+	return it.v, it.barrier, it.epoch, true
+}
+
+// TryPop is Pop without blocking; ok=false means empty right now (or
+// closed and drained).
+func (q *Queue[T]) TryPop() (v T, barrier bool, epoch uint64, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.items) == 0 {
+		return v, false, 0, false
+	}
+	it := q.items[0]
+	q.items = q.items[1:]
+	q.popped++
+	return it.v, it.barrier, it.epoch, true
+}
+
+// Len returns the number of queued messages (including barriers).
+func (q *Queue[T]) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}
+
+// Close wakes the subscriber; queued messages can still be drained.
+func (q *Queue[T]) Close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	q.cond.Broadcast()
+}
+
+// QueueStats reports queue pressure for the bench harness.
+type QueueStats struct {
+	Pushed, Popped int64
+	MaxDepth       int
+}
+
+// Stats returns counters.
+func (q *Queue[T]) Stats() QueueStats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return QueueStats{Pushed: q.pushed, Popped: q.popped, MaxDepth: q.maxSeen}
+}

@@ -1,0 +1,46 @@
+package namespace
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzClean pins Clean's invariants for arbitrary input: result starts
+// with '/', has no empty or "." segments, no trailing slash except root,
+// and Clean is idempotent.
+func FuzzClean(f *testing.F) {
+	for _, s := range []string{"", "/", "a//b", "/a/./b/", "////", "a/b/c", "/work space/x"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, p string) {
+		c := Clean(p)
+		if !strings.HasPrefix(c, "/") {
+			t.Fatalf("Clean(%q) = %q lacks leading slash", p, c)
+		}
+		if c != "/" && strings.HasSuffix(c, "/") {
+			t.Fatalf("Clean(%q) = %q has trailing slash", p, c)
+		}
+		if strings.Contains(c, "//") {
+			t.Fatalf("Clean(%q) = %q has empty segment", p, c)
+		}
+		for _, seg := range Components(c) {
+			if seg == "" || seg == "." {
+				t.Fatalf("Clean(%q) kept segment %q", p, seg)
+			}
+		}
+		if again := Clean(c); again != c {
+			t.Fatalf("Clean not idempotent: %q -> %q -> %q", p, c, again)
+		}
+		// Split/Join round-trips any cleaned non-root path.
+		if c != "/" {
+			dir, name := Split(c)
+			if Join(dir, name) != c {
+				t.Fatalf("Join(Split(%q)) = %q", c, Join(dir, name))
+			}
+		}
+		// Depth agrees with Components.
+		if Depth(c) != len(Components(c)) {
+			t.Fatalf("Depth(%q) = %d, components %d", c, Depth(c), len(Components(c)))
+		}
+	})
+}

@@ -1,0 +1,94 @@
+// Package namespace provides path canonicalisation and the in-memory
+// namespace tree used by the DFS metadata server. The tree enforces the
+// paper's "namespace conventions" (§III.E.1): an object being created
+// must not exist, its parent must already exist and be a directory, and
+// a removed object must exist — the DFS-side guarantees Pacon's
+// independent commit relies on.
+package namespace
+
+import "strings"
+
+// Clean canonicalises a path: one leading slash, no trailing slash
+// (except root), empty and dot segments removed. It is intentionally a
+// small subset of path.Clean — ".." is treated as a literal name, since
+// no system in this repository generates it.
+func Clean(p string) string {
+	var b strings.Builder
+	b.Grow(len(p) + 1)
+	for _, seg := range strings.Split(p, "/") {
+		if seg == "" || seg == "." {
+			continue
+		}
+		b.WriteByte('/')
+		b.WriteString(seg)
+	}
+	if b.Len() == 0 {
+		return "/"
+	}
+	return b.String()
+}
+
+// Split returns the parent directory and base name of a cleaned path.
+// Split("/") returns ("/", "").
+func Split(p string) (dir, name string) {
+	p = Clean(p)
+	if p == "/" {
+		return "/", ""
+	}
+	i := strings.LastIndexByte(p, '/')
+	if i == 0 {
+		return "/", p[1:]
+	}
+	return p[:i], p[i+1:]
+}
+
+// Join appends name under dir.
+func Join(dir, name string) string {
+	dir = Clean(dir)
+	if dir == "/" {
+		return "/" + name
+	}
+	return dir + "/" + name
+}
+
+// Components returns the path's segments ("/a/b" → ["a","b"]); root has
+// none.
+func Components(p string) []string {
+	p = Clean(p)
+	if p == "/" {
+		return nil
+	}
+	return strings.Split(p[1:], "/")
+}
+
+// Depth is the number of components ("/" = 0, "/a/b" = 2).
+func Depth(p string) int { return len(Components(p)) }
+
+// IsUnder reports whether p equals root or lies in root's subtree.
+func IsUnder(p, root string) bool {
+	p, root = Clean(p), Clean(root)
+	if root == "/" {
+		return true
+	}
+	if p == root {
+		return true
+	}
+	return strings.HasPrefix(p, root+"/")
+}
+
+// Ancestors lists every proper ancestor of p from "/" down to its
+// parent ("/a/b/c" → ["/", "/a", "/a/b"]).
+func Ancestors(p string) []string {
+	comps := Components(p)
+	out := make([]string, 0, len(comps))
+	out = append(out, "/")
+	cur := ""
+	for i := 0; i < len(comps)-1; i++ {
+		cur += "/" + comps[i]
+		out = append(out, cur)
+	}
+	if len(comps) == 0 {
+		return nil
+	}
+	return out
+}

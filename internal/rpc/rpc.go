@@ -1,0 +1,180 @@
+// Package rpc is the transport layer connecting clients to metadata
+// services. Two interchangeable transports exist:
+//
+//   - Bus — an in-process transport used by tests and the bench harness;
+//     handlers run in the caller's goroutine, so hundreds of simulated
+//     clients cost nothing but goroutines.
+//   - TCP — a real length-prefixed-frame protocol over net.Conn, used by
+//     the examples to show the system running across OS processes.
+//
+// Every request carries a virtual arrival timestamp (internal/vclock) and
+// every response carries a virtual completion timestamp; the Caller adds
+// the latency-model wire costs on both directions. Real wall-clock time
+// never enters throughput math.
+package rpc
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"pacon/internal/fsapi"
+	"pacon/internal/vclock"
+)
+
+// Handler serves one RPC method. `at` is the virtual time the request
+// reaches the service (wire latency already added by the caller); the
+// returned time is when the service finished, typically
+// resource.Acquire(at, cost).
+type Handler func(at vclock.Time, body []byte) (vclock.Time, []byte, error)
+
+// Service is a method mux registered under one address.
+type Service struct {
+	mu      sync.RWMutex
+	methods map[string]Handler
+}
+
+// NewService returns an empty method mux.
+func NewService() *Service { return &Service{methods: make(map[string]Handler)} }
+
+// Handle registers a handler for method. Re-registering replaces.
+func (s *Service) Handle(method string, h Handler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.methods[method] = h
+}
+
+// dispatch runs the handler for method, or errors if unknown.
+func (s *Service) dispatch(method string, at vclock.Time, body []byte) (vclock.Time, []byte, error) {
+	s.mu.RLock()
+	h := s.methods[method]
+	s.mu.RUnlock()
+	if h == nil {
+		return at, nil, fmt.Errorf("rpc: unknown method %q", method)
+	}
+	return h(at, body)
+}
+
+// Transport delivers a request to the service at a logical address.
+type Transport interface {
+	Invoke(addr, method string, at vclock.Time, body []byte) (vclock.Time, []byte, error)
+}
+
+// Bus is the in-process transport: a registry of logical address →
+// Service. Safe for concurrent use.
+type Bus struct {
+	mu       sync.RWMutex
+	services map[string]*Service
+
+	calls atomic.Int64
+	bytes atomic.Int64
+}
+
+// NewBus returns an empty bus.
+func NewBus() *Bus { return &Bus{services: make(map[string]*Service)} }
+
+// Register binds a service to a logical address like "node3/mds".
+func (b *Bus) Register(addr string, svc *Service) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.services[addr] = svc
+}
+
+// Unregister removes an address; in-flight calls finish normally. Used to
+// simulate node failure.
+func (b *Bus) Unregister(addr string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	delete(b.services, addr)
+}
+
+// Invoke implements Transport.
+func (b *Bus) Invoke(addr, method string, at vclock.Time, body []byte) (vclock.Time, []byte, error) {
+	b.mu.RLock()
+	svc := b.services[addr]
+	b.mu.RUnlock()
+	if svc == nil {
+		return at, nil, fmt.Errorf("rpc: no service at %q: %w", addr, fsapi.ErrClosed)
+	}
+	b.calls.Add(1)
+	b.bytes.Add(int64(len(body)))
+	return svc.dispatch(method, at, body)
+}
+
+// Calls returns the number of invocations served.
+func (b *Bus) Calls() int64 { return b.calls.Load() }
+
+// Bytes returns the total request payload bytes carried.
+func (b *Bus) Bytes() int64 { return b.bytes.Load() }
+
+// NodeOf extracts the node component of a logical address
+// ("node3/mds" → "node3"). Addresses without a slash are their own node.
+func NodeOf(addr string) string {
+	if i := strings.IndexByte(addr, '/'); i >= 0 {
+		return addr[:i]
+	}
+	return addr
+}
+
+// Caller issues RPCs on behalf of one client process pinned to a node.
+// It injects the latency model's wire costs around the transport and
+// normalizes errors to the fsapi sentinel set so behavior is identical
+// over Bus and TCP.
+type Caller struct {
+	transport Transport
+	model     vclock.LatencyModel
+	node      string
+
+	pacer   *vclock.Pacer
+	pacerID int
+
+	calls atomic.Int64
+}
+
+// NewCaller builds a caller for a client running on `node`.
+func NewCaller(t Transport, model vclock.LatencyModel, node string) *Caller {
+	return &Caller{transport: t, model: model, node: node}
+}
+
+// Node returns the caller's node id.
+func (c *Caller) Node() string { return c.node }
+
+// Model returns the caller's latency model.
+func (c *Caller) Model() vclock.LatencyModel { return c.model }
+
+// Calls returns the number of RPCs issued by this caller.
+func (c *Caller) Calls() int64 { return c.calls.Load() }
+
+// Pace attaches a vclock.Pacer: every Call then synchronizes this
+// caller's virtual clock with the other participants before issuing, so
+// resource queueing stays accurate under arbitrary goroutine scheduling
+// (see vclock.Pacer). id is this caller's participant index.
+func (c *Caller) Pace(p *vclock.Pacer, id int) {
+	c.pacer = p
+	c.pacerID = id
+}
+
+// Call sends method to addr with the request body, charging one-way wire
+// latency plus per-KiB transfer each direction. It returns the virtual
+// time at which the response reaches the caller.
+func (c *Caller) Call(addr, method string, at vclock.Time, body []byte) (vclock.Time, []byte, error) {
+	if c.pacer != nil {
+		c.pacer.Advance(c.pacerID, at)
+	}
+	c.calls.Add(1)
+	same := c.node == NodeOf(addr)
+	sendAt := at.Add(c.model.OneWay(same) + c.model.Transfer(len(body)))
+	done, resp, err := c.transport.Invoke(addr, method, sendAt, body)
+	if done < sendAt {
+		done = sendAt
+	}
+	recvAt := done.Add(c.model.OneWay(same) + c.model.Transfer(len(resp)))
+	if err != nil {
+		// Normalize to the sentinel set; unknown errors pass through.
+		if code := fsapi.CodeOf(err); code != fsapi.CodeOther {
+			err = fsapi.ErrOf(code, "")
+		}
+	}
+	return recvAt, resp, err
+}

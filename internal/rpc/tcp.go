@@ -1,0 +1,303 @@
+package rpc
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"pacon/internal/fsapi"
+	"pacon/internal/vclock"
+	"pacon/internal/wire"
+)
+
+// maxFrame bounds a single request/response frame (16 MiB — enough for a
+// data-server chunk plus headers).
+const maxFrame = 16 << 20
+
+// TCPServer serves one Service mux over a real TCP listener using
+// length-prefixed binary frames. Frame layout (request):
+//
+//	u32 length | method string | i64 at | blob body
+//
+// and (response):
+//
+//	u32 length | i64 done | u8 errcode | detail string | blob body
+type TCPServer struct {
+	ln  net.Listener
+	svc *Service
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// ServeTCP starts a server for svc on hostport ("127.0.0.1:0" to pick a
+// free port). Use Addr to discover the bound address.
+func ServeTCP(hostport string, svc *Service) (*TCPServer, error) {
+	ln, err := net.Listen("tcp", hostport)
+	if err != nil {
+		return nil, err
+	}
+	s := &TCPServer{ln: ln, svc: svc, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *TCPServer) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and all connections.
+func (s *TCPServer) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	err := s.ln.Close()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+func (s *TCPServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *TCPServer) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	for {
+		frame, err := readFrame(br)
+		if err != nil {
+			return
+		}
+		d := wire.NewDecoder(frame)
+		method := d.String()
+		at := vclock.Time(d.Int64())
+		body := d.BlobView()
+		if d.Err() != nil {
+			return
+		}
+		done, resp, herr := s.svc.dispatch(method, at, body)
+
+		e := wire.NewEncoder(16 + len(resp))
+		e.Int64(int64(done))
+		code := fsapi.CodeOf(herr)
+		e.Byte(code)
+		if code == fsapi.CodeOther && herr != nil {
+			e.String(herr.Error())
+		} else {
+			e.String("")
+		}
+		e.Blob(resp)
+		if err := writeFrame(bw, e.Bytes()); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("rpc: frame of %d bytes exceeds limit", n)
+	}
+	frame := make([]byte, n)
+	if _, err := io.ReadFull(r, frame); err != nil {
+		return nil, err
+	}
+	return frame, nil
+}
+
+func writeFrame(w io.Writer, frame []byte) error {
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(frame)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(frame)
+	return err
+}
+
+// TCPTransport implements Transport over real TCP connections. Logical
+// addresses are resolved to host:port through a static table, mirroring
+// the node-address lists an HPC application hands to Pacon at init.
+type TCPTransport struct {
+	mu      sync.Mutex
+	resolve map[string]string // logical addr -> host:port
+	pools   map[string]*connPool
+}
+
+// NewTCPTransport builds a transport with a logical→physical address map.
+func NewTCPTransport(resolve map[string]string) *TCPTransport {
+	table := make(map[string]string, len(resolve))
+	for k, v := range resolve {
+		table[k] = v
+	}
+	return &TCPTransport{resolve: table, pools: make(map[string]*connPool)}
+}
+
+// AddRoute maps a logical address to a physical host:port.
+func (t *TCPTransport) AddRoute(addr, hostport string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.resolve[addr] = hostport
+}
+
+// Invoke implements Transport.
+func (t *TCPTransport) Invoke(addr, method string, at vclock.Time, body []byte) (vclock.Time, []byte, error) {
+	t.mu.Lock()
+	hostport, ok := t.resolve[addr]
+	if !ok {
+		t.mu.Unlock()
+		return at, nil, fmt.Errorf("rpc: no route to %q: %w", addr, fsapi.ErrClosed)
+	}
+	pool := t.pools[hostport]
+	if pool == nil {
+		pool = &connPool{hostport: hostport}
+		t.pools[hostport] = pool
+	}
+	t.mu.Unlock()
+
+	c, err := pool.get()
+	if err != nil {
+		return at, nil, err
+	}
+	done, resp, rerr, ioErr := c.roundTrip(method, at, body)
+	if ioErr != nil {
+		c.close()
+		return at, nil, ioErr
+	}
+	pool.put(c)
+	return done, resp, rerr
+}
+
+// Close tears down all pooled connections.
+func (t *TCPTransport) Close() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, p := range t.pools {
+		p.closeAll()
+	}
+}
+
+// connPool keeps a small free list of connections per physical endpoint;
+// each connection serves one request at a time.
+type connPool struct {
+	hostport string
+	mu       sync.Mutex
+	free     []*tcpConn
+	closed   bool
+}
+
+func (p *connPool) get() (*tcpConn, error) {
+	p.mu.Lock()
+	if n := len(p.free); n > 0 {
+		c := p.free[n-1]
+		p.free = p.free[:n-1]
+		p.mu.Unlock()
+		return c, nil
+	}
+	closed := p.closed
+	p.mu.Unlock()
+	if closed {
+		return nil, fsapi.ErrClosed
+	}
+	conn, err := net.Dial("tcp", p.hostport)
+	if err != nil {
+		return nil, err
+	}
+	return &tcpConn{conn: conn, br: bufio.NewReader(conn), bw: bufio.NewWriter(conn)}, nil
+}
+
+func (p *connPool) put(c *tcpConn) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed || len(p.free) >= 8 {
+		c.close()
+		return
+	}
+	p.free = append(p.free, c)
+}
+
+func (p *connPool) closeAll() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.closed = true
+	for _, c := range p.free {
+		c.close()
+	}
+	p.free = nil
+}
+
+type tcpConn struct {
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+}
+
+func (c *tcpConn) close() { c.conn.Close() }
+
+func (c *tcpConn) roundTrip(method string, at vclock.Time, body []byte) (vclock.Time, []byte, error, error) {
+	e := wire.NewEncoder(16 + len(method) + len(body))
+	e.String(method)
+	e.Int64(int64(at))
+	e.Blob(body)
+	if err := writeFrame(c.bw, e.Bytes()); err != nil {
+		return at, nil, nil, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return at, nil, nil, err
+	}
+	frame, err := readFrame(c.br)
+	if err != nil {
+		return at, nil, nil, err
+	}
+	d := wire.NewDecoder(frame)
+	done := vclock.Time(d.Int64())
+	code := d.Byte()
+	detail := d.String()
+	resp := d.Blob()
+	if derr := d.Err(); derr != nil {
+		return at, nil, nil, derr
+	}
+	return done, resp, fsapi.ErrOf(code, detail), nil
+}

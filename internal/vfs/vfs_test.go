@@ -1,0 +1,260 @@
+package vfs
+
+import (
+	"errors"
+	"io"
+	"sync"
+	"testing"
+
+	"pacon/internal/fsapi"
+)
+
+// backends returns a fresh instance of every FS implementation so each
+// test exercises both.
+func backends(t *testing.T) map[string]FS {
+	t.Helper()
+	osfs, err := NewOSFS(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]FS{"mem": NewMemFS(), "os": osfs}
+}
+
+func TestCreateWriteReadBack(t *testing.T) {
+	for name, fs := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			f, err := fs.Create("wal-000001.log")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := f.Write([]byte("hello ")); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := f.Write([]byte("world")); err != nil {
+				t.Fatal(err)
+			}
+			if err := f.Sync(); err != nil {
+				t.Fatal(err)
+			}
+			sz, err := f.Size()
+			if err != nil || sz != 11 {
+				t.Fatalf("size = %d, err %v", sz, err)
+			}
+			buf := make([]byte, 5)
+			if _, err := f.ReadAt(buf, 6); err != nil && err != io.EOF {
+				t.Fatal(err)
+			}
+			if string(buf) != "world" {
+				t.Fatalf("read %q", buf)
+			}
+			if err := f.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			// Reopen and read again.
+			g, err := fs.Open("wal-000001.log")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer g.Close()
+			if _, err := g.ReadAt(buf, 0); err != nil && err != io.EOF {
+				t.Fatal(err)
+			}
+			if string(buf) != "hello" {
+				t.Fatalf("reopened read %q", buf)
+			}
+		})
+	}
+}
+
+func TestOpenMissing(t *testing.T) {
+	for name, fs := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			if _, err := fs.Open("nope"); !errors.Is(err, fsapi.ErrNotExist) {
+				t.Fatalf("err = %v", err)
+			}
+			if err := fs.Remove("nope"); !errors.Is(err, fsapi.ErrNotExist) {
+				t.Fatalf("remove err = %v", err)
+			}
+		})
+	}
+}
+
+func TestCreateTruncatesExisting(t *testing.T) {
+	for name, fs := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			f, _ := fs.Create("f")
+			f.Write([]byte("long old content"))
+			f.Close()
+			g, _ := fs.Create("f")
+			g.Write([]byte("new"))
+			sz, _ := g.Size()
+			if sz != 3 {
+				t.Fatalf("size after re-create = %d", sz)
+			}
+			g.Close()
+		})
+	}
+}
+
+func TestRemoveAndRename(t *testing.T) {
+	for name, fs := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			f, _ := fs.Create("a")
+			f.Write([]byte("x"))
+			f.Close()
+			if err := fs.Rename("a", "b"); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := fs.Open("a"); !errors.Is(err, fsapi.ErrNotExist) {
+				t.Fatal("old name still present after rename")
+			}
+			g, err := fs.Open("b")
+			if err != nil {
+				t.Fatal(err)
+			}
+			g.Close()
+			if err := fs.Remove("b"); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := fs.Open("b"); !errors.Is(err, fsapi.ErrNotExist) {
+				t.Fatal("file present after remove")
+			}
+		})
+	}
+}
+
+func TestListPrefix(t *testing.T) {
+	for name, fs := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			for _, n := range []string{"sst-3", "sst-1", "wal-2", "sst-2"} {
+				f, _ := fs.Create(n)
+				f.Close()
+			}
+			got, err := fs.List("sst-")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != 3 || got[0] != "sst-1" || got[1] != "sst-2" || got[2] != "sst-3" {
+				t.Fatalf("List = %v", got)
+			}
+		})
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	for name, fs := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			f, _ := fs.Create("t")
+			f.Write([]byte("0123456789"))
+			if err := f.Truncate(4); err != nil {
+				t.Fatal(err)
+			}
+			if sz, _ := f.Size(); sz != 4 {
+				t.Fatalf("size after shrink = %d", sz)
+			}
+			if err := f.Truncate(8); err != nil {
+				t.Fatal(err)
+			}
+			buf := make([]byte, 8)
+			if _, err := f.ReadAt(buf, 0); err != nil && err != io.EOF {
+				t.Fatal(err)
+			}
+			if string(buf[:4]) != "0123" || buf[4] != 0 {
+				t.Fatalf("grown content = %q", buf)
+			}
+			f.Close()
+		})
+	}
+}
+
+func TestReadAtPastEOF(t *testing.T) {
+	for name, fs := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			f, _ := fs.Create("e")
+			f.Write([]byte("abc"))
+			buf := make([]byte, 10)
+			n, err := f.ReadAt(buf, 1)
+			if n != 2 || err != io.EOF {
+				t.Fatalf("short ReadAt = (%d, %v)", n, err)
+			}
+			if _, err := f.ReadAt(buf, 100); err != io.EOF {
+				t.Fatalf("past-EOF ReadAt err = %v", err)
+			}
+			f.Close()
+		})
+	}
+}
+
+func TestMemFSConcurrentReaders(t *testing.T) {
+	fs := NewMemFS()
+	f, _ := fs.Create("shared")
+	data := make([]byte, 4096)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	f.Write(data)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h, err := fs.Open("shared")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer h.Close()
+			buf := make([]byte, 64)
+			for off := int64(0); off < 4096; off += 64 {
+				if _, err := h.ReadAt(buf, off); err != nil && err != io.EOF {
+					t.Error(err)
+					return
+				}
+				if buf[0] != byte(off) {
+					t.Errorf("off %d: got %d", off, buf[0])
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestMemFSTotalBytes(t *testing.T) {
+	fs := NewMemFS()
+	a, _ := fs.Create("a")
+	a.Write(make([]byte, 100))
+	b, _ := fs.Create("b")
+	b.Write(make([]byte, 50))
+	if got := fs.TotalBytes(); got != 150 {
+		t.Fatalf("TotalBytes = %d", got)
+	}
+}
+
+func TestMemFSWriteAfterClose(t *testing.T) {
+	fs := NewMemFS()
+	f, _ := fs.Create("c")
+	f.Close()
+	if _, err := f.Write([]byte("x")); !errors.Is(err, fsapi.ErrClosed) {
+		t.Fatalf("write after close err = %v", err)
+	}
+}
+
+func TestOSFSPathEscapeIsContained(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := NewOSFS(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A hostile name must not escape the root.
+	f, err := fs.Create("../../etc/escape-attempt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, err := fs.Open("../../etc/escape-attempt"); err != nil {
+		t.Fatal("contained file should reopen through the same name")
+	}
+}

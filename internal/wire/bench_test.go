@@ -1,0 +1,64 @@
+package wire
+
+import "testing"
+
+func BenchmarkEncodeStatSized(b *testing.B) {
+	e := NewEncoder(128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Reset()
+		e.Byte(1)
+		e.Uint16(0o644)
+		e.Uint32(1000)
+		e.Uint32(1000)
+		e.Int64(4096)
+		e.Uint32(1)
+		e.Int64(123456789)
+		e.Int64(987654321)
+		e.Blob(nil)
+	}
+}
+
+func BenchmarkDecodeStatSized(b *testing.B) {
+	e := NewEncoder(128)
+	e.Byte(1)
+	e.Uint16(0o644)
+	e.Uint32(1000)
+	e.Uint32(1000)
+	e.Int64(4096)
+	e.Uint32(1)
+	e.Int64(123456789)
+	e.Int64(987654321)
+	e.Blob(nil)
+	buf := e.Bytes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := NewDecoder(buf)
+		_ = d.Byte()
+		_ = d.Uint16()
+		_ = d.Uint32()
+		_ = d.Uint32()
+		_ = d.Int64()
+		_ = d.Uint32()
+		_ = d.Int64()
+		_ = d.Int64()
+		_ = d.BlobView()
+		if d.Err() != nil {
+			b.Fatal(d.Err())
+		}
+	}
+}
+
+func BenchmarkStringRoundTrip(b *testing.B) {
+	const path = "/scratch/app1/output/rank0042/checkpoint.0017.dat"
+	e := NewEncoder(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Reset()
+		e.String(path)
+		d := NewDecoder(e.Bytes())
+		if d.String() != path {
+			b.Fatal("mismatch")
+		}
+	}
+}

@@ -1,0 +1,229 @@
+// Package wire implements the compact binary codec used on every RPC
+// payload in this repository: uvarint-length framing for strings and
+// blobs, fixed-width integers in little-endian, and a sticky-error
+// Decoder so call sites can decode whole messages before checking one
+// error. The codec is deliberately reflection-free: metadata records are
+// tiny and encode/decode sits on the hot path of every simulated op.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrTruncated reports a decode past the end of the buffer.
+var ErrTruncated = errors.New("wire: truncated message")
+
+// ErrTooLong reports a string/blob length field that exceeds the
+// remaining buffer (corrupt or hostile input).
+var ErrTooLong = errors.New("wire: declared length exceeds buffer")
+
+// Encoder appends primitive values to a growing buffer. The zero value
+// is ready to use; Reuse with Reset to amortize allocations.
+type Encoder struct{ buf []byte }
+
+// NewEncoder returns an encoder with the given capacity hint.
+func NewEncoder(capHint int) *Encoder { return &Encoder{buf: make([]byte, 0, capHint)} }
+
+// Bytes returns the encoded message. The slice aliases the encoder's
+// buffer; callers that retain it across Reset must copy.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Len returns the current encoded length.
+func (e *Encoder) Len() int { return len(e.buf) }
+
+// Reset clears the buffer for reuse.
+func (e *Encoder) Reset() { e.buf = e.buf[:0] }
+
+// Byte appends a raw byte.
+func (e *Encoder) Byte(v byte) { e.buf = append(e.buf, v) }
+
+// Bool appends a boolean as one byte.
+func (e *Encoder) Bool(v bool) {
+	if v {
+		e.Byte(1)
+	} else {
+		e.Byte(0)
+	}
+}
+
+// Uint16 appends a fixed-width little-endian uint16.
+func (e *Encoder) Uint16(v uint16) { e.buf = binary.LittleEndian.AppendUint16(e.buf, v) }
+
+// Uint32 appends a fixed-width little-endian uint32.
+func (e *Encoder) Uint32(v uint32) { e.buf = binary.LittleEndian.AppendUint32(e.buf, v) }
+
+// Uint64 appends a fixed-width little-endian uint64.
+func (e *Encoder) Uint64(v uint64) { e.buf = binary.LittleEndian.AppendUint64(e.buf, v) }
+
+// Int64 appends a fixed-width int64 (two's complement).
+func (e *Encoder) Int64(v int64) { e.Uint64(uint64(v)) }
+
+// Uvarint appends a varint-encoded unsigned integer.
+func (e *Encoder) Uvarint(v uint64) { e.buf = binary.AppendUvarint(e.buf, v) }
+
+// String appends a uvarint length followed by the raw bytes.
+func (e *Encoder) String(s string) {
+	e.Uvarint(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// Bytes appends a uvarint length followed by the blob. A nil slice
+// round-trips as an empty one.
+func (e *Encoder) Blob(b []byte) {
+	e.Uvarint(uint64(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+// Decoder consumes a buffer produced by Encoder. The first failure
+// sticks: subsequent reads return zero values and Err reports the cause.
+type Decoder struct {
+	b   []byte
+	off int
+	err error
+}
+
+// NewDecoder wraps a buffer for decoding.
+func NewDecoder(b []byte) *Decoder { return &Decoder{b: b} }
+
+// Err returns the first decode error, if any.
+func (d *Decoder) Err() error { return d.err }
+
+// Remaining returns the number of unread bytes.
+func (d *Decoder) Remaining() int { return len(d.b) - d.off }
+
+// Finish returns an error if decoding failed or bytes remain unread —
+// useful to catch schema drift between encoder and decoder.
+func (d *Decoder) Finish() error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.off != len(d.b) {
+		return fmt.Errorf("wire: %d trailing bytes", len(d.b)-d.off)
+	}
+	return nil
+}
+
+func (d *Decoder) fail(err error) {
+	if d.err == nil {
+		d.err = err
+	}
+}
+
+func (d *Decoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if d.off+n > len(d.b) {
+		d.fail(ErrTruncated)
+		return nil
+	}
+	out := d.b[d.off : d.off+n]
+	d.off += n
+	return out
+}
+
+// Byte reads one raw byte.
+func (d *Decoder) Byte() byte {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// Bool reads a one-byte boolean.
+func (d *Decoder) Bool() bool { return d.Byte() != 0 }
+
+// Uint16 reads a fixed-width little-endian uint16.
+func (d *Decoder) Uint16() uint16 {
+	b := d.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+// Uint32 reads a fixed-width little-endian uint32.
+func (d *Decoder) Uint32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+// Uint64 reads a fixed-width little-endian uint64.
+func (d *Decoder) Uint64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// Int64 reads a fixed-width int64.
+func (d *Decoder) Int64() int64 { return int64(d.Uint64()) }
+
+// Uvarint reads a varint-encoded unsigned integer.
+func (d *Decoder) Uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b[d.off:])
+	if n <= 0 {
+		d.fail(ErrTruncated)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+// String reads a length-prefixed string.
+func (d *Decoder) String() string {
+	n := d.Uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if n > math.MaxInt32 || int(n) > d.Remaining() {
+		d.fail(ErrTooLong)
+		return ""
+	}
+	return string(d.take(int(n)))
+}
+
+// Blob reads a length-prefixed byte slice. The result is a copy, safe to
+// retain after the underlying buffer is reused.
+func (d *Decoder) Blob() []byte {
+	n := d.Uvarint()
+	if d.err != nil {
+		return nil
+	}
+	if n > math.MaxInt32 || int(n) > d.Remaining() {
+		d.fail(ErrTooLong)
+		return nil
+	}
+	b := d.take(int(n))
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}
+
+// BlobView is Blob without the defensive copy, for hot paths where the
+// caller promises not to retain the slice past the buffer's lifetime.
+func (d *Decoder) BlobView() []byte {
+	n := d.Uvarint()
+	if d.err != nil {
+		return nil
+	}
+	if n > math.MaxInt32 || int(n) > d.Remaining() {
+		d.fail(ErrTooLong)
+		return nil
+	}
+	return d.take(int(n))
+}

@@ -1,0 +1,176 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTripAllTypes(t *testing.T) {
+	e := NewEncoder(64)
+	e.Byte(0xAB)
+	e.Bool(true)
+	e.Bool(false)
+	e.Uint16(0xBEEF)
+	e.Uint32(0xDEADBEEF)
+	e.Uint64(1 << 62)
+	e.Int64(-12345)
+	e.Uvarint(300)
+	e.String("hello/world")
+	e.Blob([]byte{1, 2, 3})
+	e.Blob(nil)
+
+	d := NewDecoder(e.Bytes())
+	if got := d.Byte(); got != 0xAB {
+		t.Fatalf("Byte = %x", got)
+	}
+	if !d.Bool() || d.Bool() {
+		t.Fatal("Bool mismatch")
+	}
+	if got := d.Uint16(); got != 0xBEEF {
+		t.Fatalf("Uint16 = %x", got)
+	}
+	if got := d.Uint32(); got != 0xDEADBEEF {
+		t.Fatalf("Uint32 = %x", got)
+	}
+	if got := d.Uint64(); got != 1<<62 {
+		t.Fatalf("Uint64 = %x", got)
+	}
+	if got := d.Int64(); got != -12345 {
+		t.Fatalf("Int64 = %d", got)
+	}
+	if got := d.Uvarint(); got != 300 {
+		t.Fatalf("Uvarint = %d", got)
+	}
+	if got := d.String(); got != "hello/world" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := d.Blob(); !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Fatalf("Blob = %v", got)
+	}
+	if got := d.Blob(); len(got) != 0 {
+		t.Fatalf("nil Blob = %v", got)
+	}
+	if err := d.Finish(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTruncatedDecodeSticks(t *testing.T) {
+	e := NewEncoder(8)
+	e.Uint64(42)
+	d := NewDecoder(e.Bytes()[:4])
+	if got := d.Uint64(); got != 0 {
+		t.Fatalf("truncated Uint64 = %d, want 0", got)
+	}
+	if !errors.Is(d.Err(), ErrTruncated) {
+		t.Fatalf("err = %v", d.Err())
+	}
+	// Error sticks: later reads stay zero and don't panic.
+	if d.Byte() != 0 || d.String() != "" || d.Blob() != nil {
+		t.Fatal("reads after error must return zero values")
+	}
+	if d.Finish() == nil {
+		t.Fatal("Finish must report the sticky error")
+	}
+}
+
+func TestDeclaredLengthBeyondBuffer(t *testing.T) {
+	e := NewEncoder(8)
+	e.Uvarint(1000) // claims 1000-byte string
+	e.buf = append(e.buf, "short"...)
+	d := NewDecoder(e.Bytes())
+	if got := d.String(); got != "" {
+		t.Fatalf("String = %q", got)
+	}
+	if !errors.Is(d.Err(), ErrTooLong) {
+		t.Fatalf("err = %v", d.Err())
+	}
+}
+
+func TestTrailingBytesDetected(t *testing.T) {
+	e := NewEncoder(8)
+	e.Uint32(7)
+	e.Byte(9)
+	d := NewDecoder(e.Bytes())
+	d.Uint32()
+	if err := d.Finish(); err == nil {
+		t.Fatal("Finish must flag trailing bytes")
+	}
+}
+
+func TestBlobCopiesButViewAliases(t *testing.T) {
+	e := NewEncoder(8)
+	e.Blob([]byte{1, 2, 3})
+	buf := e.Bytes()
+
+	d := NewDecoder(buf)
+	got := d.Blob()
+	buf[len(buf)-1] = 99
+	if got[2] != 3 {
+		t.Fatal("Blob must copy out of the buffer")
+	}
+
+	d2 := NewDecoder(buf)
+	view := d2.BlobView()
+	if view[2] != 99 {
+		t.Fatal("BlobView must alias the buffer")
+	}
+}
+
+func TestEncoderReset(t *testing.T) {
+	e := NewEncoder(8)
+	e.String("abc")
+	e.Reset()
+	if e.Len() != 0 {
+		t.Fatal("Reset must clear")
+	}
+	e.String("xy")
+	d := NewDecoder(e.Bytes())
+	if d.String() != "xy" {
+		t.Fatal("reuse after Reset broken")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(s string, b []byte, u uint64, i int64, flag bool) bool {
+		e := NewEncoder(32)
+		e.String(s)
+		e.Blob(b)
+		e.Uvarint(u)
+		e.Int64(i)
+		e.Bool(flag)
+		d := NewDecoder(e.Bytes())
+		gs := d.String()
+		gb := d.Blob()
+		gu := d.Uvarint()
+		gi := d.Int64()
+		gf := d.Bool()
+		if d.Finish() != nil {
+			return false
+		}
+		return gs == s && bytes.Equal(gb, b) && gu == u && gi == i && gf == flag
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeRandomGarbageNeverPanics(t *testing.T) {
+	f := func(b []byte) bool {
+		d := NewDecoder(b)
+		_ = d.String()
+		d.Blob()
+		d.Uvarint()
+		d.Uint64()
+		d.Uint32()
+		d.Uint16()
+		d.Byte()
+		d.Bool()
+		return true // reaching here without panic is the property
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

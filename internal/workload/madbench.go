@@ -1,0 +1,176 @@
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"pacon/internal/namespace"
+	"pacon/internal/vclock"
+)
+
+// MADbench reproduces the paper's MADbench2 run (§IV.F): each working
+// process creates a component file, writes its evaluation data, then
+// repeatedly reads, computes and writes over the files. The paper
+// breaks the runtime into init (file creation), read, write and other
+// (computation + communication).
+type MADbench struct {
+	// Dir is the working directory (must exist).
+	Dir string
+	// FileBytes is each process's component-file size (4 MB in §IV.F).
+	FileBytes int
+	// Iterations is the number of read/compute/write rounds.
+	Iterations int
+	// ComputeTime is the per-round computation+communication cost
+	// charged to each process's virtual clock.
+	ComputeTime vclock.Duration
+	// IOChunk is the request size of sequential I/O (1 MB default).
+	IOChunk int
+
+	runner *madRunner
+}
+
+// MADbenchResult is the paper's Fig 12 breakdown: virtual time per
+// category, summed over phase makespans.
+type MADbenchResult struct {
+	Init  vclock.Duration
+	Read  vclock.Duration
+	Write vclock.Duration
+	Other vclock.Duration
+}
+
+// Total is the run's virtual makespan.
+func (r MADbenchResult) Total() vclock.Duration { return r.Init + r.Read + r.Write + r.Other }
+
+// madRunner mirrors Runner for FileClients.
+type madRunner struct{ *Runner }
+
+// NewMADbench builds the driver over per-process file clients.
+func NewMADbench(clients []FileClient, dir string, fileBytes, iterations int, compute vclock.Duration) *MADbench {
+	base := make([]Client, len(clients))
+	for i, c := range clients {
+		base[i] = c
+	}
+	return &MADbench{
+		Dir:         namespace.Clean(dir),
+		FileBytes:   fileBytes,
+		Iterations:  iterations,
+		ComputeTime: compute,
+		IOChunk:     1 << 20,
+		runner:      &madRunner{NewRunner(base)},
+	}
+}
+
+func (m *MADbench) file(idx int) string {
+	return namespace.Join(m.Dir, fmt.Sprintf("component.%d.dat", idx))
+}
+
+// Run executes the full benchmark and returns the breakdown.
+func (m *MADbench) Run() (MADbenchResult, error) {
+	var out MADbenchResult
+
+	// Init: create the component files (the paper's "init part mainly
+	// includes file creation overhead").
+	res, err := m.runner.RunPhase(func(idx int, cl Client, now vclock.Time) (vclock.Time, int64, error) {
+		now, err := cl.Create(now, m.file(idx), 0o644)
+		return now, 1, err
+	})
+	if err != nil {
+		return out, fmt.Errorf("madbench init: %w", err)
+	}
+	out.Init = res.Elapsed
+
+	// First data generation pass counts as write.
+	res, err = m.writePhase()
+	if err != nil {
+		return out, err
+	}
+	out.Write += res.Elapsed
+
+	for i := 0; i < m.Iterations; i++ {
+		res, err = m.computePhase()
+		if err != nil {
+			return out, err
+		}
+		out.Other += res.Elapsed
+
+		res, err = m.readPhase()
+		if err != nil {
+			return out, err
+		}
+		out.Read += res.Elapsed
+
+		res, err = m.computePhase()
+		if err != nil {
+			return out, err
+		}
+		out.Other += res.Elapsed
+
+		res, err = m.writePhase()
+		if err != nil {
+			return out, err
+		}
+		out.Write += res.Elapsed
+	}
+	return out, nil
+}
+
+func (m *MADbench) writePhase() (Result, error) {
+	payload := make([]byte, m.IOChunk)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	res, err := m.runner.RunPhase(func(idx int, cl Client, now vclock.Time) (vclock.Time, int64, error) {
+		fc := cl.(FileClient)
+		var err error
+		for off := 0; off < m.FileBytes; off += m.IOChunk {
+			n := m.IOChunk
+			if off+n > m.FileBytes {
+				n = m.FileBytes - off
+			}
+			now, err = fc.WriteAt(now, m.file(idx), int64(off), payload[:n])
+			if err != nil {
+				return now, 0, err
+			}
+		}
+		return now, 1, nil
+	})
+	if err != nil {
+		return res, fmt.Errorf("madbench write: %w", err)
+	}
+	return res, nil
+}
+
+func (m *MADbench) readPhase() (Result, error) {
+	res, err := m.runner.RunPhase(func(idx int, cl Client, now vclock.Time) (vclock.Time, int64, error) {
+		fc := cl.(FileClient)
+		for off := 0; off < m.FileBytes; off += m.IOChunk {
+			n := m.IOChunk
+			if off+n > m.FileBytes {
+				n = m.FileBytes - off
+			}
+			data, done, err := fc.ReadAt(now, m.file(idx), int64(off), n)
+			now = done
+			if err != nil {
+				return now, 0, err
+			}
+			if len(data) != n {
+				return now, 0, fmt.Errorf("short read: %d of %d at %d", len(data), n, off)
+			}
+		}
+		return now, 1, nil
+	})
+	if err != nil {
+		return res, fmt.Errorf("madbench read: %w", err)
+	}
+	return res, nil
+}
+
+func (m *MADbench) computePhase() (Result, error) {
+	return m.runner.RunPhase(func(idx int, cl Client, now vclock.Time) (vclock.Time, int64, error) {
+		return now.Add(m.ComputeTime), 1, nil
+	})
+}
+
+// DefaultComputeTime approximates MADbench2's per-round dense-matrix
+// work on one node at the paper's scale.
+const DefaultComputeTime = 150 * time.Millisecond

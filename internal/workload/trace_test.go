@@ -1,0 +1,155 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sampleTrace = `# comment line
+0 mkdir /w/d
+0 create /w/d/f
+0 write /w/d/f 128
+1 stat /w/d/f
+1 read /w/d/f 128
+0 readdir /w/d
+1 rm /w/d/f
+0 rmdir /w/d
+`
+
+func TestParseTrace(t *testing.T) {
+	ops, err := ParseTrace(strings.NewReader(sampleTrace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 8 {
+		t.Fatalf("parsed %d ops", len(ops))
+	}
+	if ops[0].Kind != "mkdir" || ops[0].Client != 0 || ops[0].Path != "/w/d" {
+		t.Fatalf("op0 = %+v", ops[0])
+	}
+	if ops[2].Kind != "write" || ops[2].Bytes != 128 {
+		t.Fatalf("op2 = %+v", ops[2])
+	}
+	if ops[3].Client != 1 {
+		t.Fatalf("op3 = %+v", ops[3])
+	}
+}
+
+func TestParseTraceErrors(t *testing.T) {
+	cases := []string{
+		"0 mkdir",                 // missing path
+		"x mkdir /w",              // bad client
+		"0 frobnicate /w",         // unknown op
+		"0 write /w/f",            // missing byte count
+		"0 write /w/f many",       // bad byte count
+		"0 mkdir /w extra-banana", // extra arg
+	}
+	for _, c := range cases {
+		if _, err := ParseTrace(strings.NewReader(c)); err == nil {
+			t.Errorf("%q: expected parse error", c)
+		}
+	}
+}
+
+func TestFormatTraceRoundTrip(t *testing.T) {
+	ops, err := ParseTrace(strings.NewReader(sampleTrace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := FormatTrace(&buf, ops); err != nil {
+		t.Fatal(err)
+	}
+	again, err := ParseTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != len(ops) {
+		t.Fatalf("round trip: %d vs %d ops", len(again), len(ops))
+	}
+	for i := range ops {
+		if again[i] != ops[i] {
+			t.Fatalf("op %d: %+v vs %+v", i, again[i], ops[i])
+		}
+	}
+}
+
+func TestReplayTraceOnPacon(t *testing.T) {
+	e := newTestEnv(t)
+	region := e.paconRegion(t, []string{"node0", "node1"})
+	clients := make([]Client, 2)
+	for i := range clients {
+		c, err := region.NewClient([]string{"node0", "node1"}[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients[i] = c
+	}
+	ops, err := ParseTrace(strings.NewReader(sampleTrace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ReplayTrace(clients, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same-path ops split across the two clients race (client 1's stat
+	// can run before client 0's create); errors are tolerated but the
+	// structural ops by client 0 must succeed.
+	if res.PerKind["mkdir"] != 1 || res.PerKind["create"] != 1 {
+		t.Fatalf("per-kind = %+v (errors %d)", res.PerKind, res.Errors)
+	}
+	if res.Ops == 0 || res.Elapsed <= 0 {
+		t.Fatalf("result = %+v", res.Result)
+	}
+}
+
+func TestReplayTraceSingleClientExact(t *testing.T) {
+	e := newTestEnv(t)
+	clients := []Client{e.cluster.NewClient("node0", appCred, 0, 0)}
+	trace := `0 mkdir /w/d
+0 create /w/d/a
+0 create /w/d/b
+0 stat /w/d/a
+0 readdir /w/d
+0 rm /w/d/a
+`
+	ops, err := ParseTrace(strings.NewReader(trace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ReplayTrace(clients, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("errors = %d", res.Errors)
+	}
+	if res.Ops != 6 {
+		t.Fatalf("ops = %d", res.Ops)
+	}
+	// DFS agrees with the trace's net effect.
+	ents, _, err := clients[0].Readdir(res.End, "/w/d")
+	if err != nil || len(ents) != 1 || ents[0].Name != "b" {
+		t.Fatalf("final listing = %v, %v", ents, err)
+	}
+}
+
+func TestReplayTraceDataOpsNeedFileClient(t *testing.T) {
+	e := newTestEnv(t)
+	region := e.paconRegion(t, []string{"node0"})
+	c, err := region.NewClient("node0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// core.Client has a data plane, so write/read succeed.
+	ops, _ := ParseTrace(strings.NewReader("0 create /w/f\n0 write /w/f 64\n0 read /w/f 64\n"))
+	res, err := ReplayTrace([]Client{c}, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 || res.PerKind["write"] != 1 || res.PerKind["read"] != 1 {
+		t.Fatalf("res = %+v errors=%d", res.PerKind, res.Errors)
+	}
+}

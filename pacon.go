@@ -1,0 +1,112 @@
+// Package pacon is the public API of this repository: a library that
+// adds a partially consistent client-side metadata cache to a
+// distributed file system, reproducing "Pacon: Improving Scalability and
+// Efficiency of Metadata Service through Partial Consistency"
+// (Liu, Lu, Chen, Zhao — IPDPS 2020).
+//
+// The global namespace is split into consistent regions, one per HPC
+// application workspace. Inside a region, clients share a distributed
+// in-memory metadata cache with strong consistency; metadata writes
+// apply to the cache synchronously and commit to the DFS asynchronously
+// through per-node commit queues. Batch permission management replaces
+// path traversal; small files ride inline with their metadata; rmdir and
+// readdir synchronize through barrier commit.
+//
+// Quick start (see examples/quickstart for the runnable version):
+//
+//	sim := pacon.NewSimulation(pacon.SimulationConfig{ClientNodes: 4})
+//	sim.MustMkdirAll("/proj/app1", 0o777)
+//	region, _ := sim.NewRegion(pacon.RegionConfig{
+//	    Name:      "app1",
+//	    Workspace: "/proj/app1",
+//	    Nodes:     sim.Nodes(),
+//	    Cred:      pacon.Cred{UID: 1000, GID: 1000},
+//	})
+//	defer region.Close()
+//	client, _ := region.NewClient(sim.Nodes()[0])
+//	now, _ := client.Create(0, "/proj/app1/out.dat", 0o644)
+//	...
+//
+// All operations carry virtual timestamps (pacon.Time): the library runs
+// real code over a virtual-time performance model, so experiments
+// reproduce the paper's latency-driven behavior deterministically. See
+// DESIGN.md §5.
+package pacon
+
+import (
+	"pacon/internal/core"
+	"pacon/internal/fsapi"
+	"pacon/internal/vclock"
+)
+
+// Core types, aliased so callers need only this package.
+type (
+	// Stat is a file or directory's metadata record.
+	Stat = fsapi.Stat
+	// Cred identifies the system user an application runs as.
+	Cred = fsapi.Cred
+	// Mode is a POSIX-style permission bit set.
+	Mode = fsapi.Mode
+	// FileType distinguishes files from directories.
+	FileType = fsapi.FileType
+	// DirEntry is one readdir row.
+	DirEntry = fsapi.DirEntry
+
+	// Region is a running consistent region.
+	Region = core.Region
+	// RegionConfig declares a consistent region.
+	RegionConfig = core.RegionConfig
+	// RegionStats reports commit-module counters.
+	RegionStats = core.RegionStats
+	// Deps wires a region to its transport and DFS.
+	Deps = core.Deps
+	// Backend is the underlying DFS interface Pacon commits to.
+	Backend = core.Backend
+	// Client is an application process's handle on a region.
+	Client = core.Client
+	// PermSpec is a region's batch permission information.
+	PermSpec = core.PermSpec
+	// PermEntry is one permission declaration.
+	PermEntry = core.PermEntry
+	// SpecialPerm overrides the normal permission for a path or subtree.
+	SpecialPerm = core.SpecialPerm
+
+	// Time is a virtual timestamp (nanoseconds since run start).
+	Time = vclock.Time
+	// LatencyModel is the simulation's calibration block.
+	LatencyModel = vclock.LatencyModel
+	// Pacer bounds virtual-clock skew across concurrent simulated
+	// clients; attach one via Client.Pace when running many clients.
+	Pacer = vclock.Pacer
+)
+
+// File types.
+const (
+	TypeFile = fsapi.TypeFile
+	TypeDir  = fsapi.TypeDir
+)
+
+// Sentinel errors, re-exported for errors.Is.
+var (
+	ErrNotExist   = fsapi.ErrNotExist
+	ErrExist      = fsapi.ErrExist
+	ErrNotDir     = fsapi.ErrNotDir
+	ErrIsDir      = fsapi.ErrIsDir
+	ErrNotEmpty   = fsapi.ErrNotEmpty
+	ErrPermission = fsapi.ErrPermission
+	ErrStale      = fsapi.ErrStale
+	ErrReadOnly   = fsapi.ErrReadOnly
+	ErrOutOfSpace = fsapi.ErrOutOfSpace
+)
+
+// NewRegion starts a consistent region (see core.NewRegion).
+func NewRegion(cfg RegionConfig, deps Deps) (*Region, error) {
+	return core.NewRegion(cfg, deps)
+}
+
+// DefaultModel returns the calibrated latency model (TIANHE-II-like
+// testbed: IB fabric, NVMe MDS, co-located cache/IndexFS servers).
+func DefaultModel() LatencyModel { return vclock.Default() }
+
+// NewPacer creates a virtual-time pacer for n concurrent clients.
+func NewPacer(n int, window vclock.Duration) *Pacer { return vclock.NewPacer(n, window) }

@@ -1,0 +1,50 @@
+package pacon
+
+import (
+	"sort"
+
+	"pacon/internal/namespace"
+)
+
+// PlanRegions implements the paper's §III.B case 3 guidance: when
+// applications' working directories overlap, they should share one
+// consistent region rooted at the topmost directory ("one application
+// runs on /A and the other on /A/B — we can consider both of them as
+// running on /A"). Given the requested workspaces, it returns the
+// coalesced region roots: every input is covered by exactly one output,
+// and no output lies inside another.
+func PlanRegions(workspaces []string) []string {
+	cleaned := make([]string, 0, len(workspaces))
+	for _, w := range workspaces {
+		cleaned = append(cleaned, namespace.Clean(w))
+	}
+	// Sorting lexicographically puts ancestors before descendants.
+	sort.Strings(cleaned)
+	var roots []string
+	for _, w := range cleaned {
+		covered := false
+		for _, r := range roots {
+			if namespace.IsUnder(w, r) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			roots = append(roots, w)
+		}
+	}
+	return roots
+}
+
+// RegionFor returns the planned region root covering workspace, or ""
+// if none does.
+func RegionFor(roots []string, workspace string) string {
+	workspace = namespace.Clean(workspace)
+	best := ""
+	for _, r := range roots {
+		if namespace.IsUnder(workspace, r) && len(r) > len(best) {
+			best = r
+		}
+	}
+	return best
+}

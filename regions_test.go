@@ -1,0 +1,92 @@
+package pacon_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pacon"
+	"pacon/internal/namespace"
+)
+
+func TestPlanRegionsCoalescesOverlaps(t *testing.T) {
+	got := pacon.PlanRegions([]string{
+		"/proj/a/sub", "/proj/a", "/proj/b", "/proj/a/sub/deep", "/scratch/x",
+	})
+	want := []string{"/proj/a", "/proj/b", "/scratch/x"}
+	if len(got) != len(want) {
+		t.Fatalf("roots = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("roots = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestPlanRegionsDisjointUnchanged(t *testing.T) {
+	got := pacon.PlanRegions([]string{"/b", "/a", "/c"})
+	if len(got) != 3 || got[0] != "/a" {
+		t.Fatalf("roots = %v", got)
+	}
+}
+
+func TestPlanRegionsSiblingPrefixNotMerged(t *testing.T) {
+	// "/ab" is not under "/a" — byte-prefix must not fool the planner.
+	got := pacon.PlanRegions([]string{"/a", "/ab"})
+	if len(got) != 2 {
+		t.Fatalf("roots = %v", got)
+	}
+}
+
+func TestRegionFor(t *testing.T) {
+	roots := pacon.PlanRegions([]string{"/proj/a", "/proj/b"})
+	if r := pacon.RegionFor(roots, "/proj/a/sub/dir"); r != "/proj/a" {
+		t.Fatalf("RegionFor = %q", r)
+	}
+	if r := pacon.RegionFor(roots, "/elsewhere"); r != "" {
+		t.Fatalf("uncovered workspace mapped to %q", r)
+	}
+}
+
+// Property: every input workspace is covered by exactly one root, and
+// roots never nest.
+func TestPlanRegionsProperty(t *testing.T) {
+	f := func(parts [][3]uint8) bool {
+		var workspaces []string
+		for _, p := range parts {
+			w := "/"
+			for _, seg := range p[:1+int(p[0])%3] {
+				w = namespace.Join(w, string(rune('a'+seg%5)))
+			}
+			if w == "/" {
+				continue
+			}
+			workspaces = append(workspaces, w)
+		}
+		roots := pacon.PlanRegions(workspaces)
+		for _, w := range workspaces {
+			covering := 0
+			for _, r := range roots {
+				if namespace.IsUnder(w, r) {
+					covering++
+				}
+			}
+			// At least one root covers it; multiple covering roots would
+			// mean nested roots.
+			if covering < 1 {
+				return false
+			}
+		}
+		for i, a := range roots {
+			for j, b := range roots {
+				if i != j && namespace.IsUnder(a, b) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

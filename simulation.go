@@ -1,0 +1,135 @@
+package pacon
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"pacon/internal/dfs"
+	"pacon/internal/namespace"
+	"pacon/internal/rpc"
+)
+
+// SimulationConfig sizes a self-contained Pacon-on-DFS deployment: a
+// BeeGFS-like cluster (1 MDS + data servers) plus client nodes, all on
+// an in-process transport with the virtual-time latency model. This is
+// the environment the examples and benchmarks run in; a production
+// deployment would instead implement Backend against a real DFS client.
+type SimulationConfig struct {
+	// ClientNodes is the number of compute nodes (default 4).
+	ClientNodes int
+	// DataServers is the DFS data-server count (default 3, as in the
+	// paper's testbed).
+	DataServers int
+	// Model overrides the latency model (default DefaultModel()).
+	Model *LatencyModel
+	// AdminCred owns the namespace root (default uid/gid 0).
+	AdminCred Cred
+	// OverTCP runs every service on real loopback TCP sockets instead of
+	// the in-process transport — functionally identical, useful to
+	// demonstrate (and test) transport independence.
+	OverTCP bool
+}
+
+// Simulation is the assembled deployment.
+type Simulation struct {
+	cfg   SimulationConfig
+	net   rpc.Network
+	dfs   *dfs.Cluster
+	nodes []string
+	model LatencyModel
+}
+
+// NewSimulation builds the deployment and provisions the checkpoint
+// area.
+func NewSimulation(cfg SimulationConfig) *Simulation {
+	if cfg.ClientNodes <= 0 {
+		cfg.ClientNodes = 4
+	}
+	if cfg.DataServers <= 0 {
+		cfg.DataServers = 3
+	}
+	model := DefaultModel()
+	if cfg.Model != nil {
+		model = *cfg.Model
+	}
+	var network rpc.Network = rpc.NewBus()
+	if cfg.OverTCP {
+		network = rpc.NewTCPNetwork()
+	}
+	dataNodes := make([]string, cfg.DataServers)
+	for i := range dataNodes {
+		dataNodes[i] = fmt.Sprintf("storage%d", i+1)
+	}
+	cluster := dfs.NewCluster(network, model, cfg.AdminCred, "storage0", dataNodes)
+	nodes := make([]string, cfg.ClientNodes)
+	for i := range nodes {
+		nodes[i] = fmt.Sprintf("node%d", i)
+	}
+	s := &Simulation{cfg: cfg, net: network, dfs: cluster, nodes: nodes, model: model}
+	s.MustMkdirAll("/.pacon", 0o777)
+	return s
+}
+
+// Nodes returns the client node names.
+func (s *Simulation) Nodes() []string { return s.nodes }
+
+// Model returns the latency model in effect.
+func (s *Simulation) Model() LatencyModel { return s.model }
+
+// AdminClient returns a DFS client with the administrator credential —
+// used to provision workspaces.
+func (s *Simulation) AdminClient() *dfs.Client {
+	return s.dfs.NewClient("admin", s.cfg.AdminCred, 0, 0)
+}
+
+// DFSClient returns a plain DFS client on a node with the given
+// credential and strong-consistency (uncached) dentry behavior — the
+// BeeGFS baseline the paper compares against.
+func (s *Simulation) DFSClient(node string, cred Cred) *dfs.Client {
+	return s.dfs.NewClient(node, cred, 0, 0)
+}
+
+// DFS exposes the underlying cluster for white-box inspection.
+func (s *Simulation) DFS() *dfs.Cluster { return s.dfs }
+
+// Net exposes the transport network.
+func (s *Simulation) Net() rpc.Network { return s.net }
+
+// Close releases transport resources (listeners in OverTCP mode).
+func (s *Simulation) Close() {
+	if n, ok := s.net.(*rpc.TCPNetwork); ok {
+		n.Close()
+	}
+}
+
+// MustMkdirAll provisions a directory path (and ancestors) as the
+// administrator, panicking on failure. Intended for setup code.
+func (s *Simulation) MustMkdirAll(path string, mode Mode) {
+	admin := s.AdminClient()
+	at := Time(0)
+	full := ""
+	for _, comp := range namespace.Components(path) {
+		full += "/" + comp
+		done, err := admin.Mkdir(at, full, mode)
+		if err != nil && !errors.Is(err, ErrExist) {
+			panic(fmt.Sprintf("pacon: provision %s: %v", full, err))
+		}
+		at = done
+	}
+}
+
+// NewRegion starts a consistent region on this simulation. The region's
+// commit processes and redirection clients get DFS clients with a
+// node-local dentry cache (Pacon owns consistency above the DFS).
+func (s *Simulation) NewRegion(cfg RegionConfig) (*Region, error) {
+	if cfg.Model == (LatencyModel{}) {
+		cfg.Model = s.model
+	}
+	return NewRegion(cfg, Deps{
+		Bus: s.net,
+		NewBackend: func(node string) Backend {
+			return s.dfs.NewClient(node, cfg.Cred, 4096, time.Hour)
+		},
+	})
+}
