@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: build test check race-chaos clean
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+# check is the full gate: tier-1 build+test, vet, and the race detector
+# over the packages with real concurrency (the chaos harness runs its
+# bounded seed set — over 100 randomized schedules — under -race).
+check: build
+	$(GO) vet ./...
+	$(GO) test ./...
+	$(GO) test -race ./internal/chaos/ ./internal/core/ ./internal/memcache/ ./internal/mq/
+
+# race-chaos runs only the chaos convergence schedules under -race.
+race-chaos:
+	$(GO) test -race -count=1 ./internal/chaos/
+
+clean:
+	$(GO) clean ./...

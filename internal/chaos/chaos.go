@@ -1,0 +1,732 @@
+// Package chaos is a randomized fault-injection harness for the Pacon
+// core. One Run builds a full deployment (DFS cluster + consistent
+// region), drives concurrent clients through a mixed workload while
+// injecting backend commit failures, eviction pressure, commit stalls
+// and rmdir races, then drains the region and checks convergence: the
+// distributed cache, the DFS and an in-memory oracle must agree.
+//
+// The workload is path-affine by construction: mutations on any given
+// path come from one client only, except for zones whose races the
+// design defines (create-create on hot paths, creates racing an rmdir).
+// Cross-client mutation of the same path is outside the seed design's
+// contract — different nodes' commit queues apply same-path ops in
+// unspecified relative order — so the harness never generates it.
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"pacon/internal/core"
+	"pacon/internal/dfs"
+	"pacon/internal/fsapi"
+	"pacon/internal/rpc"
+	"pacon/internal/vclock"
+)
+
+var (
+	rootCred = fsapi.Cred{UID: 0, GID: 0}
+	appCred  = fsapi.Cred{UID: 1000, GID: 1000}
+)
+
+// Config parameterizes one chaos schedule. The zero value is usable:
+// withDefaults fills in a moderate deployment.
+type Config struct {
+	// Seed drives every random choice (workload mix, fault points).
+	// Distinct seeds give distinct schedules; the interleaving itself
+	// still comes from the scheduler, which is the point.
+	Seed int64
+	// Nodes is the region size (cache server + commit process each).
+	Nodes int
+	// Clients is the number of concurrent workload goroutines.
+	Clients int
+	// Ops is the number of operations each client performs.
+	Ops int
+	// CacheCapacityBytes bounds each cache server; small values force
+	// the round-robin eviction path to run concurrently with the
+	// workload. 0 = unlimited.
+	CacheCapacityBytes int64
+	// FaultRate is the probability that an injected backend mutation
+	// fails with ErrNotExist (a resubmittable commit failure).
+	FaultRate float64
+	// MaxFaultsPerPath caps injected failures per path so resubmission
+	// always converges well inside the region's retry budget.
+	MaxFaultsPerPath int
+	// StallEveryN sleeps on every Nth injected-surface backend call,
+	// stalling commit processes so queues back up behind them.
+	StallEveryN int
+	// Rmdir enables the doomed-directory zone: concurrent creates race
+	// a recursive rmdir on their parent. With it enabled, ops may be
+	// legitimately dropped (a create accepted in the closing instants
+	// of the rmdir window has no parent left to commit under).
+	Rmdir bool
+	// DoomedDirs is the number of pre-created rmdir targets.
+	DoomedDirs int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Nodes <= 0 {
+		c.Nodes = 2
+	}
+	if c.Clients <= 0 {
+		c.Clients = 3
+	}
+	if c.Ops <= 0 {
+		c.Ops = 100
+	}
+	// 0 means "default"; negative means "injection disabled".
+	if c.FaultRate == 0 {
+		c.FaultRate = 0.15
+	} else if c.FaultRate < 0 {
+		c.FaultRate = 0
+	}
+	if c.MaxFaultsPerPath <= 0 {
+		c.MaxFaultsPerPath = 2
+	}
+	if c.StallEveryN <= 0 {
+		c.StallEveryN = 13
+	}
+	if c.Rmdir && c.DoomedDirs <= 0 {
+		c.DoomedDirs = 2
+	}
+	return c
+}
+
+// Result summarizes one schedule.
+type Result struct {
+	ClientOps    int // operations attempted across all clients
+	Injected     int // backend failures injected
+	Stalls       int // backend stalls injected
+	CacheEntries int // cache entries resident after the final drain
+	Stats        core.RegionStats
+}
+
+// injector decides, per backend mutation, whether to fail or stall it.
+// It is shared by every node's commit process, so the per-path fault cap
+// holds globally.
+type injector struct {
+	mu         sync.Mutex
+	rng        *rand.Rand
+	rate       float64
+	maxPerPath int
+	stallEvery int
+	perPath    map[string]int
+	calls      int
+	injected   int
+	stalls     int
+}
+
+func newInjector(cfg Config) *injector {
+	return &injector{
+		rng:        rand.New(rand.NewSource(cfg.Seed ^ 0x5eed)),
+		rate:       cfg.FaultRate,
+		maxPerPath: cfg.MaxFaultsPerPath,
+		stallEvery: cfg.StallEveryN,
+		perPath:    make(map[string]int),
+	}
+}
+
+func (in *injector) fail(path string) bool {
+	in.mu.Lock()
+	in.calls++
+	stall := in.calls%in.stallEvery == 0
+	inject := in.perPath[path] < in.maxPerPath && in.rng.Float64() < in.rate
+	if inject {
+		in.perPath[path]++
+		in.injected++
+	}
+	if stall {
+		in.stalls++
+	}
+	in.mu.Unlock()
+	if stall {
+		time.Sleep(100 * time.Microsecond) // commit-queue stall
+	}
+	return inject
+}
+
+func (in *injector) counts() (injected, stalls int) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.injected, in.stalls
+}
+
+// flakyBackend wraps the DFS client handed to commit processes. Only the
+// commit-surface mutations are injected — and only with ErrNotExist,
+// which every op kind treats as resubmittable — so injected faults delay
+// convergence but never forfeit it. WriteAt is left alone: the commit
+// module's inline write-back treats its failure as a drop, which would
+// be indistinguishable from the data-loss bugs this harness hunts.
+type flakyBackend struct {
+	core.Backend
+	inj *injector
+}
+
+func (f *flakyBackend) CreateWithStat(at vclock.Time, p string, st fsapi.Stat) (vclock.Time, error) {
+	if f.inj.fail(p) {
+		return at, fsapi.ErrNotExist
+	}
+	return f.Backend.CreateWithStat(at, p, st)
+}
+
+func (f *flakyBackend) SetStat(at vclock.Time, p string, st fsapi.Stat) (vclock.Time, error) {
+	if f.inj.fail(p) {
+		return at, fsapi.ErrNotExist
+	}
+	return f.Backend.SetStat(at, p, st)
+}
+
+func (f *flakyBackend) Remove(at vclock.Time, p string) (vclock.Time, error) {
+	if f.inj.fail(p) {
+		return at, fsapi.ErrNotExist
+	}
+	return f.Backend.Remove(at, p)
+}
+
+// InvalidateSubtree forwards the region's rmdir/rename dentry fan-out
+// to the wrapped DFS client. Embedding the Backend interface does not
+// promote methods outside it, so without this the wrapped client's
+// dentry cache would silently keep serving removed paths — exactly the
+// resurrection bug the harness exists to catch.
+func (f *flakyBackend) InvalidateSubtree(root string) {
+	if inv, ok := f.Backend.(interface{ InvalidateSubtree(string) }); ok {
+		inv.InvalidateSubtree(root)
+	}
+}
+
+// StatFresh forwards the miss-load read-through (same promotion caveat
+// as InvalidateSubtree). Losing this forwarding would silently degrade
+// miss-loads to dentry-cached Stats and reintroduce the stale-size
+// shadowing the fresh read exists to prevent.
+func (f *flakyBackend) StatFresh(at vclock.Time, p string) (fsapi.Stat, vclock.Time, error) {
+	if fr, ok := f.Backend.(interface {
+		StatFresh(vclock.Time, string) (fsapi.Stat, vclock.Time, error)
+	}); ok {
+		return fr.StatFresh(at, p)
+	}
+	return f.Backend.Stat(at, p)
+}
+
+// harness is the shared state of one schedule.
+type harness struct {
+	cfg     Config
+	region  *core.Region
+	cluster *dfs.Cluster
+	oracle  core.Backend // root DFS client for ground-truth reads
+
+	hotMu sync.Mutex
+	hot   map[string]bool // hot-zone paths with at least one successful create
+
+	doomedMu   sync.Mutex
+	doomedGone map[int]bool // doomed dirs whose rmdir succeeded
+
+	violMu sync.Mutex
+	viol   []error
+}
+
+func (h *harness) violate(format string, args ...any) {
+	h.violMu.Lock()
+	defer h.violMu.Unlock()
+	if len(h.viol) < 32 {
+		h.viol = append(h.viol, fmt.Errorf(format, args...))
+	}
+}
+
+// worker is one client goroutine. Everything it mutates exclusively
+// (its /w/shared files, its hub and doomed children) is modeled in
+// `model`/`gone`; those maps are the oracle the final check compares
+// cache and DFS against.
+type worker struct {
+	h       *harness
+	id      int
+	cl      *core.Client
+	rng     *rand.Rand
+	at      vclock.Time
+	model   map[string][]byte // exclusive path -> expected content
+	gone    map[string]bool   // exclusive paths removed and not re-created
+	hubSeq  int
+	doomSeq int
+}
+
+const (
+	filesPerClient = 6
+	hotFiles       = 8
+	hubDirs        = 4
+	smallWriteMax  = 24 // well under the inline threshold: writes never go large
+)
+
+func (w *worker) exclusivePath(j int) string {
+	return fmt.Sprintf("/w/shared/c%d-f%d", w.id, j)
+}
+
+// tolerable reports whether err is nil or one of the accepted sentinels.
+func tolerable(err error, accept ...error) bool {
+	if err == nil {
+		return true
+	}
+	for _, a := range accept {
+		if errors.Is(err, a) {
+			return true
+		}
+	}
+	return false
+}
+
+func (w *worker) run() {
+	for i := 0; i < w.h.cfg.Ops; i++ {
+		roll := w.rng.Intn(100)
+		switch {
+		case roll < 50:
+			w.exclusiveOp()
+		case roll < 65:
+			w.hotOp()
+		case roll < 80:
+			w.hubOp()
+		case roll < 90:
+			w.peekOp()
+		default:
+			if w.h.cfg.Rmdir {
+				w.doomedOp(i)
+			} else {
+				w.exclusiveOp()
+			}
+		}
+	}
+}
+
+// exclusiveOp mutates one of this client's private files and keeps the
+// model in lockstep. The model's write replicates spliceInline exactly:
+// grow zero-padded to off+len(data), preserve any old tail beyond it.
+func (w *worker) exclusiveOp() {
+	p := w.exclusivePath(w.rng.Intn(filesPerClient))
+	content, exists := w.model[p]
+	if !exists {
+		at, err := w.cl.Create(w.at, p, 0o644)
+		w.at = at
+		if !tolerable(err, fsapi.ErrOutOfSpace) {
+			w.h.violate("client %d: create %s: %v", w.id, p, err)
+			return
+		}
+		if err == nil {
+			w.model[p] = []byte{}
+			delete(w.gone, p)
+		}
+		return
+	}
+	switch k := w.rng.Intn(100); {
+	case k < 60: // write
+		off := int64(w.rng.Intn(3) * 8)
+		data := make([]byte, 1+w.rng.Intn(smallWriteMax))
+		for b := range data {
+			data[b] = byte('a' + w.rng.Intn(26))
+		}
+		at, err := w.cl.WriteAt(w.at, p, off, data)
+		w.at = at
+		if !tolerable(err, fsapi.ErrOutOfSpace) {
+			w.h.violate("client %d: write %s: %v", w.id, p, err)
+			return
+		}
+		if err == nil {
+			w.model[p] = modelSplice(content, off, data)
+		}
+	case k < 75: // remove
+		at, err := w.cl.Remove(w.at, p)
+		w.at = at
+		if err != nil {
+			w.h.violate("client %d: rm %s: %v", w.id, p, err)
+			return
+		}
+		delete(w.model, p)
+		w.gone[p] = true
+	default: // mid-run oracle read
+		w.verifyExclusive(p, content)
+	}
+}
+
+// modelSplice mirrors the region's inline write semantics.
+func modelSplice(buf []byte, off int64, data []byte) []byte {
+	need := int(off) + len(data)
+	n := len(buf)
+	if need > n {
+		n = need
+	}
+	out := make([]byte, n)
+	copy(out, buf)
+	copy(out[off:], data)
+	return out
+}
+
+// verifyExclusive asserts the region's view of one exclusive path
+// matches the model right now (strong consistency inside the region).
+func (w *worker) verifyExclusive(p string, content []byte) {
+	st, at, err := w.cl.Stat(w.at, p)
+	w.at = at
+	if err != nil {
+		w.h.violate("client %d: stat %s: %v (model has %d bytes)", w.id, p, err, len(content))
+		return
+	}
+	if st.Size != int64(len(content)) {
+		w.h.violate("client %d: %s size = %d, model %d", w.id, p, st.Size, len(content))
+		return
+	}
+	data, at, err := w.cl.ReadAt(w.at, p, 0, len(content)+16)
+	w.at = at
+	if err != nil {
+		w.h.violate("client %d: read %s: %v", w.id, p, err)
+		return
+	}
+	if !bytes.Equal(data, content) {
+		w.h.violate("client %d: %s content = %q, model %q", w.id, p, data, content)
+	}
+}
+
+// hotOp races a create on a path every client contends for. Exactly one
+// create wins (the rest see ErrExist); the winner's entry must commit.
+func (w *worker) hotOp() {
+	p := fmt.Sprintf("/w/hot/f%d", w.rng.Intn(hotFiles))
+	at, err := w.cl.Create(w.at, p, 0o644)
+	w.at = at
+	if !tolerable(err, fsapi.ErrExist, fsapi.ErrOutOfSpace) {
+		w.h.violate("client %d: hot create %s: %v", w.id, p, err)
+		return
+	}
+	if err == nil {
+		w.h.hotMu.Lock()
+		w.h.hot[p] = true
+		w.h.hotMu.Unlock()
+	}
+}
+
+// hubOp creates a shared directory (idempotently) and an exclusive child
+// under it — the cross-queue parent/child dependency that exercises
+// commit resubmission.
+func (w *worker) hubOp() {
+	dir := fmt.Sprintf("/w/hub%d", w.rng.Intn(hubDirs))
+	at, err := w.cl.Mkdir(w.at, dir, 0o755)
+	w.at = at
+	if !tolerable(err, fsapi.ErrExist, fsapi.ErrOutOfSpace) {
+		w.h.violate("client %d: mkdir %s: %v", w.id, dir, err)
+		return
+	}
+	if err != nil {
+		return // lost the mkdir race or no space: the dir entry is live anyway or we skip
+	}
+	child := fmt.Sprintf("%s/c%d-h%d", dir, w.id, w.hubSeq)
+	w.hubSeq++
+	at, err = w.cl.Create(w.at, child, 0o644)
+	w.at = at
+	if !tolerable(err, fsapi.ErrOutOfSpace) {
+		w.h.violate("client %d: hub create %s: %v", w.id, child, err)
+		return
+	}
+	if err == nil {
+		w.model[child] = []byte{}
+	}
+}
+
+// peekOp reads someone else's paths (no assertion — their owner is
+// mid-flight) or readdirs the shared zone, asserting this client's own
+// slice of the listing matches its model: the readdir barrier drains
+// every queue, so this client's earlier ops must all be visible.
+func (w *worker) peekOp() {
+	if w.rng.Intn(4) == 0 {
+		w.verifyReaddir()
+		return
+	}
+	other := w.rng.Intn(w.h.cfg.Clients)
+	p := fmt.Sprintf("/w/shared/c%d-f%d", other, w.rng.Intn(filesPerClient))
+	st, at, err := w.cl.Stat(w.at, p)
+	w.at = at
+	if !tolerable(err, fsapi.ErrNotExist) {
+		w.h.violate("client %d: peek stat %s: %v", w.id, p, err)
+		return
+	}
+	if err == nil && !st.IsDir() {
+		_, at, rerr := w.cl.ReadAt(w.at, p, 0, 64)
+		w.at = at
+		if !tolerable(rerr, fsapi.ErrNotExist) {
+			w.h.violate("client %d: peek read %s: %v", w.id, p, rerr)
+		}
+	}
+}
+
+func (w *worker) verifyReaddir() {
+	ents, at, err := w.cl.Readdir(w.at, "/w/shared")
+	w.at = at
+	if err != nil {
+		w.h.violate("client %d: readdir /w/shared: %v", w.id, err)
+		return
+	}
+	prefix := fmt.Sprintf("c%d-", w.id)
+	listed := make(map[string]bool)
+	for _, ent := range ents {
+		if strings.HasPrefix(ent.Name, prefix) {
+			listed[ent.Name] = true
+		}
+	}
+	for p := range w.model {
+		if !strings.HasPrefix(p, "/w/shared/") {
+			continue
+		}
+		name := strings.TrimPrefix(p, "/w/shared/")
+		if !listed[name] {
+			w.h.violate("client %d: readdir missing own file %s", w.id, name)
+		}
+		delete(listed, name)
+	}
+	for name := range listed {
+		w.h.violate("client %d: readdir lists removed/unknown own file %s", w.id, name)
+	}
+}
+
+// doomedOp races creations under a directory fated for rmdir. The
+// designated client fires the rmdir once past the schedule's midpoint;
+// everyone else keeps creating children, tolerating the dir's demise.
+func (w *worker) doomedOp(opIndex int) {
+	k := w.rng.Intn(w.h.cfg.DoomedDirs)
+	dir := fmt.Sprintf("/w/doomed%d", k)
+	if w.id == k%w.h.cfg.Clients && opIndex > w.h.cfg.Ops/2 {
+		w.h.doomedMu.Lock()
+		done := w.h.doomedGone[k]
+		w.h.doomedMu.Unlock()
+		if !done {
+			at, err := w.cl.Rmdir(w.at, dir)
+			w.at = at
+			if err != nil {
+				w.h.violate("client %d: rmdir %s: %v", w.id, dir, err)
+				return
+			}
+			w.h.doomedMu.Lock()
+			w.h.doomedGone[k] = true
+			w.h.doomedMu.Unlock()
+			return
+		}
+	}
+	child := fmt.Sprintf("%s/c%d-d%d", dir, w.id, w.doomSeq)
+	w.doomSeq++
+	// The create may be accepted and later discarded, or rejected with
+	// ErrNotExist once the dir is gone — both are designed outcomes, so
+	// the child never enters the model.
+	at, err := w.cl.Create(w.at, child, 0o644)
+	w.at = at
+	if !tolerable(err, fsapi.ErrNotExist, fsapi.ErrOutOfSpace) {
+		w.h.violate("client %d: doomed create %s: %v", w.id, child, err)
+	}
+}
+
+// Run executes one chaos schedule and verifies convergence. The returned
+// error joins every violation found (nil = the schedule converged).
+func Run(cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	bus := rpc.NewBus()
+	model := vclock.Default()
+	cluster := dfs.NewCluster(bus, model, rootCred, "storage0", []string{"storage1", "storage2"})
+	admin := cluster.NewClient("admin", rootCred, 0, 0)
+	for _, dir := range []string{"/w", "/w/shared", "/w/hot"} {
+		if _, err := admin.Mkdir(0, dir, 0o777); err != nil {
+			return Result{}, err
+		}
+	}
+	for k := 0; k < cfg.DoomedDirs; k++ {
+		if _, err := admin.Mkdir(0, fmt.Sprintf("/w/doomed%d", k), 0o777); err != nil {
+			return Result{}, err
+		}
+	}
+
+	inj := newInjector(cfg)
+	nodes := make([]string, cfg.Nodes)
+	for i := range nodes {
+		nodes[i] = fmt.Sprintf("node%d", i)
+	}
+	region, err := core.NewRegion(core.RegionConfig{
+		Name:               "chaos",
+		Workspace:          "/w",
+		Nodes:              nodes,
+		Cred:               appCred,
+		CacheCapacityBytes: cfg.CacheCapacityBytes,
+		Model:              model,
+	}, core.Deps{
+		Bus: bus,
+		NewBackend: func(node string) core.Backend {
+			return &flakyBackend{
+				Backend: cluster.NewClient(node, appCred, 4096, vclock.Duration(time.Hour)),
+				inj:     inj,
+			}
+		},
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	defer region.Close()
+
+	h := &harness{
+		cfg:        cfg,
+		region:     region,
+		cluster:    cluster,
+		oracle:     admin,
+		hot:        make(map[string]bool),
+		doomedGone: make(map[int]bool),
+	}
+
+	workers := make([]*worker, cfg.Clients)
+	var wg sync.WaitGroup
+	for i := range workers {
+		cl, cerr := region.NewClient(nodes[i%cfg.Nodes])
+		if cerr != nil {
+			return Result{}, cerr
+		}
+		workers[i] = &worker{
+			h:     h,
+			id:    i,
+			cl:    cl,
+			rng:   rand.New(rand.NewSource(cfg.Seed*1009 + int64(i))),
+			model: make(map[string][]byte),
+			gone:  make(map[string]bool),
+		}
+		wg.Add(1)
+		go func(w *worker) {
+			defer wg.Done()
+			w.run()
+		}(workers[i])
+	}
+	wg.Wait()
+
+	// Quiesce: every queued op reaches the DFS (or exhausts its budget).
+	var maxAt vclock.Time
+	for _, w := range workers {
+		maxAt = vclock.Max(maxAt, w.at)
+	}
+	drainAt, err := region.Drain(maxAt)
+	if err != nil {
+		return Result{}, err
+	}
+	h.verifyConverged(workers, drainAt)
+
+	injected, stalls := inj.counts()
+	res := Result{
+		ClientOps: cfg.Clients * cfg.Ops,
+		Injected:  injected,
+		Stalls:    stalls,
+		Stats:     region.Stats(),
+	}
+	if dump, derr := region.DumpCache(); derr == nil {
+		res.CacheEntries = len(dump)
+	}
+	return res, errors.Join(h.viol...)
+}
+
+// verifyConverged runs the post-drain oracle: cache image, DFS state and
+// the workers' models must agree.
+func (h *harness) verifyConverged(workers []*worker, at vclock.Time) {
+	tree := h.cluster.MDS.Tree()
+
+	// 1. Cache image: after a drain nothing may be dirty or marked
+	// removed, and every resident entry must be backed by the DFS.
+	dump, err := h.region.DumpCache()
+	if err != nil {
+		h.violate("dump cache: %v", err)
+		return
+	}
+	for _, ent := range dump {
+		if ent.Dirty {
+			h.violate("cache entry %s still dirty after drain", ent.Path)
+		}
+		if ent.Removed {
+			h.violate("cache entry %s still marked removed after drain", ent.Path)
+		}
+		st, lerr := tree.Lookup(ent.Path)
+		if lerr != nil {
+			h.violate("cache entry %s has no DFS backing (dirty=%v removed=%v seq=%d size=%d): %v",
+				ent.Path, ent.Dirty, ent.Removed, ent.Seq, ent.Stat.Size, lerr)
+			continue
+		}
+		if st.IsDir() != ent.Stat.IsDir() {
+			h.violate("cache entry %s type mismatch with DFS", ent.Path)
+			continue
+		}
+		if !ent.Stat.IsDir() && !ent.Large && ent.Stat.Size != st.Size {
+			h.violate("cache entry %s size %d, DFS %d", ent.Path, ent.Stat.Size, st.Size)
+			continue
+		}
+		if !ent.Stat.IsDir() && !ent.Large && int64(len(ent.Stat.Inline)) == ent.Stat.Size && ent.Stat.Size > 0 {
+			data, _, rerr := h.oracle.ReadAt(at, ent.Path, 0, int(ent.Stat.Size))
+			if rerr != nil || !bytes.Equal(data, ent.Stat.Inline) {
+				h.violate("cache entry %s inline %q, DFS %q (%v)", ent.Path, ent.Stat.Inline, data, rerr)
+			}
+		}
+	}
+
+	// 2. Exclusive paths: region view and DFS must match each worker's
+	// model exactly, in both directions (present and absent).
+	for _, w := range workers {
+		paths := make([]string, 0, len(w.model))
+		for p := range w.model {
+			paths = append(paths, p)
+		}
+		sort.Strings(paths)
+		for _, p := range paths {
+			w.verifyExclusive(p, w.model[p])
+			st, lerr := tree.Lookup(p)
+			if lerr != nil {
+				h.violate("model file %s missing on DFS: %v", p, lerr)
+				continue
+			}
+			if st.Size != int64(len(w.model[p])) {
+				h.violate("DFS %s size %d, model %d", p, st.Size, len(w.model[p]))
+				continue
+			}
+			if len(w.model[p]) > 0 {
+				data, _, rerr := h.oracle.ReadAt(at, p, 0, len(w.model[p]))
+				if rerr != nil || !bytes.Equal(data, w.model[p]) {
+					h.violate("DFS %s content %q, model %q (%v)", p, data, w.model[p], rerr)
+				}
+			}
+		}
+		for p := range w.gone {
+			if tree.Exists(p) {
+				h.violate("removed file %s survived on DFS", p)
+			}
+			if _, _, serr := w.cl.Stat(at, p); !errors.Is(serr, fsapi.ErrNotExist) {
+				h.violate("removed file %s still visible in region: %v", p, serr)
+			}
+		}
+	}
+
+	// 3. Hot zone: every path with a winning create must have committed.
+	for p := range h.hot {
+		if !tree.Exists(p) {
+			h.violate("hot create %s never committed", p)
+		}
+	}
+
+	// 4. Doomed dirs: a committed rmdir leaves nothing — not on the DFS,
+	// not in the cache.
+	for k := range h.doomedGone {
+		dir := fmt.Sprintf("/w/doomed%d", k)
+		if tree.Exists(dir) {
+			h.violate("rmdir'd dir %s survived on DFS", dir)
+		}
+		for _, ent := range dump {
+			if strings.HasPrefix(ent.Path, dir+"/") || ent.Path == dir {
+				h.violate("rmdir'd subtree entry %s still cached", ent.Path)
+			}
+		}
+	}
+
+	// 5. Accounting: queues empty; without an rmdir zone nothing may be
+	// dropped (every failure is resubmittable and under the fault cap).
+	if d := h.region.QueueDepth(); d != 0 {
+		h.violate("queue depth %d after drain", d)
+	}
+	if !h.cfg.Rmdir {
+		if st := h.region.Stats(); st.Dropped != 0 {
+			h.violate("%d ops dropped in a schedule without rmdir: %+v", st.Dropped, st)
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package chaos
+
+import (
+	"fmt"
+	"testing"
+)
+
+// configFor derives a varied deployment from a schedule index: region
+// size, client count, fault intensity, eviction pressure and the rmdir
+// zone all cycle so the seed sweep covers their combinations.
+func configFor(seed int) Config {
+	cfg := Config{
+		Seed:             int64(seed),
+		Nodes:            1 + seed%3,
+		Clients:          2 + seed%3,
+		Ops:              90,
+		FaultRate:        0.10 + 0.05*float64(seed%4),
+		MaxFaultsPerPath: 1 + seed%3,
+		StallEveryN:      7 + seed%11,
+		Rmdir:            seed%2 == 1,
+	}
+	if seed%4 == 3 {
+		// Low watermark: a few KB per node forces round-robin eviction
+		// to run continuously against the workload.
+		cfg.CacheCapacityBytes = 4096
+	}
+	return cfg
+}
+
+// TestChaosConvergence runs randomized schedules (100+ in full mode) and
+// requires every one to converge with zero violations: cache, DFS and
+// the in-memory oracle agree after the drain.
+func TestChaosConvergence(t *testing.T) {
+	schedules := 104
+	if testing.Short() {
+		schedules = 12
+	}
+	for seed := 0; seed < schedules; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%03d", seed), func(t *testing.T) {
+			t.Parallel()
+			res, err := Run(configFor(seed))
+			if err != nil {
+				t.Fatalf("schedule diverged: %v\nresult: %+v", err, res)
+			}
+			if res.Injected == 0 && configFor(seed).FaultRate > 0 {
+				t.Logf("note: no faults injected (seed %d)", seed)
+			}
+		})
+	}
+}
+
+// TestChaosFaultFree pins the harness itself: with injection disabled
+// and no pressure, a schedule must also converge — a violation here is a
+// harness/oracle bug, not a fault-handling bug.
+func TestChaosFaultFree(t *testing.T) {
+	res, err := Run(Config{Seed: 42, FaultRate: -1, StallEveryN: 1 << 30})
+	if err != nil {
+		t.Fatalf("fault-free schedule diverged: %v\nresult: %+v", err, res)
+	}
+	if res.Stats.Committed == 0 {
+		t.Fatal("no ops committed — the workload did nothing")
+	}
+}
+
+// TestChaosReportsInjection sanity-checks the injector wiring: with a
+// high rate the schedule must both inject faults and still converge via
+// resubmission.
+func TestChaosReportsInjection(t *testing.T) {
+	res, err := Run(Config{Seed: 7, FaultRate: 0.5, MaxFaultsPerPath: 3})
+	if err != nil {
+		t.Fatalf("high-fault schedule diverged: %v\nresult: %+v", err, res)
+	}
+	if res.Injected == 0 {
+		t.Fatal("injector never fired at rate 0.5")
+	}
+	if res.Stats.Retries == 0 {
+		t.Fatal("injected failures produced no resubmissions")
+	}
+}

@@ -44,7 +44,7 @@ func (r *Region) NewClient(node string) (*Client, error) {
 		node:         node,
 		cache:        memcache.NewClient(caller, r.ring),
 		caller:       caller,
-		backend:      r.deps.NewBackend(node),
+		backend:      r.newBackend(node),
 		parentMemo:   make(map[string]uint64),
 		remoteCaches: make(map[string]*memcache.Client),
 	}, nil
@@ -75,7 +75,13 @@ func (c *Client) overhead(at vclock.Time) vclock.Time {
 // pushOp enqueues a commit operation on this node's queue, charging the
 // publish cost (§III.D.1).
 func (c *Client) pushOp(at vclock.Time, kind OpKind, p string, st fsapi.Stat, seq uint64) (vclock.Time, error) {
-	op := Op{Kind: kind, Path: p, Stat: st, Time: at, Seq: seq}
+	return c.pushOpFlagged(at, kind, p, st, seq, false)
+}
+
+// pushOpFlagged is pushOp with the create-after-rm marker (see
+// Op.AfterRm); only insert() sets it.
+func (c *Client) pushOpFlagged(at vclock.Time, kind OpKind, p string, st fsapi.Stat, seq uint64, afterRm bool) (vclock.Time, error) {
+	op := Op{Kind: kind, Path: p, Stat: st, Time: at, Seq: seq, AfterRm: afterRm}
 	if err := c.region.queues[c.node].Push(op); err != nil {
 		return at, err
 	}
@@ -115,7 +121,8 @@ func (c *Client) checkParent(at vclock.Time, p string) (vclock.Time, error) {
 	case errors.Is(err, fsapi.ErrNotExist):
 		// Miss: the parent may exist on the DFS but not in the cache
 		// (§III.C). Load it synchronously.
-		st, done, berr := c.backend.Stat(at, dir)
+		gen := c.region.invalGen.Load()
+		st, done, berr := c.statFresh(at, dir)
 		at = done
 		if berr != nil {
 			return at, fsapi.WrapPath("parent-check", dir, berr)
@@ -123,7 +130,7 @@ func (c *Client) checkParent(at vclock.Time, p string) (vclock.Time, error) {
 		if !st.IsDir() {
 			return at, fsapi.WrapPath("parent-check", dir, fsapi.ErrNotDir)
 		}
-		at = c.cacheLoad(at, dir, st)
+		at = c.cacheLoad(at, dir, st, gen)
 	default:
 		return at, err
 	}
@@ -161,12 +168,13 @@ func (c *Client) checkPerm(at vclock.Time, p string, want fsapi.AccessWant) (vcl
 			}
 			st = v.stat
 		case errors.Is(err, fsapi.ErrNotExist):
+			gen := c.region.invalGen.Load()
 			var berr error
-			st, at, berr = c.backend.Stat(at, anc)
+			st, at, berr = c.statFresh(at, anc)
 			if berr != nil {
 				return at, fsapi.WrapPath("traverse", anc, berr)
 			}
-			at = c.cacheLoad(at, anc, st)
+			at = c.cacheLoad(at, anc, st, gen)
 		default:
 			return at, err
 		}
@@ -180,10 +188,29 @@ func (c *Client) checkPerm(at vclock.Time, p string, want fsapi.AccessWant) (vcl
 	return at, r.cfg.Perm.Check(r.cfg.Cred, p, want)
 }
 
+// statFresh reads p's authoritative stat from the DFS, bypassing any
+// client-local lookup cache the backend keeps (dfs.Client's dentry
+// cache; see StatFresh there). Every cache-miss load must come through
+// here: the result is installed in the region cache as the primary
+// copy, and the backup copy moves underneath long-TTL dentry snapshots
+// with every asynchronous commit — a stale stat would shadow committed
+// state (size, mode) until the next eviction, or resurrect paths a
+// dependent operation removed.
+func (c *Client) statFresh(at vclock.Time, p string) (fsapi.Stat, vclock.Time, error) {
+	if f, ok := c.backend.(interface {
+		StatFresh(vclock.Time, string) (fsapi.Stat, vclock.Time, error)
+	}); ok {
+		return f.StatFresh(at, p)
+	}
+	return c.backend.Stat(at, p)
+}
+
 // cacheLoad inserts a clean (committed) entry, evicting on cache
-// pressure. Insert races are benign — someone else loaded it.
-func (c *Client) cacheLoad(at vclock.Time, p string, st fsapi.Stat) vclock.Time {
-	return c.cacheLoadVal(at, p, cacheVal{stat: st, large: st.Size > int64(c.region.cfg.SmallFileThreshold)})
+// pressure. Insert races are benign — someone else loaded it. gen is the
+// region's invalidation generation read before the DFS stat that
+// produced st; see cacheLoadVal.
+func (c *Client) cacheLoad(at vclock.Time, p string, st fsapi.Stat, gen uint64) vclock.Time {
+	return c.cacheLoadVal(at, p, cacheVal{stat: st, large: st.Size > int64(c.region.cfg.SmallFileThreshold)}, gen)
 }
 
 // insert is the shared create/mkdir path: batch permission check, parent
@@ -204,6 +231,7 @@ func (c *Client) insert(at vclock.Time, kind OpKind, p string, st fsapi.Stat) (v
 
 	seq := r.seq.Add(1)
 	v := cacheVal{dirty: true, seq: seq, stat: st}
+	afterRm := false
 	for {
 		_, done, err := c.cache.Add(at, p, v.encode(), 0)
 		at = done
@@ -236,20 +264,23 @@ func (c *Client) insert(at vclock.Time, kind OpKind, p string, st fsapi.Stat) (v
 		if !old.removed {
 			return at, fsapi.WrapPath(op, p, fsapi.ErrExist)
 		}
+		afterRm = true // replacing a removed marker: a remove is queued
 		_, done, cerr := c.cache.CAS(at, p, v.encode(), 0, item.CAS)
 		at = done
 		if cerr == nil {
 			break
 		}
-		if !errors.Is(cerr, fsapi.ErrStale) {
+		if !errors.Is(cerr, fsapi.ErrStale) && !errors.Is(cerr, fsapi.ErrNotExist) {
 			return at, cerr
 		}
-		// CAS conflict: re-examine (§III.D.3 — retry until success).
+		// CAS conflict — or the removed marker was cleaned underneath us
+		// (the remove's commit racing this create-after-rm): re-examine
+		// from the top (§III.D.3 — retry until success).
 	}
 	if r.cfg.SyncCommit {
 		return c.commitSyncInsert(at, p, st, seq)
 	}
-	return c.pushOp(at, kind, p, st, seq)
+	return c.pushOpFlagged(at, kind, p, st, seq, afterRm)
 }
 
 // commitSyncInsert is the SyncCommit ablation: apply the creation to the
@@ -340,12 +371,13 @@ func (c *Client) Stat(at vclock.Time, p string) (fsapi.Stat, vclock.Time, error)
 		return v.stat, at, nil
 	case errors.Is(err, fsapi.ErrNotExist):
 		// Miss: load from the DFS into the cache (§III.D.1 getattr).
-		st, done, berr := c.backend.Stat(at, p)
+		gen := c.region.invalGen.Load()
+		st, done, berr := c.statFresh(at, p)
 		at = done
 		if berr != nil {
 			return fsapi.Stat{}, at, fsapi.WrapPath("stat", p, berr)
 		}
-		at = c.cacheLoad(at, p, st)
+		at = c.cacheLoad(at, p, st, gen)
 		return st, at, nil
 	default:
 		return fsapi.Stat{}, at, err
@@ -426,7 +458,7 @@ func (c *Client) Remove(at vclock.Time, p string) (vclock.Time, error) {
 			// Conflict: retry the read-modify-write (§III.D.3).
 		case errors.Is(err, fsapi.ErrNotExist):
 			// Not cached: the file may live only on the DFS.
-			st, done, berr := c.backend.Stat(at, p)
+			st, done, berr := c.statFresh(at, p)
 			at = done
 			if berr != nil {
 				return at, fsapi.WrapPath("rm", p, berr)
@@ -494,6 +526,23 @@ func (c *Client) Rmdir(at vclock.Time, p string) (vclock.Time, error) {
 	at = drain
 	removed, done, rerr := c.backend.RmTree(at, p)
 	at = done
+	// Drop the subtree's dentries on every backend in the region, not
+	// just this client's (RmTree only cleans its own instance). Internal
+	// DFS clients run long dentry TTLs, so a skipped node would keep
+	// serving positive Stats for the removed paths and a later
+	// cache-miss load there would resurrect the directory.
+	r.invalidateBackendSubtrees(p)
+	// Bump the invalidation generation AFTER the dentry fan-out and
+	// BEFORE cleaning the cache. After: a stale positive Stat can only
+	// come from a dentry read before its drop, hence before the bump, so
+	// the load's generation re-check fires and it revokes itself. Before
+	// the cache deletes: a
+	// cache-miss load whose DFS read predates the RmTree either inserts
+	// before our deletes below (we delete it) or re-checks the generation
+	// after them (it sees the bump and revokes itself). Bumping after the
+	// deletes would leave a window where such a load resurrects the
+	// removed directory with nothing left to clean it up.
+	r.invalGen.Add(1)
 	switch {
 	case rerr == nil:
 		// Clean the removed subtree out of the distributed cache.
@@ -595,6 +644,12 @@ func (c *Client) Rename(at vclock.Time, src, dst string) (vclock.Time, error) {
 	if rerr == nil {
 		// Invalidate the moved subtree's old-path entries: enumerate on
 		// the DFS (authoritative after the drain) from the new location.
+		// Dentry fan-out first (both ends — src dentries are gone, dst
+		// dentries changed), then the generation bump, then the cache
+		// cleanup: same load-resurrection race as rmdir's.
+		r.invalidateBackendSubtrees(src)
+		r.invalidateBackendSubtrees(dst)
+		r.invalGen.Add(1)
 		at = c.invalidateMoved(at, src, dst)
 	}
 	r.barrier.Release(epoch, at)

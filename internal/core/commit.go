@@ -32,6 +32,17 @@ func (p *pendingSet) add(op Op) {
 	p.paths[op.Path]++
 }
 
+// release drops one reference to a parked path, deleting the key when it
+// reaches zero so the map does not grow with every path that ever parked
+// over a long-running commit loop.
+func (p *pendingSet) release(path string) {
+	if n := p.paths[path] - 1; n > 0 {
+		p.paths[path] = n
+	} else {
+		delete(p.paths, path)
+	}
+}
+
 func (p *pendingSet) blocks(path string) bool { return p.paths[path] > 0 }
 
 // commitLoop is one node's commit process: the subscriber of the node's
@@ -104,7 +115,7 @@ func (r *Region) retryPendingOnce(pending *pendingSet, now *vclock.Time, backend
 				p.attempts++
 				if p.attempts >= r.cfg.CommitRetryLimit {
 					r.dropOp(p.op, now, cache)
-					pending.paths[p.op.Path]--
+					pending.release(p.op.Path)
 					continue
 				}
 			}
@@ -114,7 +125,7 @@ func (r *Region) retryPendingOnce(pending *pendingSet, now *vclock.Time, backend
 			blocked[p.op.Path] = true
 			kept = append(kept, p)
 		} else {
-			pending.paths[p.op.Path]--
+			pending.release(p.op.Path)
 		}
 	}
 	pending.ops = kept
@@ -142,11 +153,14 @@ func (r *Region) applyOp(op Op, now *vclock.Time, backend Backend, cache *memcac
 	switch op.Kind {
 	case OpCreate, OpMkdir:
 		// Discard rule: creations inside a directory being removed are
-		// dropped, and their cache entries cleaned (§III.D.1).
+		// dropped, and their cache entries cleaned (§III.D.1) — but only
+		// this op's incarnation (seq match, CAS-guarded): a newer
+		// incarnation created after the rmdir window closed is live
+		// primary-copy metadata and must survive.
 		if r.isRemoving(op.Path) {
 			r.discarded.Add(1)
-			done, _ := cache.Delete(t, op.Path)
-			*now = done
+			r.deleteIf(cache, &t, op.Path, func(v cacheVal) bool { return v.seq == op.Seq })
+			*now = t
 			return false
 		}
 		// The DFS backup copy keeps small-file data on the data path, not
@@ -165,17 +179,45 @@ func (r *Region) applyOp(op Op, now *vclock.Time, backend Backend, cache *memcac
 			r.clearDirty(op, now, cache)
 			return false
 		case errors.Is(err, fsapi.ErrExist):
-			// Two cases share this error. (1) The file was materialized
+			// Three cases share this error. (1) The file was materialized
 			// early by the large-file transition (§III.D.2) — that path
 			// clears the dirty bit, so a clean live entry with our seq
-			// means the DFS copy is ours: done. (2) An earlier
-			// incarnation's remove is still queued on another node — our
-			// entry is still dirty, the existing DFS file is stale:
-			// resubmit until the remove lands (independent commit
-			// reordering, §III.E.1).
+			// means the DFS copy is ours: done. (2) The op is marked
+			// create-after-rm: an earlier incarnation's remove is still
+			// queued (possibly on another node) — our entry is still
+			// dirty, the existing DFS file is doomed: resubmit until the
+			// remove lands (independent commit reordering, §III.E.1).
+			// (3) The op is NOT create-after-rm: no remove can be pending,
+			// so the DFS object is this same path re-created after its
+			// clean cache entry was evicted. Waiting would livelock until
+			// the resubmission budget drops the op — adopt the object
+			// instead, imposing the create's metadata on it.
 			if v, ok := r.cacheLookup(op.Path, now, cache); ok && !v.removed {
 				if v.seq != op.Seq || !v.dirty {
 					r.committed.Add(1)
+					r.writebackSpill(op.Path, now, backend)
+					r.clearDirty(op, now, cache)
+					return false
+				}
+				if !op.AfterRm {
+					est, done, serr := backendStatFresh(backend, *now, op.Path)
+					*now = done
+					if serr != nil {
+						return true // vanished underneath us: retry the create
+					}
+					if est.IsDir() != st.IsDir() {
+						// A different kind of object holds the name; the
+						// creation can never apply.
+						r.dropOp(op, now, cache)
+						return false
+					}
+					done, aerr := backend.SetStat(*now, op.Path, st)
+					*now = done
+					if aerr != nil {
+						return true
+					}
+					r.committed.Add(1)
+					r.writebackInline(op.Path, inline, now, backend)
 					r.writebackSpill(op.Path, now, backend)
 					r.clearDirty(op, now, cache)
 					return false
@@ -243,27 +285,75 @@ func (r *Region) applyOp(op Op, now *vclock.Time, backend Backend, cache *memcac
 	return false
 }
 
+// deleteIf deletes path's cache entry while pred holds, re-reading on a
+// CAS conflict so an update racing between the read and the delete is
+// never lost (§III.D.3's retry discipline applied to deletion). The
+// distinction matters because a cache entry can be the primary copy:
+// deciding on a stale read and then deleting unconditionally silently
+// destroys whatever a concurrent writer stored in between.
+func (r *Region) deleteIf(cache *memcache.Client, now *vclock.Time, path string, pred func(cacheVal) bool) error {
+	for {
+		item, done, err := cache.Get(*now, path)
+		*now = done
+		if err != nil {
+			if errors.Is(err, fsapi.ErrNotExist) {
+				return nil // nothing to delete
+			}
+			return err
+		}
+		v, derr := decodeCacheVal(item.Value)
+		if derr != nil {
+			return derr
+		}
+		if !pred(v) {
+			return nil // the entry is no longer ours to delete
+		}
+		if h := r.deleteHook.Load(); h != nil {
+			(*h)(path)
+		}
+		done, err = cache.DeleteCAS(*now, path, item.CAS)
+		*now = done
+		switch {
+		case err == nil || errors.Is(err, fsapi.ErrNotExist):
+			return nil
+		case errors.Is(err, fsapi.ErrStale):
+			continue // concurrent update won; re-examine the new value
+		default:
+			return err
+		}
+	}
+}
+
 // dropOp abandons an operation. An abandoned creation's cache entry is
 // the primary copy of metadata that will never reach the DFS (e.g. a
 // create accepted in the closing instants of an rmdir window whose
-// parent is gone): delete it — by seq, so a newer incarnation survives —
-// rather than leave a permanently dirty phantom.
+// parent is gone): delete it — CAS-guarded by seq, so a newer
+// incarnation survives — rather than leave a permanently dirty phantom.
 func (r *Region) dropOp(op Op, now *vclock.Time, cache *memcache.Client) {
 	r.dropped.Add(1)
-	if op.Kind != OpCreate && op.Kind != OpMkdir {
-		return
+	switch op.Kind {
+	case OpCreate, OpMkdir:
+		r.deleteIf(cache, now, op.Path, func(v cacheVal) bool { return v.seq == op.Seq })
+	case OpRemove:
+		// An abandoned remove's marker would otherwise sit dirty in the
+		// cache forever; drop it (same guard as finishRemove) and let
+		// reads fall through to whatever the DFS still holds.
+		r.deleteIf(cache, now, op.Path, func(v cacheVal) bool { return v.removed && v.seq == op.Seq })
 	}
-	item, done, err := cache.Get(*now, op.Path)
-	*now = done
-	if err != nil {
-		return
+}
+
+// backendStatFresh reads an authoritative stat, bypassing the
+// backend's client-local lookup cache when it keeps one (see
+// dfs.Client.StatFresh). Commit processes share long-lived backends
+// whose dentry snapshots lag every asynchronous commit, so decisions
+// about the current DFS state must never come from plain Stat.
+func backendStatFresh(b Backend, at vclock.Time, p string) (fsapi.Stat, vclock.Time, error) {
+	if f, ok := b.(interface {
+		StatFresh(vclock.Time, string) (fsapi.Stat, vclock.Time, error)
+	}); ok {
+		return f.StatFresh(at, p)
 	}
-	v, derr := decodeCacheVal(item.Value)
-	if derr != nil || v.seq != op.Seq {
-		return
-	}
-	done, _ = cache.Delete(*now, op.Path)
-	*now = done
+	return b.Stat(at, p)
 }
 
 // cacheLookup fetches and decodes a cache value.
@@ -305,21 +395,11 @@ func (r *Region) clearDirty(op Op, now *vclock.Time, cache *memcache.Client) {
 
 // finishRemove deletes the removed marker from the cache once the remove
 // committed ("their cached metadata are deleted after the operations are
-// committed", §III.D.1) — unless a newer incarnation replaced it.
+// committed", §III.D.1) — unless a newer incarnation replaced it. The
+// delete is CAS-guarded: a create-after-rm racing between our read and
+// our delete must not have its fresh entry destroyed.
 func (r *Region) finishRemove(op Op, now *vclock.Time, cache *memcache.Client) {
-	item, done, err := cache.Get(*now, op.Path)
-	*now = done
-	if err != nil {
-		return
-	}
-	v, derr := decodeCacheVal(item.Value)
-	if derr != nil {
-		return
-	}
-	if v.removed && v.seq == op.Seq {
-		done, _ := cache.Delete(*now, op.Path)
-		*now = done
-	}
+	r.deleteIf(cache, now, op.Path, func(v cacheVal) bool { return v.removed && v.seq == op.Seq })
 }
 
 // writebackInline writes a newly created small file's bytes to the DFS.

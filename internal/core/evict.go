@@ -1,8 +1,6 @@
 package core
 
 import (
-	"errors"
-
 	"pacon/internal/fsapi"
 	"pacon/internal/namespace"
 	"pacon/internal/vclock"
@@ -27,9 +25,18 @@ func (r *Region) evictRound(c *Client, at vclock.Time) (vclock.Time, error) {
 		return at, fsapi.WrapPath("evict", r.cfg.Workspace, fsapi.ErrOutOfSpace)
 	}
 	// Round-robin selection: a different entry than last time, which
-	// alleviates thrashing (§III.F).
-	pick := ents[r.evictCursor%len(ents)]
-	r.evictCursor++
+	// alleviates thrashing (§III.F). Readdir lists in name order, so the
+	// first name after the last-evicted one continues the rotation even
+	// when entries appeared or vanished since the previous round (an
+	// index cursor over a re-read listing skips or repeats entries).
+	pick := ents[0]
+	for _, ent := range ents {
+		if ent.Name > r.evictLast {
+			pick = ent
+			break
+		}
+	}
+	r.evictLast = pick.Name
 	target := namespace.Join(r.cfg.Workspace, pick.Name)
 	return r.evictSubtree(c, at, target, pick.Type == fsapi.TypeDir)
 }
@@ -51,25 +58,12 @@ func (r *Region) evictSubtree(c *Client, at vclock.Time, p string, isDir bool) (
 			}
 		}
 	}
-	item, done, err := c.cache.Get(at, p)
-	at = done
-	if err != nil {
-		if errors.Is(err, fsapi.ErrNotExist) {
-			return at, nil // not cached — nothing to evict
-		}
-		return at, err
-	}
-	v, derr := decodeCacheVal(item.Value)
-	if derr != nil {
-		return at, derr
-	}
-	if v.dirty || v.removed {
-		return at, nil // uncommitted state stays resident
-	}
-	done, err = c.cache.Delete(at, p)
-	at = done
-	if err != nil && !errors.Is(err, fsapi.ErrNotExist) {
-		return at, err
-	}
-	return at, nil
+	// CAS-guarded delete: only a clean (committed) entry may go, and only
+	// the exact version we examined. A client can dirty the entry between
+	// our read and our delete — that write makes the entry the primary
+	// copy again, and an unconditional delete would lose it forever.
+	err := r.deleteIf(c.cache, &at, p, func(v cacheVal) bool {
+		return !v.dirty && !v.removed // uncommitted state stays resident
+	})
+	return at, err
 }

@@ -55,13 +55,14 @@ func (c *Client) WriteAt(at vclock.Time, p string, off int64, data []byte) (vclo
 				return at, err
 			}
 			// Not cached: pull the metadata in and retry.
-			st, done, berr := c.backend.Stat(at, p)
+			gen := r.invalGen.Load()
+			st, done, berr := c.statFresh(at, p)
 			at = done
 			if berr != nil {
 				return at, fsapi.WrapPath("write", p, berr)
 			}
 			v := cacheVal{stat: st, large: st.Size > int64(r.cfg.SmallFileThreshold)}
-			at = c.cacheLoadVal(at, p, v)
+			at = c.cacheLoadVal(at, p, v, gen)
 			continue
 		}
 		v, derr := decodeCacheVal(item.Value)
@@ -89,6 +90,19 @@ func (c *Client) WriteAt(at vclock.Time, p string, off int64, data []byte) (vclo
 				}
 			}
 			return at, nil
+		}
+
+		if int64(len(v.stat.Inline)) < v.stat.Size {
+			// Loaded from the DFS without its data (cache-miss path, e.g.
+			// after the clean entry was evicted): pull the bytes in before
+			// splicing, or the write would zero-fill everything outside
+			// its own range and commit that back over the real content.
+			buf, done, rerr := c.backend.ReadAt(at, p, 0, int(v.stat.Size))
+			at = done
+			if rerr != nil {
+				return at, fsapi.WrapPath("write", p, rerr)
+			}
+			v.stat.Inline = buf
 		}
 
 		if int(off)+len(data) <= r.cfg.SmallFileThreshold {
@@ -277,13 +291,25 @@ func (c *Client) Fsync(at vclock.Time, p string) (vclock.Time, error) {
 }
 
 // cacheLoadVal inserts an arbitrary clean value (used when loading
-// existing files with their largeness flag).
-func (c *Client) cacheLoadVal(at vclock.Time, p string, v cacheVal) vclock.Time {
-	_, done, err := c.cache.Add(at, p, v.encode(), 0)
+// existing files with their largeness flag). gen is the region's
+// invalidation generation read before the DFS read that produced v: if
+// it moved by the time the insert lands, a dependent operation (rmdir,
+// rename) invalidated the cache concurrently and v may describe a
+// deleted object — revoke exactly our insert (CAS-guarded, so a
+// concurrent writer's newer value survives) instead of resurrecting it.
+func (c *Client) cacheLoadVal(at vclock.Time, p string, v cacheVal, gen uint64) vclock.Time {
+	cas, done, err := c.cache.Add(at, p, v.encode(), 0)
+	at = done
 	if errors.Is(err, fsapi.ErrOutOfSpace) {
-		if done, err = c.region.evictRound(c, done); err == nil {
-			_, done, _ = c.cache.Add(done, p, v.encode(), 0)
+		if at, err = c.region.evictRound(c, at); err == nil {
+			cas, at, err = c.cache.Add(at, p, v.encode(), 0)
 		}
 	}
-	return done
+	if err == nil && c.region.invalGen.Load() != gen {
+		if done, derr := c.cache.DeleteCAS(at, p, cas); derr == nil ||
+			errors.Is(derr, fsapi.ErrNotExist) || errors.Is(derr, fsapi.ErrStale) {
+			at = done
+		}
+	}
+	return at
 }

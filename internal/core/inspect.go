@@ -1,0 +1,64 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"pacon/internal/fsapi"
+	"pacon/internal/memcache"
+)
+
+// CacheEntry is one decoded distributed-cache entry, exposed for
+// white-box verification: the chaos harness oracle and regression tests
+// assert invariants over the full cache image (no dirty entries after a
+// drain, every clean entry backed on the DFS, ...).
+type CacheEntry struct {
+	Path    string
+	Dirty   bool
+	Removed bool
+	Large   bool
+	Seq     uint64
+	Stat    fsapi.Stat
+}
+
+// DumpCache snapshots and decodes every entry across the region's cache
+// servers, sorted by path. Verification-only: it reads the servers
+// directly and charges no virtual time. Concurrent mutation yields a
+// per-shard-consistent (not globally atomic) snapshot — quiesce the
+// region (Drain) before asserting global invariants.
+func (r *Region) DumpCache() ([]CacheEntry, error) {
+	var out []CacheEntry
+	var derr error
+	for _, s := range r.servers {
+		s.ForEach(func(key string, item memcache.Item) {
+			v, err := decodeCacheVal(item.Value)
+			if err != nil {
+				derr = fmt.Errorf("cache entry %s: %w", key, err)
+				return
+			}
+			out = append(out, CacheEntry{
+				Path:    key,
+				Dirty:   v.dirty,
+				Removed: v.removed,
+				Large:   v.large,
+				Seq:     v.seq,
+				Stat:    v.stat,
+			})
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, derr
+}
+
+// SetDeleteHook installs (or clears, with nil) a hook that runs between
+// the read and the CAS-guarded delete of every cleanup loop (eviction,
+// commit bookkeeping, discard rule). Test instrumentation: it opens the
+// read/delete race window deterministically so regression tests can
+// interleave a conflicting write.
+func (r *Region) SetDeleteHook(h func(path string)) {
+	if h == nil {
+		r.deleteHook.Store(nil)
+		return
+	}
+	r.deleteHook.Store(&h)
+}

@@ -54,6 +54,14 @@ type Op struct {
 	// newest seq so commit processes only clear the dirty flag for the
 	// op that made it dirty last.
 	Seq uint64
+	// AfterRm marks a create/mkdir that replaced a removed marker in the
+	// cache (create-after-rm). It disambiguates the commit's ErrExist
+	// handling: with the flag the existing DFS object is a doomed old
+	// incarnation and the create must wait for the queued remove;
+	// without it no remove can be pending — the object on the DFS is the
+	// same path re-created after its clean cache entry was evicted, and
+	// the create adopts it instead of resubmitting forever.
+	AfterRm bool
 }
 
 // cacheVal is the distributed cache's value layout: the primary copy of

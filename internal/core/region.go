@@ -131,8 +131,31 @@ type Region struct {
 	mergedMu sync.RWMutex
 	merged   []remoteRegion
 
-	evictMu     sync.Mutex
-	evictCursor int
+	// backends holds every backend the region has built (commit
+	// processes and clients alike) so dependent operations can fan
+	// invalidations out to all of them (see invalidateBackendSubtrees).
+	backendsMu sync.Mutex
+	backends   []Backend
+
+	evictMu sync.Mutex
+	// evictLast is the name of the last-evicted top-level entry; the next
+	// round advances past it by name, which stays correct when the
+	// directory's entry set changes between rounds (an index cursor would
+	// skip or repeat entries).
+	evictLast string
+
+	// invalGen counts dependent-operation invalidations (rmdir, rename).
+	// A cache-miss load records it before reading the DFS and re-checks
+	// after inserting: if it moved, the load raced an invalidation and
+	// its stat may describe a deleted object — the load revokes its own
+	// insert (CAS-guarded) instead of resurrecting stale metadata that
+	// nothing would ever clean up.
+	invalGen atomic.Uint64
+
+	// deleteHook, when set, runs between the read and the CAS-guarded
+	// delete inside deleteIf — test instrumentation that opens the
+	// read/delete race window deterministically.
+	deleteHook atomic.Pointer[func(path string)]
 
 	committed, discarded, retries, dropped, evictions atomic.Int64
 
@@ -186,7 +209,7 @@ func NewRegion(cfg RegionConfig, deps Deps) (*Region, error) {
 	}
 
 	// Verify the workspace and seed its metadata into the cache.
-	backend := deps.NewBackend(cfg.Nodes[0])
+	backend := r.newBackend(cfg.Nodes[0])
 	wsStat, _, err := backend.Stat(0, cfg.Workspace)
 	if err != nil {
 		r.shutdownServers()
@@ -208,10 +231,49 @@ func NewRegion(cfg RegionConfig, deps Deps) (*Region, error) {
 		r.wg.Add(1)
 		go func(node string) {
 			defer r.wg.Done()
-			r.commitLoop(node, deps.NewBackend(node))
+			r.commitLoop(node, r.newBackend(node))
 		}(node)
 	}
 	return r, nil
+}
+
+// newBackend builds a backend via deps and records it. The region keeps
+// every backend it hands out because the DFS layer deliberately trusts
+// Pacon for consistency: internal DFS clients run long dentry TTLs, so
+// after an rmdir or rename only a region-wide fan-out (not just the
+// calling client's own drop) stops the other nodes from serving stale
+// positive lookups for the unlinked paths.
+func (r *Region) newBackend(node string) Backend {
+	b := r.deps.NewBackend(node)
+	r.backendsMu.Lock()
+	r.backends = append(r.backends, b)
+	r.backendsMu.Unlock()
+	return b
+}
+
+// subtreeInvalidator is the optional backend capability of dropping
+// client-local positive lookup state (dfs.Client's dentry cache).
+// Wrappers that embed a Backend interface value must forward it
+// explicitly — interface embedding does not promote it.
+type subtreeInvalidator interface {
+	InvalidateSubtree(root string)
+}
+
+// invalidateBackendSubtrees drops cached lookup state for root on every
+// backend the region has built. Callers bump invalGen only after this
+// returns: any stale positive Stat served from a dentry that had not
+// yet been dropped necessarily read it before the bump, so the
+// cache-miss load's generation re-check fires and the load revokes its
+// own insert instead of resurrecting the unlinked subtree.
+func (r *Region) invalidateBackendSubtrees(root string) {
+	r.backendsMu.Lock()
+	bs := append([]Backend(nil), r.backends...)
+	r.backendsMu.Unlock()
+	for _, b := range bs {
+		if inv, ok := b.(subtreeInvalidator); ok {
+			inv.InvalidateSubtree(root)
+		}
+	}
 }
 
 func (r *Region) shutdownServers() {

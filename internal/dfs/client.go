@@ -120,6 +120,14 @@ func (c *Client) cacheDrop(p string) {
 	delete(c.dentries, p)
 }
 
+// InvalidateSubtree drops every cached dentry at or under root. Pacon
+// calls this on all of a region's DFS clients when a dependent
+// operation (rmdir, rename) unlinks a subtree: internal clients run
+// with long dentry TTLs (Pacon owns consistency above the DFS), so
+// without the fan-out the other nodes' clients would keep serving
+// positive Stats for the removed paths until the TTL lapsed.
+func (c *Client) InvalidateSubtree(root string) { c.cacheDropSubtree(root) }
+
 func (c *Client) cacheDropSubtree(root string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -261,6 +269,30 @@ func (c *Client) Stat(at vclock.Time, p string) (fsapi.Stat, vclock.Time, error)
 	}
 	st, done, err := c.lookupRPC(at, p)
 	if err != nil {
+		return fsapi.Stat{}, done, err
+	}
+	c.cachePut(p, st, done)
+	return st, done, nil
+}
+
+// StatFresh stats p bypassing the positive dentry cache for the final
+// component: the answer always comes from the MDS, and refreshes the
+// cached dentry. Pacon's cache-miss loads use this — a miss-load's
+// result becomes the region's primary copy, so it must reflect the
+// authoritative backup state, not a dentry snapshot that may predate
+// any number of asynchronously committed updates (a stale size here
+// does not merely lag: it gets installed in the region cache as truth
+// after the real entry was evicted, silently shadowing committed
+// writes).
+func (c *Client) StatFresh(at vclock.Time, p string) (fsapi.Stat, vclock.Time, error) {
+	p = namespace.Clean(p)
+	at, err := c.resolveAncestors(at, p)
+	if err != nil {
+		return fsapi.Stat{}, at, err
+	}
+	st, done, err := c.lookupRPC(at, p)
+	if err != nil {
+		c.cacheDrop(p)
 		return fsapi.Stat{}, done, err
 	}
 	c.cachePut(p, st, done)

@@ -90,6 +90,18 @@ func (c *Client) Delete(at vclock.Time, key string) (vclock.Time, error) {
 	return done, err
 }
 
+// DeleteCAS removes key from its owner only if its version is still
+// expect; ErrStale means a concurrent update won the race and the caller
+// must re-read before deciding to delete again (§III.D.3 applied to
+// deletion).
+func (c *Client) DeleteCAS(at vclock.Time, key string, expect uint64) (vclock.Time, error) {
+	e := wire.NewEncoder(len(key) + 12)
+	e.String(key)
+	e.Uint64(expect)
+	done, _, err := c.caller.Call(c.Owner(key), "delete_cas", at, e.Bytes())
+	return done, err
+}
+
 // FlushAll clears every server in the ring.
 func (c *Client) FlushAll(at vclock.Time) (vclock.Time, error) {
 	latest := at

@@ -73,6 +73,66 @@ func TestServerCASSemantics(t *testing.T) {
 	}
 }
 
+func TestServerDeleteCASSemantics(t *testing.T) {
+	s := testServer(ServerConfig{})
+	cas1, _, _ := s.Set(0, "k", []byte("v1"), 0)
+	// A concurrent update bumps the version: the guarded delete must
+	// refuse rather than destroy the newer value.
+	cas2, _, _ := s.Set(0, "k", []byte("v2"), 0)
+	if _, err := s.DeleteCAS(0, "k", cas1); !errors.Is(err, fsapi.ErrStale) {
+		t.Fatalf("stale delete = %v, want ErrStale", err)
+	}
+	if item, _, err := s.Get(0, "k"); err != nil || string(item.Value) != "v2" {
+		t.Fatalf("value destroyed by stale delete: %+v %v", item, err)
+	}
+	if _, err := s.DeleteCAS(0, "k", cas2); err != nil {
+		t.Fatalf("matching delete = %v", err)
+	}
+	if _, _, err := s.Get(0, "k"); !errors.Is(err, fsapi.ErrNotExist) {
+		t.Fatalf("get after delete = %v", err)
+	}
+	if _, err := s.DeleteCAS(0, "k", cas2); !errors.Is(err, fsapi.ErrNotExist) {
+		t.Fatalf("delete missing = %v, want ErrNotExist", err)
+	}
+}
+
+func TestServerDeleteCASAccounting(t *testing.T) {
+	s := testServer(ServerConfig{})
+	cas, _, _ := s.Set(0, "k", make([]byte, 100), 0)
+	before := s.Stats().UsedBytes
+	if before == 0 {
+		t.Fatal("no usage accounted")
+	}
+	if _, err := s.DeleteCAS(0, "k", cas); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.UsedBytes != 0 || st.Items != 0 {
+		t.Fatalf("usage after guarded delete = %+v", st)
+	}
+}
+
+func TestServerForEachSnapshots(t *testing.T) {
+	s := testServer(ServerConfig{})
+	want := map[string]string{"a": "1", "b": "2", "c": "3"}
+	for k, v := range want {
+		s.Set(0, k, []byte(v), 0)
+	}
+	got := map[string]string{}
+	s.ForEach(func(key string, item Item) {
+		got[key] = string(item.Value)
+		// Callbacks run outside the shard lock: calling back in is legal.
+		s.Get(0, key)
+	})
+	if len(got) != len(want) {
+		t.Fatalf("got %d items, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("item %q = %q, want %q", k, got[k], v)
+		}
+	}
+}
+
 // The lock-free update loop from paper §III.D.3: concurrent writers CAS
 // until they win; every increment must land exactly once.
 func TestCASRetryLoopLinearizes(t *testing.T) {
@@ -236,6 +296,30 @@ func TestClientCASThroughRPC(t *testing.T) {
 	item, _, _ := c.Get(0, "k")
 	if string(item.Value) != "v2" {
 		t.Fatalf("value = %q", item.Value)
+	}
+}
+
+func TestClientDeleteCASThroughRPC(t *testing.T) {
+	c, _ := clusterEnv(t, 2)
+	cas, _, err := c.Add(0, "k", []byte("v1"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cas2, _, err := c.CAS(0, "k", []byte("v2"), 0, cas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.DeleteCAS(0, "k", cas); !errors.Is(err, fsapi.ErrStale) {
+		t.Fatalf("stale delete over rpc = %v", err)
+	}
+	if item, _, err := c.Get(0, "k"); err != nil || string(item.Value) != "v2" {
+		t.Fatalf("value lost: %+v %v", item, err)
+	}
+	if _, err := c.DeleteCAS(0, "k", cas2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.DeleteCAS(0, "k", cas2); !errors.Is(err, fsapi.ErrNotExist) {
+		t.Fatalf("delete missing over rpc = %v", err)
 	}
 }
 

@@ -237,12 +237,30 @@ func (s *Server) evictLocked(sh *shard, storing string, delta int64) bool {
 // Delete removes key.
 func (s *Server) Delete(at vclock.Time, key string) (vclock.Time, error) {
 	done := s.acquire(at)
+	return done, s.deleteLocked(key, 0, false)
+}
+
+// DeleteCAS removes key only if its current version matches expect —
+// the deletion analogue of CAS. Cleanup paths (eviction, commit
+// bookkeeping) use it so a concurrent update between their read and
+// their delete surfaces as ErrStale instead of silently destroying the
+// newer value, which for Pacon's dirty entries is the primary copy.
+func (s *Server) DeleteCAS(at vclock.Time, key string, expect uint64) (vclock.Time, error) {
+	done := s.acquire(at)
+	return done, s.deleteLocked(key, expect, true)
+}
+
+// deleteLocked removes key, optionally guarded by a CAS version check.
+func (s *Server) deleteLocked(key string, expect uint64, checkCAS bool) error {
 	sh := s.shardFor(key)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	si, ok := sh.items[key]
 	if !ok {
-		return done, fsapi.ErrNotExist
+		return fsapi.ErrNotExist
+	}
+	if checkCAS && si.item.CAS != expect {
+		return fsapi.ErrStale
 	}
 	freed := itemBytes(key, si.item.Value)
 	sh.used -= freed
@@ -251,7 +269,33 @@ func (s *Server) Delete(at vclock.Time, key string) (vclock.Time, error) {
 		sh.lru.Remove(si.elem)
 	}
 	delete(sh.items, key)
-	return done, nil
+	return nil
+}
+
+// ForEach calls fn for every resident item with a copied value. Each
+// shard is snapshotted under its lock and fn runs after the lock is
+// released, so fn may call back into the server. Intended for white-box
+// verification (tests, the chaos harness oracle), not the serving path;
+// it charges no virtual time.
+func (s *Server) ForEach(fn func(key string, item Item)) {
+	type kv struct {
+		key  string
+		item Item
+	}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		snap := make([]kv, 0, len(sh.items))
+		for k, si := range sh.items {
+			it := si.item
+			it.Value = append([]byte(nil), si.item.Value...)
+			snap = append(snap, kv{key: k, item: it})
+		}
+		sh.mu.Unlock()
+		for _, e := range snap {
+			fn(e.key, e.item)
+		}
+	}
 }
 
 // FlushAll drops every item.
@@ -348,6 +392,16 @@ func (s *Server) Service() *rpc.Service {
 			return at, nil, err
 		}
 		done, err := s.Delete(at, key)
+		return done, nil, err
+	})
+	svc.Handle("delete_cas", func(at vclock.Time, body []byte) (vclock.Time, []byte, error) {
+		d := wire.NewDecoder(body)
+		key := d.String()
+		expect := d.Uint64()
+		if err := d.Finish(); err != nil {
+			return at, nil, err
+		}
+		done, err := s.DeleteCAS(at, key, expect)
 		return done, nil, err
 	})
 	svc.Handle("flush_all", func(at vclock.Time, body []byte) (vclock.Time, []byte, error) {
