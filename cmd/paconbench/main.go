@@ -30,6 +30,7 @@ func main() {
 		quick  = flag.Bool("quick", false, "reduced scale for smoke runs")
 		csvDir = flag.String("csv", "", "also write <id>.csv files into this directory")
 		list   = flag.Bool("list", false, "list experiment ids and exit")
+		cjson  = flag.String("commitjson", "", "run the commit experiment and write its JSON report to this path")
 	)
 	flag.Parse()
 
@@ -43,6 +44,30 @@ func main() {
 	cfg := bench.Default()
 	if *quick {
 		cfg = bench.Quick()
+	}
+
+	if *cjson != "" {
+		rep, figs, err := bench.RunCommit(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paconbench: commit: %v\n", err)
+			os.Exit(1)
+		}
+		for _, f := range figs {
+			fmt.Println(f.String())
+		}
+		data, err := rep.JSON()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*cjson, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *cjson)
+		if !*all && *fig == "" {
+			return
+		}
 	}
 
 	var ids []string

@@ -1,0 +1,199 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"pacon/internal/core"
+	"pacon/internal/vclock"
+	"pacon/internal/workload"
+)
+
+// The commit experiment measures the commit path's round-trip economy:
+// the same create/write/remove workload runs against the legacy commit
+// configuration (client-side Get+CAS cache bookkeeping, op-at-a-time
+// dequeue, no coalescing) and the batched one (server-side conditional
+// cache ops, dequeue batches, same-path coalescing, apply_batch), and
+// the report compares cache round trips per created file, backend round
+// trips, and end-to-end virtual throughput including the drain.
+func init() {
+	register("commit", func(cfg Config) ([]*Figure, error) {
+		_, figs, err := RunCommit(cfg)
+		return figs, err
+	})
+}
+
+// CommitVariant is one side of the commit experiment.
+type CommitVariant struct {
+	OpsSubmitted int64 `json:"ops_submitted"`
+	Creates      int64 `json:"creates"`
+	// Region commit-path counters after the drain.
+	OpsCommitted int64 `json:"ops_committed"`
+	Coalesced    int64 `json:"coalesced"`
+	CacheRPCs    int64 `json:"cache_rpcs"`
+	BackendRPCs  int64 `json:"backend_rpcs"`
+	BatchRPCs    int64 `json:"batch_rpcs"`
+	BatchedOps   int64 `json:"batched_ops"`
+	// CacheRPCsPerCreate is the headline: commit-path cache round trips
+	// spent per created file.
+	CacheRPCsPerCreate float64 `json:"cache_rpcs_per_create"`
+	// VirtualOPS is client ops per second of virtual time, measured to
+	// the end of the drain (the backup copies all landed).
+	VirtualOPS float64 `json:"virtual_ops_per_sec"`
+}
+
+// CommitReport is the machine-readable result (BENCH_commit.json).
+type CommitReport struct {
+	Experiment     string        `json:"experiment"`
+	Clients        int           `json:"clients"`
+	ItemsPerClient int           `json:"items_per_client"`
+	Legacy         CommitVariant `json:"legacy"`
+	Batched        CommitVariant `json:"batched"`
+	// CacheRPCReduction = legacy/batched cache RPCs per create (the
+	// acceptance bar is >= 2x).
+	CacheRPCReduction float64 `json:"cache_rpc_reduction"`
+	// BackendRPCReduction = legacy/batched backend round trips.
+	BackendRPCReduction float64 `json:"backend_rpc_reduction"`
+	// ThroughputGain = batched/legacy virtual throughput.
+	ThroughputGain float64 `json:"throughput_gain"`
+}
+
+// JSON renders the report for BENCH_commit.json.
+func (r *CommitReport) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// runCommitVariant drives the workload against one region configuration
+// and collects the variant's counters.
+func runCommitVariant(cfg Config, clients int, mutate func(*core.RegionConfig)) (CommitVariant, error) {
+	e := newEnv(cfg, cfg.nodesFor(clients))
+	defer e.close()
+	if err := e.provision("/w"); err != nil {
+		return CommitVariant{}, err
+	}
+	cls, err := e.paconVariantClients(clients, "/w", mutate)
+	if err != nil {
+		return CommitVariant{}, err
+	}
+	region := e.regions[len(e.regions)-1]
+
+	runner := workload.NewRunner(cls)
+	payload := make([]byte, 256)
+	items := cfg.ItemsPerClient
+	res, err := runner.RunPhase(func(idx int, cl workload.Client, now vclock.Time) (vclock.Time, int64, error) {
+		fc := cl.(workload.FileClient)
+		var ops int64
+		var err error
+		for j := 0; j < items; j++ {
+			p := fmt.Sprintf("/w/c%d-f%d", idx, j)
+			if now, err = fc.Create(now, p, 0o644); err != nil {
+				return now, ops, err
+			}
+			ops++
+			if now, err = fc.WriteAt(now, p, 0, payload); err != nil {
+				return now, ops, err
+			}
+			ops++
+			if j%4 == 0 {
+				if now, err = fc.Remove(now, p); err != nil {
+					return now, ops, err
+				}
+				ops++
+			}
+		}
+		return now, ops, nil
+	})
+	if err != nil {
+		return CommitVariant{}, err
+	}
+	done, err := region.Drain(res.End)
+	if err != nil {
+		return CommitVariant{}, err
+	}
+
+	st := region.Stats()
+	creates := int64(clients * items)
+	v := CommitVariant{
+		OpsSubmitted: res.Ops,
+		Creates:      creates,
+		OpsCommitted: st.Committed,
+		Coalesced:    st.Coalesced,
+		CacheRPCs:    st.CacheRPCs,
+		BackendRPCs:  st.BackendRPCs,
+		BatchRPCs:    st.BatchRPCs,
+		BatchedOps:   st.BatchedOps,
+	}
+	if creates > 0 {
+		v.CacheRPCsPerCreate = float64(st.CacheRPCs) / float64(creates)
+	}
+	if elapsed := done - res.Start; elapsed > 0 {
+		v.VirtualOPS = float64(res.Ops) / vclock.Duration(elapsed).Seconds()
+	}
+	return v, nil
+}
+
+// RunCommit executes both variants and derives the comparison report.
+func RunCommit(cfg Config) (*CommitReport, []*Figure, error) {
+	clients := cfg.nodesFor(cfg.MaxNodes*cfg.ClientsPerNode) * cfg.ClientsPerNode / 2
+	if clients < 2 {
+		clients = 2
+	}
+
+	legacy, err := runCommitVariant(cfg, clients, func(rc *core.RegionConfig) {
+		rc.ClientSideCommitOps = true
+		rc.DisableCoalesce = true
+		rc.CommitBatchSize = 1
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("commit legacy variant: %w", err)
+	}
+	batched, err := runCommitVariant(cfg, clients, nil)
+	if err != nil {
+		return nil, nil, fmt.Errorf("commit batched variant: %w", err)
+	}
+
+	rep := &CommitReport{
+		Experiment:     "commit-path round trips: legacy vs conditional+coalesced+batched",
+		Clients:        clients,
+		ItemsPerClient: cfg.ItemsPerClient,
+		Legacy:         legacy,
+		Batched:        batched,
+	}
+	if batched.CacheRPCsPerCreate > 0 {
+		rep.CacheRPCReduction = legacy.CacheRPCsPerCreate / batched.CacheRPCsPerCreate
+	}
+	if batched.BackendRPCs > 0 {
+		rep.BackendRPCReduction = float64(legacy.BackendRPCs) / float64(batched.BackendRPCs)
+	}
+	if legacy.VirtualOPS > 0 {
+		rep.ThroughputGain = batched.VirtualOPS / legacy.VirtualOPS
+	}
+
+	f := &Figure{
+		ID: "commit", Title: "Commit path: legacy vs conditional+coalesced+batched",
+		XLabel: "variant", YLabel: "see series",
+		Series: []string{"cacheRPCs/create", "backendRPCs", "committed", "coalesced", "virtualOPS"},
+	}
+	f.AddPoint("legacy", map[string]float64{
+		"cacheRPCs/create": legacy.CacheRPCsPerCreate,
+		"backendRPCs":      float64(legacy.BackendRPCs),
+		"committed":        float64(legacy.OpsCommitted),
+		"coalesced":        float64(legacy.Coalesced),
+		"virtualOPS":       legacy.VirtualOPS,
+	})
+	f.AddPoint("batched", map[string]float64{
+		"cacheRPCs/create": batched.CacheRPCsPerCreate,
+		"backendRPCs":      float64(batched.BackendRPCs),
+		"committed":        float64(batched.OpsCommitted),
+		"coalesced":        float64(batched.Coalesced),
+		"virtualOPS":       batched.VirtualOPS,
+	})
+	f.Note("cache round trips per created file: %.2f -> %.2f (%.1fx reduction)",
+		legacy.CacheRPCsPerCreate, batched.CacheRPCsPerCreate, rep.CacheRPCReduction)
+	f.Note("backend round trips: %d -> %d (%.1fx; %d ops rode %d apply_batch RPCs)",
+		legacy.BackendRPCs, batched.BackendRPCs, rep.BackendRPCReduction,
+		batched.BatchedOps, batched.BatchRPCs)
+	f.Note("virtual throughput incl. drain: %.0f -> %.0f ops/s (%.2fx)",
+		legacy.VirtualOPS, batched.VirtualOPS, rep.ThroughputGain)
+	return rep, []*Figure{f}, nil
+}

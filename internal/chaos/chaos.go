@@ -68,6 +68,15 @@ type Config struct {
 	Rmdir bool
 	// DoomedDirs is the number of pre-created rmdir targets.
 	DoomedDirs int
+	// CommitBatchSize sets the region's dequeue/apply batch width
+	// (0 = the region default; 1 = op-at-a-time).
+	CommitBatchSize int
+	// DisableCoalesce turns off dequeue-time op merging, pinning the
+	// uncoalesced commit path under the same schedules.
+	DisableCoalesce bool
+	// ClientSideCommitOps forces the legacy Get+CAS cache bookkeeping
+	// loops instead of the server-side conditional ops.
+	ClientSideCommitOps bool
 }
 
 func (c Config) withDefaults() Config {
@@ -187,6 +196,39 @@ func (f *flakyBackend) Remove(at vclock.Time, p string) (vclock.Time, error) {
 		return at, fsapi.ErrNotExist
 	}
 	return f.Backend.Remove(at, p)
+}
+
+// ApplyBatch forwards the batched commit path with per-op injection.
+// Without this override the embedded interface value would promote the
+// wrapped client's ApplyBatch and batched ops would silently bypass
+// injection. Net-absence removes (IfExists) are exempt like WriteAt: the
+// commit module reads their ErrNotExist as success, so an injected
+// failure — meaning the remove did NOT run — would be mistaken for a
+// committed absence while a stale object still sits on the DFS.
+func (f *flakyBackend) ApplyBatch(at vclock.Time, ops []fsapi.BatchOp) ([]error, vclock.Time, error) {
+	errs := make([]error, len(ops))
+	fwd := make([]fsapi.BatchOp, 0, len(ops))
+	idx := make([]int, 0, len(ops))
+	for i, op := range ops {
+		exempt := op.Kind == fsapi.BatchRemove && op.IfExists
+		if !exempt && f.inj.fail(op.Path) {
+			errs[i] = fsapi.ErrNotExist
+			continue
+		}
+		fwd = append(fwd, op)
+		idx = append(idx, i)
+	}
+	if len(fwd) == 0 {
+		return errs, at, nil
+	}
+	ferrs, done, err := f.Backend.ApplyBatch(at, fwd)
+	if err != nil {
+		return nil, done, err
+	}
+	for j, i := range idx {
+		errs[i] = ferrs[j]
+	}
+	return errs, done, nil
 }
 
 // InvalidateSubtree forwards the region's rmdir/rename dentry fan-out
@@ -545,12 +587,15 @@ func Run(cfg Config) (Result, error) {
 		nodes[i] = fmt.Sprintf("node%d", i)
 	}
 	region, err := core.NewRegion(core.RegionConfig{
-		Name:               "chaos",
-		Workspace:          "/w",
-		Nodes:              nodes,
-		Cred:               appCred,
-		CacheCapacityBytes: cfg.CacheCapacityBytes,
-		Model:              model,
+		Name:                "chaos",
+		Workspace:           "/w",
+		Nodes:               nodes,
+		Cred:                appCred,
+		CacheCapacityBytes:  cfg.CacheCapacityBytes,
+		CommitBatchSize:     cfg.CommitBatchSize,
+		DisableCoalesce:     cfg.DisableCoalesce,
+		ClientSideCommitOps: cfg.ClientSideCommitOps,
+		Model:               model,
 	}, core.Deps{
 		Bus: bus,
 		NewBackend: func(node string) core.Backend {

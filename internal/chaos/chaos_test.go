@@ -24,6 +24,18 @@ func configFor(seed int) Config {
 		// to run continuously against the workload.
 		cfg.CacheCapacityBytes = 4096
 	}
+	// Commit-path variants: most seeds run the default batched+coalesced
+	// path; a slice pins the legacy configurations so the sweep keeps
+	// covering op-at-a-time dequeue, uncoalesced batches and the
+	// client-side Get+CAS loops.
+	switch seed % 7 {
+	case 2:
+		cfg.CommitBatchSize = 1
+	case 4:
+		cfg.DisableCoalesce = true
+	case 6:
+		cfg.ClientSideCommitOps = true
+	}
 	return cfg
 }
 

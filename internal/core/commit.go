@@ -50,6 +50,10 @@ func (p *pendingSet) blocks(path string) bool { return p.paths[path] > 0 }
 // backend client, participates in barrier epochs, and maintains the
 // cache's dirty/removed bookkeeping.
 //
+// Operations are dequeued up to CommitBatchSize at a time (never across
+// a barrier marker), same-path runs are coalesced (see coalesceOps), and
+// independent-path ops ship to the DFS in one apply_batch round trip.
+//
 // Resubmission policy: a failed op parks in the pending set while
 // *other-path* ops continue — that is what converges creations enqueued
 // before their parents (cross-queue dependencies, or applications that
@@ -65,7 +69,7 @@ func (r *Region) commitLoop(node string, backend Backend) {
 	var pending pendingSet
 
 	for {
-		op, isBarrier, epoch, ok := q.Pop()
+		ops, isBarrier, epoch, ok := q.PopBatch(r.cfg.CommitBatchSize)
 		if !ok {
 			// Queue closed: push out whatever can still commit.
 			r.drainPending(&pending, &now, backend, cache)
@@ -83,15 +87,145 @@ func (r *Region) commitLoop(node string, backend Backend) {
 			now = vclock.Max(now, rel)
 			continue
 		}
-		if pending.blocks(op.Path) {
-			pending.add(op) // preserve per-path order behind the parked op
-		} else if r.applyOp(op, &now, backend, cache) {
-			pending.add(op)
+		if !r.cfg.DisableCoalesce {
+			var merged int64
+			ops, merged = coalesceOps(ops)
+			r.coalesced.Add(merged)
 		}
+		r.applyOps(ops, &now, backend, cache, &pending)
 		// Opportunistic pass: earlier failures often just needed a
 		// sibling queue to commit a parent. Uncounted — only forced
 		// drains consume the resubmission budget.
 		r.retryPendingOnce(&pending, &now, backend, cache, false)
+	}
+}
+
+// applyOps applies a dequeued batch in waves: each wave holds at most
+// one op per path (per-path FIFO — a same-path follower waits for the
+// next wave, and parks if its predecessor parked), and a wave's
+// independent-path ops ship in one apply_batch round trip.
+func (r *Region) applyOps(ops []Op, now *vclock.Time, backend Backend, cache *memcache.Client, pending *pendingSet) {
+	for len(ops) > 0 {
+		var wave, rest []Op
+		inWave := make(map[string]bool, len(ops))
+		for _, op := range ops {
+			switch {
+			case inWave[op.Path]:
+				rest = append(rest, op)
+			case pending.blocks(op.Path):
+				pending.add(op) // preserve per-path order behind the parked op
+			default:
+				inWave[op.Path] = true
+				wave = append(wave, op)
+			}
+		}
+		r.applyWave(wave, now, backend, cache, pending)
+		ops = rest
+	}
+}
+
+// batchable reports whether op can ship inside an apply_batch RPC.
+// Creations under an active rmdir need the discard rule, and inline
+// setstats are data writes — both stay on the singleton path.
+func (r *Region) batchable(op Op) bool {
+	if r.isRemoving(op.Path) {
+		return false
+	}
+	switch op.Kind {
+	case OpCreate, OpMkdir, OpRemove:
+		return true
+	case OpSetStat:
+		return len(op.Stat.Inline) == 0
+	}
+	return false
+}
+
+// applyWave applies one wave of unique-path ops. Two or more batchable
+// ops go out as a single apply_batch; net-absence removes always take
+// the batch path (even alone) so the DFS sees their IfExists marker.
+func (r *Region) applyWave(wave []Op, now *vclock.Time, backend Backend, cache *memcache.Client, pending *pendingSet) {
+	var batch, single []Op
+	for _, op := range wave {
+		if r.batchable(op) {
+			batch = append(batch, op)
+		} else {
+			single = append(single, op)
+		}
+	}
+	if len(batch) == 1 && !batch[0].NetAbsent {
+		single = append(single, batch[0])
+		batch = nil
+	}
+	if len(batch) > 0 {
+		r.applyBatchRPC(batch, now, backend, cache, pending)
+	}
+	for _, op := range single {
+		if r.applyOp(op, now, backend, cache) {
+			pending.add(op)
+		}
+	}
+}
+
+// applyBatchRPC ships a wave's batchable ops in one backend round trip
+// and finishes each per its own result.
+func (r *Region) applyBatchRPC(ops []Op, now *vclock.Time, backend Backend, cache *memcache.Client, pending *pendingSet) {
+	t := *now
+	bops := make([]fsapi.BatchOp, len(ops))
+	inlines := make([][]byte, len(ops))
+	for i, op := range ops {
+		if op.Time > t {
+			t = op.Time
+		}
+		bop := fsapi.BatchOp{Path: op.Path}
+		switch op.Kind {
+		case OpCreate, OpMkdir:
+			bop.Kind = fsapi.BatchCreate
+			if op.Kind == OpMkdir {
+				bop.Kind = fsapi.BatchMkdir
+			}
+			// The DFS backup copy keeps small-file data on the data
+			// path, not in MDS metadata (same as the singleton path).
+			st := op.Stat
+			inlines[i] = st.Inline
+			st.Inline = nil
+			bop.Stat = st
+		case OpSetStat:
+			bop.Kind = fsapi.BatchSetStat
+			bop.Stat = op.Stat
+		case OpRemove:
+			bop.Kind = fsapi.BatchRemove
+			bop.IfExists = op.NetAbsent
+		}
+		bops[i] = bop
+	}
+	r.batchRPCs.Add(1)
+	r.batchedOps.Add(int64(len(ops)))
+	r.backendRPCs.Add(1)
+	errs, done, err := backend.ApplyBatch(t, bops)
+	*now = done
+	if err != nil {
+		// Transport-level failure: disposition unknown, fall back to
+		// singleton application which re-runs each op with full logic.
+		for _, op := range ops {
+			if r.applyOp(op, now, backend, cache) {
+				pending.add(op)
+			}
+		}
+		return
+	}
+	for i, op := range ops {
+		var retry bool
+		switch op.Kind {
+		case OpCreate, OpMkdir:
+			retry = r.finishCreate(op, inlines[i], errs[i], now, backend, cache)
+		case OpSetStat:
+			retry = r.finishSetStat(op, errs[i], now, cache)
+		case OpRemove:
+			retry = r.finishRemoveResult(op, errs[i], now, cache)
+		}
+		if retry {
+			pending.add(op)
+		}
 	}
 }
 
@@ -136,12 +270,33 @@ func (r *Region) retryPendingOnce(pending *pendingSet, now *vclock.Time, backend
 // An op's dependency (e.g. its parent's create) may live in another
 // node's queue, so no-progress passes yield real time to the sibling
 // commit processes instead of spinning.
+//
+// The resubmission budget is only charged on passes where the REGION
+// made no progress since the previous pass: a pending op is waiting on
+// a dependency (typically its parent's create) that may sit deep in a
+// sibling node's queue, and as long as any commit process is still
+// landing operations, that dependency may yet arrive. Batched dequeue
+// makes this essential — a fast node reaches the barrier with its whole
+// dependency frontier parked (a hundred ops is normal when the workload
+// was enqueued up front) and sweeps it continuously; charging those
+// sweeps would burn an op's 64 attempts in the milliseconds a loaded
+// sibling needs to crawl through its queue. Termination is preserved:
+// queues are finite, so region-wide progress eventually stops, and from
+// then on every stalled pass sleeps and charges every pending op until
+// the limit drops it. The stalled-pass sleep also matters for more than
+// pacing: it yields the CPU (and the MDS/cache locks) to the very
+// sibling whose progress would unblock us.
 func (r *Region) drainPending(pending *pendingSet, now *vclock.Time, backend Backend, cache *memcache.Client) {
+	progress := func() int64 {
+		return r.committed.Load() + r.discarded.Load() + r.dropped.Load()
+	}
+	last := int64(-1)
 	for len(pending.ops) > 0 {
-		before := len(pending.ops)
-		r.retryPendingOnce(pending, now, backend, cache, true)
-		if len(pending.ops) == before {
-			time.Sleep(200 * time.Microsecond)
+		snap := progress()
+		r.retryPendingOnce(pending, now, backend, cache, snap == last)
+		last = snap
+		if progress() == snap {
+			time.Sleep(time.Millisecond)
 		}
 	}
 }
@@ -159,7 +314,7 @@ func (r *Region) applyOp(op Op, now *vclock.Time, backend Backend, cache *memcac
 		// primary-copy metadata and must survive.
 		if r.isRemoving(op.Path) {
 			r.discarded.Add(1)
-			r.deleteIf(cache, &t, op.Path, func(v cacheVal) bool { return v.seq == op.Seq })
+			r.deleteIf(cache, &t, op.Path, memcache.CondSeq, op.Seq)
 			*now = t
 			return false
 		}
@@ -169,95 +324,21 @@ func (r *Region) applyOp(op Op, now *vclock.Time, backend Backend, cache *memcac
 		st := op.Stat
 		inline := st.Inline
 		st.Inline = nil
+		r.backendRPCs.Add(1)
 		done, err := backend.CreateWithStat(t, op.Path, st)
 		*now = done
-		switch {
-		case err == nil:
-			r.committed.Add(1)
-			r.writebackInline(op.Path, inline, now, backend)
-			r.writebackSpill(op.Path, now, backend)
-			r.clearDirty(op, now, cache)
-			return false
-		case errors.Is(err, fsapi.ErrExist):
-			// Three cases share this error. (1) The file was materialized
-			// early by the large-file transition (§III.D.2) — that path
-			// clears the dirty bit, so a clean live entry with our seq
-			// means the DFS copy is ours: done. (2) The op is marked
-			// create-after-rm: an earlier incarnation's remove is still
-			// queued (possibly on another node) — our entry is still
-			// dirty, the existing DFS file is doomed: resubmit until the
-			// remove lands (independent commit reordering, §III.E.1).
-			// (3) The op is NOT create-after-rm: no remove can be pending,
-			// so the DFS object is this same path re-created after its
-			// clean cache entry was evicted. Waiting would livelock until
-			// the resubmission budget drops the op — adopt the object
-			// instead, imposing the create's metadata on it.
-			if v, ok := r.cacheLookup(op.Path, now, cache); ok && !v.removed {
-				if v.seq != op.Seq || !v.dirty {
-					r.committed.Add(1)
-					r.writebackSpill(op.Path, now, backend)
-					r.clearDirty(op, now, cache)
-					return false
-				}
-				if !op.AfterRm {
-					est, done, serr := backendStatFresh(backend, *now, op.Path)
-					*now = done
-					if serr != nil {
-						return true // vanished underneath us: retry the create
-					}
-					if est.IsDir() != st.IsDir() {
-						// A different kind of object holds the name; the
-						// creation can never apply.
-						r.dropOp(op, now, cache)
-						return false
-					}
-					done, aerr := backend.SetStat(*now, op.Path, st)
-					*now = done
-					if aerr != nil {
-						return true
-					}
-					r.committed.Add(1)
-					r.writebackInline(op.Path, inline, now, backend)
-					r.writebackSpill(op.Path, now, backend)
-					r.clearDirty(op, now, cache)
-					return false
-				}
-			}
-			return true
-		case errors.Is(err, fsapi.ErrNotExist):
-			// Parent not committed yet (possibly queued on another node).
-			return true
-		default:
-			r.dropOp(op, now, cache)
-			return false
-		}
+		return r.finishCreate(op, inline, err, now, backend, cache)
 
 	case OpRemove:
+		r.backendRPCs.Add(1)
 		done, err := backend.Remove(t, op.Path)
 		*now = done
-		switch {
-		case err == nil:
-			r.committed.Add(1)
-			r.finishRemove(op, now, cache)
-			return false
-		case errors.Is(err, fsapi.ErrNotExist):
-			// The create this remove shadows may still be queued on
-			// another node — resubmit; if it was discarded under an
-			// rmdir, the retry limit cleans us up.
-			if r.isRemoving(op.Path) {
-				r.discarded.Add(1)
-				r.finishRemove(op, now, cache)
-				return false
-			}
-			return true
-		default:
-			r.dropOp(op, now, cache)
-			return false
-		}
+		return r.finishRemoveResult(op, err, now, cache)
 
 	case OpSetStat:
 		var done vclock.Time
 		var err error
+		r.backendRPCs.Add(1)
 		if len(op.Stat.Inline) > 0 {
 			// Inline-data backup write: the file interface carries both
 			// the bytes and the size update.
@@ -266,33 +347,167 @@ func (r *Region) applyOp(op Op, now *vclock.Time, backend Backend, cache *memcac
 			done, err = backend.SetStat(t, op.Path, op.Stat)
 		}
 		*now = done
-		switch {
-		case err == nil:
-			r.committed.Add(1)
-			r.clearDirty(op, now, cache)
-			return false
-		case errors.Is(err, fsapi.ErrNotExist):
-			if r.isRemoving(op.Path) {
-				r.discarded.Add(1)
-				return false
-			}
-			return true // create still in flight
-		default:
-			r.dropOp(op, now, cache)
-			return false
-		}
+		return r.finishSetStat(op, err, now, cache)
 	}
 	return false
 }
 
-// deleteIf deletes path's cache entry while pred holds, re-reading on a
-// CAS conflict so an update racing between the read and the delete is
-// never lost (§III.D.3's retry discipline applied to deletion). The
-// distinction matters because a cache entry can be the primary copy:
-// deciding on a stale read and then deleting unconditionally silently
-// destroys whatever a concurrent writer stored in between.
-func (r *Region) deleteIf(cache *memcache.Client, now *vclock.Time, path string, pred func(cacheVal) bool) error {
+// finishCreate handles a create/mkdir's backend result (shared by the
+// singleton and batched paths); it returns true if the op must be
+// resubmitted.
+func (r *Region) finishCreate(op Op, inline []byte, err error, now *vclock.Time, backend Backend, cache *memcache.Client) bool {
+	switch {
+	case err == nil:
+		r.committed.Add(1)
+		r.writebackInline(op.Path, inline, now, backend)
+		r.writebackSpill(op.Path, now, backend)
+		r.clearDirty(op, now, cache)
+		return false
+	case errors.Is(err, fsapi.ErrExist):
+		// Three cases share this error. (1) The file was materialized
+		// early by the large-file transition (§III.D.2) — that path
+		// clears the dirty bit, so a clean live entry with our seq
+		// means the DFS copy is ours: done. (2) The op is marked
+		// create-after-rm: an earlier incarnation's remove is still
+		// queued (possibly on another node) — our entry is still
+		// dirty, the existing DFS file is doomed: resubmit until the
+		// remove lands (independent commit reordering, §III.E.1).
+		// (3) The op is NOT create-after-rm: no remove can be pending,
+		// so the DFS object is this same path re-created after its
+		// clean cache entry was evicted. Waiting would livelock until
+		// the resubmission budget drops the op — adopt the object
+		// instead, imposing the create's metadata on it.
+		if v, ok := r.cacheLookup(op.Path, now, cache); ok && !v.removed {
+			if v.seq != op.Seq || !v.dirty {
+				r.committed.Add(1)
+				r.writebackSpill(op.Path, now, backend)
+				r.clearDirty(op, now, cache)
+				return false
+			}
+			if !op.AfterRm {
+				st := op.Stat
+				st.Inline = nil
+				r.backendRPCs.Add(1)
+				est, done, serr := backendStatFresh(backend, *now, op.Path)
+				*now = done
+				if serr != nil {
+					return true // vanished underneath us: retry the create
+				}
+				if est.IsDir() != st.IsDir() {
+					// A different kind of object holds the name; the
+					// creation can never apply.
+					r.dropOp(op, now, cache)
+					return false
+				}
+				r.backendRPCs.Add(1)
+				done, aerr := backend.SetStat(*now, op.Path, st)
+				*now = done
+				if aerr != nil {
+					return true
+				}
+				r.committed.Add(1)
+				r.writebackInline(op.Path, inline, now, backend)
+				r.writebackSpill(op.Path, now, backend)
+				r.clearDirty(op, now, cache)
+				return false
+			}
+		}
+		return true
+	case errors.Is(err, fsapi.ErrNotExist):
+		// Parent not committed yet (possibly queued on another node).
+		return true
+	default:
+		r.dropOp(op, now, cache)
+		return false
+	}
+}
+
+// finishRemoveResult handles a remove's backend result; it returns true
+// if the op must be resubmitted.
+func (r *Region) finishRemoveResult(op Op, err error, now *vclock.Time, cache *memcache.Client) bool {
+	switch {
+	case err == nil:
+		r.committed.Add(1)
+		r.finishRemove(op, now, cache)
+		return false
+	case errors.Is(err, fsapi.ErrNotExist):
+		if op.NetAbsent {
+			// Net-absence remove: the folded create never reached the
+			// DFS, so an absent path IS the committed state.
+			r.committed.Add(1)
+			r.finishRemove(op, now, cache)
+			return false
+		}
+		// The create this remove shadows may still be queued on
+		// another node — resubmit; if it was discarded under an
+		// rmdir, the retry limit cleans us up.
+		if r.isRemoving(op.Path) {
+			r.discarded.Add(1)
+			r.finishRemove(op, now, cache)
+			return false
+		}
+		return true
+	default:
+		r.dropOp(op, now, cache)
+		return false
+	}
+}
+
+// finishSetStat handles a setstat/inline-write backend result; it
+// returns true if the op must be resubmitted.
+func (r *Region) finishSetStat(op Op, err error, now *vclock.Time, cache *memcache.Client) bool {
+	switch {
+	case err == nil:
+		r.committed.Add(1)
+		r.clearDirty(op, now, cache)
+		return false
+	case errors.Is(err, fsapi.ErrNotExist):
+		if r.isRemoving(op.Path) {
+			r.discarded.Add(1)
+			return false
+		}
+		return true // create still in flight
+	default:
+		r.dropOp(op, now, cache)
+		return false
+	}
+}
+
+// condPred is the client-side equivalent of the cache server's
+// conditional-op predicates, for the legacy read-then-delete loop.
+func condPred(cond memcache.Cond, seq uint64) func(cacheVal) bool {
+	switch cond {
+	case memcache.CondSeq:
+		return func(v cacheVal) bool { return v.seq == seq }
+	case memcache.CondSeqRemoved:
+		return func(v cacheVal) bool { return v.removed && v.seq == seq }
+	default: // memcache.CondClean
+		return func(v cacheVal) bool { return !v.dirty && !v.removed }
+	}
+}
+
+// deleteIf deletes path's cache entry while cond holds for (seq, flags).
+// The fast path is one server-side conditional delete: the server
+// evaluates the predicate under its shard lock, so no CAS retry traffic
+// exists at all. The legacy client-side loop (Get + CAS-guarded
+// DeleteCAS, re-reading on conflict so an update racing between the read
+// and the delete is never lost — §III.D.3 applied to deletion) is kept
+// for the ClientSideCommitOps ablation and whenever a deleteHook is
+// installed: the hook's purpose is to open that read/delete race window
+// deterministically, which the server-side op does not have.
+func (r *Region) deleteIf(cache *memcache.Client, now *vclock.Time, path string, cond memcache.Cond, seq uint64) error {
+	if r.deleteHook.Load() == nil && !r.cfg.ClientSideCommitOps {
+		r.cacheRPCs.Add(1)
+		_, done, err := cache.DeleteIf(*now, path, cond, seq)
+		*now = done
+		if err != nil && !errors.Is(err, fsapi.ErrNotExist) {
+			return err
+		}
+		return nil
+	}
+	pred := condPred(cond, seq)
 	for {
+		r.cacheRPCs.Add(1)
 		item, done, err := cache.Get(*now, path)
 		*now = done
 		if err != nil {
@@ -311,6 +526,7 @@ func (r *Region) deleteIf(cache *memcache.Client, now *vclock.Time, path string,
 		if h := r.deleteHook.Load(); h != nil {
 			(*h)(path)
 		}
+		r.cacheRPCs.Add(1)
 		done, err = cache.DeleteCAS(*now, path, item.CAS)
 		*now = done
 		switch {
@@ -327,18 +543,18 @@ func (r *Region) deleteIf(cache *memcache.Client, now *vclock.Time, path string,
 // dropOp abandons an operation. An abandoned creation's cache entry is
 // the primary copy of metadata that will never reach the DFS (e.g. a
 // create accepted in the closing instants of an rmdir window whose
-// parent is gone): delete it — CAS-guarded by seq, so a newer
-// incarnation survives — rather than leave a permanently dirty phantom.
+// parent is gone): delete it — guarded by seq, so a newer incarnation
+// survives — rather than leave a permanently dirty phantom.
 func (r *Region) dropOp(op Op, now *vclock.Time, cache *memcache.Client) {
 	r.dropped.Add(1)
 	switch op.Kind {
 	case OpCreate, OpMkdir:
-		r.deleteIf(cache, now, op.Path, func(v cacheVal) bool { return v.seq == op.Seq })
+		r.deleteIf(cache, now, op.Path, memcache.CondSeq, op.Seq)
 	case OpRemove:
 		// An abandoned remove's marker would otherwise sit dirty in the
 		// cache forever; drop it (same guard as finishRemove) and let
 		// reads fall through to whatever the DFS still holds.
-		r.deleteIf(cache, now, op.Path, func(v cacheVal) bool { return v.removed && v.seq == op.Seq })
+		r.deleteIf(cache, now, op.Path, memcache.CondSeqRemoved, op.Seq)
 	}
 }
 
@@ -358,6 +574,7 @@ func backendStatFresh(b Backend, at vclock.Time, p string) (fsapi.Stat, vclock.T
 
 // cacheLookup fetches and decodes a cache value.
 func (r *Region) cacheLookup(path string, now *vclock.Time, cache *memcache.Client) (cacheVal, bool) {
+	r.cacheRPCs.Add(1)
 	item, done, err := cache.Get(*now, path)
 	*now = done
 	if err != nil {
@@ -372,9 +589,18 @@ func (r *Region) cacheLookup(path string, now *vclock.Time, cache *memcache.Clie
 
 // clearDirty clears the dirty flag for the op's seq: the backup copy now
 // matches this version. A newer seq means another mutation is in flight
-// and its own commit will clear the flag.
+// and its own commit will clear the flag. The fast path is one
+// server-side conditional op; the legacy Get + CAS loop remains for the
+// ClientSideCommitOps ablation.
 func (r *Region) clearDirty(op Op, now *vclock.Time, cache *memcache.Client) {
+	if !r.cfg.ClientSideCommitOps {
+		r.cacheRPCs.Add(1)
+		_, done, _ := cache.ClearDirty(*now, op.Path, op.Seq)
+		*now = done
+		return
+	}
 	for {
+		r.cacheRPCs.Add(1)
 		item, done, err := cache.Get(*now, op.Path)
 		*now = done
 		if err != nil {
@@ -385,6 +611,7 @@ func (r *Region) clearDirty(op Op, now *vclock.Time, cache *memcache.Client) {
 			return
 		}
 		v.dirty = false
+		r.cacheRPCs.Add(1)
 		_, done, err = cache.CAS(*now, op.Path, v.encode(), 0, item.CAS)
 		*now = done
 		if err == nil || !errors.Is(err, fsapi.ErrStale) {
@@ -396,10 +623,10 @@ func (r *Region) clearDirty(op Op, now *vclock.Time, cache *memcache.Client) {
 // finishRemove deletes the removed marker from the cache once the remove
 // committed ("their cached metadata are deleted after the operations are
 // committed", §III.D.1) — unless a newer incarnation replaced it. The
-// delete is CAS-guarded: a create-after-rm racing between our read and
+// delete is guarded: a create-after-rm racing between our read and
 // our delete must not have its fresh entry destroyed.
 func (r *Region) finishRemove(op Op, now *vclock.Time, cache *memcache.Client) {
-	r.deleteIf(cache, now, op.Path, func(v cacheVal) bool { return v.removed && v.seq == op.Seq })
+	r.deleteIf(cache, now, op.Path, memcache.CondSeqRemoved, op.Seq)
 }
 
 // writebackInline writes a newly created small file's bytes to the DFS.
@@ -407,6 +634,7 @@ func (r *Region) writebackInline(path string, inline []byte, now *vclock.Time, b
 	if len(inline) == 0 {
 		return
 	}
+	r.backendRPCs.Add(1)
 	done, err := backend.WriteAt(*now, path, 0, inline)
 	*now = done
 	if err != nil {
@@ -421,6 +649,7 @@ func (r *Region) writebackSpill(path string, now *vclock.Time, backend Backend) 
 	if !ok {
 		return
 	}
+	r.backendRPCs.Add(1)
 	done, err := backend.WriteAt(*now, path, 0, data)
 	*now = done
 	if err != nil {

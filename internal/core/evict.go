@@ -2,6 +2,7 @@ package core
 
 import (
 	"pacon/internal/fsapi"
+	"pacon/internal/memcache"
 	"pacon/internal/namespace"
 	"pacon/internal/vclock"
 )
@@ -58,12 +59,11 @@ func (r *Region) evictSubtree(c *Client, at vclock.Time, p string, isDir bool) (
 			}
 		}
 	}
-	// CAS-guarded delete: only a clean (committed) entry may go, and only
-	// the exact version we examined. A client can dirty the entry between
-	// our read and our delete — that write makes the entry the primary
-	// copy again, and an unconditional delete would lose it forever.
-	err := r.deleteIf(c.cache, &at, p, func(v cacheVal) bool {
-		return !v.dirty && !v.removed // uncommitted state stays resident
-	})
+	// Guarded delete: only a clean (committed) entry may go. A client can
+	// dirty the entry between a read and a delete — that write makes the
+	// entry the primary copy again, and an unconditional delete would
+	// lose it forever; CondClean is evaluated under the server's shard
+	// lock (or the legacy CAS loop re-checks).
+	err := r.deleteIf(c.cache, &at, p, memcache.CondClean, 0)
 	return at, err
 }

@@ -62,6 +62,13 @@ type Op struct {
 	// same path re-created after its clean cache entry was evicted, and
 	// the create adopts it instead of resubmitting forever.
 	AfterRm bool
+	// NetAbsent marks a remove produced by the coalescer folding a
+	// create+remove pair whose create never reached the DFS. The net
+	// effect to commit is absence: ErrNotExist is success (nothing was
+	// there), while an existing object is a stale incarnation the
+	// original remove would have deleted anyway. Carried to the DFS as
+	// fsapi.BatchOp.IfExists.
+	NetAbsent bool
 }
 
 // cacheVal is the distributed cache's value layout: the primary copy of

@@ -29,6 +29,12 @@ type Backend interface {
 	Readdir(at vclock.Time, p string) ([]fsapi.DirEntry, vclock.Time, error)
 	WriteAt(at vclock.Time, p string, off int64, data []byte) (vclock.Time, error)
 	ReadAt(at vclock.Time, p string, off int64, n int) ([]byte, vclock.Time, error)
+	// ApplyBatch applies independent-path mutations in as few RPCs as
+	// possible (one per metadata server touched). The error slice has one
+	// entry per op; a non-nil batch-level error means the whole batch's
+	// disposition is unknown and the caller must fall back to singleton
+	// application.
+	ApplyBatch(at vclock.Time, ops []fsapi.BatchOp) ([]error, vclock.Time, error)
 }
 
 // RegionConfig declares one consistent region (paper §III.B: "the
@@ -62,6 +68,19 @@ type RegionConfig struct {
 	CacheCapacityBytes int64
 	// CommitRetryLimit caps resubmissions of a failed commit (default 64).
 	CommitRetryLimit int
+	// CommitBatchSize caps how many queued operations a commit process
+	// dequeues — and ships to the DFS in one apply_batch RPC — at a time
+	// (default 8). 1 restores the op-at-a-time commit loop.
+	CommitBatchSize int
+	// DisableCoalesce turns off dequeue-time merging of same-path
+	// operation runs (ablation / debugging switch).
+	DisableCoalesce bool
+	// ClientSideCommitOps makes the commit module use the legacy
+	// client-side Get+CAS / Get+DeleteCAS retry loops instead of the
+	// cache servers' conditional operations (ablation switch; the
+	// deleteHook test instrumentation also forces the legacy delete
+	// loop, which is where its race window lives).
+	ClientSideCommitOps bool
 	// Model is the latency model.
 	Model vclock.LatencyModel
 
@@ -83,6 +102,12 @@ func (c RegionConfig) withDefaults() RegionConfig {
 	}
 	if c.CommitRetryLimit <= 0 {
 		c.CommitRetryLimit = 64
+	}
+	if c.CommitBatchSize == 0 {
+		c.CommitBatchSize = 8
+	}
+	if c.CommitBatchSize < 1 {
+		c.CommitBatchSize = 1
 	}
 	c.Workspace = namespace.Clean(c.Workspace)
 	c.Perm = c.Perm.withDefaults(c.Cred)
@@ -106,6 +131,12 @@ type RegionStats struct {
 	Retries   int64 // resubmissions (independent commit, §III.E.1)
 	Dropped   int64 // ops abandoned after CommitRetryLimit
 	Evictions int64 // region-level eviction rounds (§III.F)
+
+	Coalesced   int64 // queued ops merged away at dequeue time
+	CacheRPCs   int64 // commit-path cache round trips (bookkeeping traffic)
+	BackendRPCs int64 // commit-path DFS round trips (batch counts as one)
+	BatchRPCs   int64 // apply_batch calls issued
+	BatchedOps  int64 // ops shipped inside apply_batch calls
 }
 
 // Region is a running consistent region.
@@ -158,6 +189,8 @@ type Region struct {
 	deleteHook atomic.Pointer[func(path string)]
 
 	committed, discarded, retries, dropped, evictions atomic.Int64
+	coalesced, cacheRPCs, backendRPCs                 atomic.Int64
+	batchRPCs, batchedOps                             atomic.Int64
 
 	wg     sync.WaitGroup
 	closed atomic.Bool
@@ -291,11 +324,16 @@ func (r *Region) Ring() *dht.Ring { return r.ring }
 // Stats returns commit-module counters.
 func (r *Region) Stats() RegionStats {
 	return RegionStats{
-		Committed: r.committed.Load(),
-		Discarded: r.discarded.Load(),
-		Retries:   r.retries.Load(),
-		Dropped:   r.dropped.Load(),
-		Evictions: r.evictions.Load(),
+		Committed:   r.committed.Load(),
+		Discarded:   r.discarded.Load(),
+		Retries:     r.retries.Load(),
+		Dropped:     r.dropped.Load(),
+		Evictions:   r.evictions.Load(),
+		Coalesced:   r.coalesced.Load(),
+		CacheRPCs:   r.cacheRPCs.Load(),
+		BackendRPCs: r.backendRPCs.Load(),
+		BatchRPCs:   r.batchRPCs.Load(),
+		BatchedOps:  r.batchedOps.Load(),
 	}
 }
 

@@ -154,9 +154,10 @@ func (c *Client) lookupRPC(at vclock.Time, p string) (fsapi.Stat, vclock.Time, e
 	c.mu.Lock()
 	c.lookupRPCs++
 	c.mu.Unlock()
-	e := wire.NewEncoder(len(p) + 4)
+	e := wire.GetEncoder()
 	e.String(p)
 	done, resp, err := c.caller.Call(c.mdsFor(p), "lookup", at, e.Bytes())
+	wire.PutEncoder(e)
 	if err != nil {
 		return fsapi.Stat{}, done, err
 	}
@@ -194,13 +195,23 @@ func (c *Client) resolveAncestors(at vclock.Time, p string) (vclock.Time, error)
 	return at, nil
 }
 
-func (c *Client) mutateBody(p string, st fsapi.Stat) []byte {
-	e := wire.NewEncoder(len(p) + 96)
+// mutateBody builds the standard mutation request frame in a pooled
+// encoder; the caller must wire.PutEncoder it once the RPC returned.
+func (c *Client) mutateBody(p string, st fsapi.Stat) *wire.Encoder {
+	e := wire.GetEncoder()
 	e.String(p)
 	e.Uint32(c.cfg.Cred.UID)
 	e.Uint32(c.cfg.Cred.GID)
 	fsapi.EncodeStat(e, st)
-	return e.Bytes()
+	return e
+}
+
+// callMutate issues one mutation RPC with the standard body.
+func (c *Client) callMutate(method string, at vclock.Time, p string, st fsapi.Stat) (vclock.Time, error) {
+	e := c.mutateBody(p, st)
+	done, _, err := c.caller.Call(c.mdsFor(p), method, at, e.Bytes())
+	wire.PutEncoder(e)
+	return done, err
 }
 
 // Mkdir creates a directory.
@@ -211,8 +222,7 @@ func (c *Client) Mkdir(at vclock.Time, p string, mode fsapi.Mode) (vclock.Time, 
 		return at, err
 	}
 	st := fsapi.NewDirStat(c.cfg.Cred, mode)
-	done, _, err := c.caller.Call(c.mdsFor(p), "mkdir", at, c.mutateBody(p, st))
-	return done, err
+	return c.callMutate("mkdir", at, p, st)
 }
 
 // Create creates an empty regular file.
@@ -223,8 +233,7 @@ func (c *Client) Create(at vclock.Time, p string, mode fsapi.Mode) (vclock.Time,
 		return at, err
 	}
 	st := fsapi.NewFileStat(c.cfg.Cred, mode)
-	done, _, err := c.caller.Call(c.mdsFor(p), "create", at, c.mutateBody(p, st))
-	return done, err
+	return c.callMutate("create", at, p, st)
 }
 
 // CreateWithStat creates a file carrying a prebuilt stat (used by the
@@ -239,8 +248,7 @@ func (c *Client) CreateWithStat(at vclock.Time, p string, st fsapi.Stat) (vclock
 	if st.IsDir() {
 		method = "mkdir"
 	}
-	done, _, err := c.caller.Call(c.mdsFor(p), method, at, c.mutateBody(p, st))
-	return done, err
+	return c.callMutate(method, at, p, st)
 }
 
 // SetStat replaces an object's metadata.
@@ -250,7 +258,7 @@ func (c *Client) SetStat(at vclock.Time, p string, st fsapi.Stat) (vclock.Time, 
 	if err != nil {
 		return at, err
 	}
-	done, _, err := c.caller.Call(c.mdsFor(p), "setstat", at, c.mutateBody(p, st))
+	done, err := c.callMutate("setstat", at, p, st)
 	if err == nil {
 		c.cacheDrop(p)
 	}
@@ -307,7 +315,7 @@ func (c *Client) Remove(at vclock.Time, p string) (vclock.Time, error) {
 	if err != nil {
 		return at, err
 	}
-	done, _, err := c.caller.Call(c.mdsFor(p), "remove", at, c.mutateBody(p, fsapi.Stat{}))
+	done, err := c.callMutate("remove", at, p, fsapi.Stat{})
 	if err == nil {
 		c.cacheDrop(p)
 	}
@@ -321,7 +329,7 @@ func (c *Client) Rmdir(at vclock.Time, p string) (vclock.Time, error) {
 	if err != nil {
 		return at, err
 	}
-	done, _, err := c.caller.Call(c.mdsFor(p), "rmdir", at, c.mutateBody(p, fsapi.Stat{}))
+	done, err := c.callMutate("rmdir", at, p, fsapi.Stat{})
 	if err == nil {
 		c.cacheDrop(p)
 	}
@@ -335,11 +343,12 @@ func (c *Client) RmTree(at vclock.Time, p string) ([]string, vclock.Time, error)
 	if err != nil {
 		return nil, at, err
 	}
-	e := wire.NewEncoder(len(p) + 12)
+	e := wire.GetEncoder()
 	e.String(p)
 	e.Uint32(c.cfg.Cred.UID)
 	e.Uint32(c.cfg.Cred.GID)
 	done, resp, err := c.caller.Call(c.mdsFor(p), "rmtree", at, e.Bytes())
+	wire.PutEncoder(e)
 	if err != nil {
 		return nil, done, err
 	}
@@ -367,12 +376,13 @@ func (c *Client) Rename(at vclock.Time, src, dst string) (vclock.Time, error) {
 	if at, err = c.resolveAncestors(at, dst); err != nil {
 		return at, err
 	}
-	e := wire.NewEncoder(len(src) + len(dst) + 16)
+	e := wire.GetEncoder()
 	e.String(src)
 	e.String(dst)
 	e.Uint32(c.cfg.Cred.UID)
 	e.Uint32(c.cfg.Cred.GID)
 	done, _, err := c.caller.Call(c.mdsFor(src), "rename", at, e.Bytes())
+	wire.PutEncoder(e)
 	at = done
 	if err != nil {
 		return at, err
@@ -435,12 +445,13 @@ func (c *Client) readAtPath(at vclock.Time, p string, size int64) ([]byte, vcloc
 		if room := ChunkSize - inOff; want > room {
 			want = room
 		}
-		e := wire.NewEncoder(len(p) + 24)
+		e := wire.GetEncoder()
 		e.String(p)
 		e.Int64(chunk)
 		e.Uint32(uint32(inOff))
 		e.Uint32(uint32(want))
 		done, resp, err := c.caller.Call(c.serverFor(p, chunk), "read", at, e.Bytes())
+		wire.PutEncoder(e)
 		at = done
 		if err != nil {
 			return nil, at, err
@@ -465,9 +476,10 @@ func (c *Client) Readdir(at vclock.Time, p string) ([]fsapi.DirEntry, vclock.Tim
 	if err != nil {
 		return nil, at, err
 	}
-	e := wire.NewEncoder(len(p) + 4)
+	e := wire.GetEncoder()
 	e.String(p)
 	done, resp, err := c.caller.Call(c.mdsFor(p), "readdir", at, e.Bytes())
+	wire.PutEncoder(e)
 	if err != nil {
 		return nil, done, err
 	}
@@ -513,12 +525,13 @@ func (c *Client) WriteAt(at vclock.Time, p string, off int64, data []byte) (vclo
 		if room > len(data)-n {
 			room = len(data) - n
 		}
-		e := wire.NewEncoder(room + len(p) + 24)
+		e := wire.GetEncoder()
 		e.String(p)
 		e.Int64(chunk)
 		e.Uint32(uint32(inOff))
 		e.Blob(data[n : n+room])
 		done, _, err := c.caller.Call(c.serverFor(p, chunk), "write", at, e.Bytes())
+		wire.PutEncoder(e)
 		if err != nil {
 			return done, err
 		}
@@ -557,12 +570,13 @@ func (c *Client) ReadAt(at vclock.Time, p string, off int64, n int) ([]byte, vcl
 		if room := ChunkSize - inOff; want > room {
 			want = room
 		}
-		e := wire.NewEncoder(len(p) + 24)
+		e := wire.GetEncoder()
 		e.String(p)
 		e.Int64(chunk)
 		e.Uint32(uint32(inOff))
 		e.Uint32(uint32(want))
 		done, resp, err := c.caller.Call(c.serverFor(p, chunk), "read", at, e.Bytes())
+		wire.PutEncoder(e)
 		if err != nil {
 			return nil, done, err
 		}
@@ -597,13 +611,98 @@ func (c *Client) RemoveData(at vclock.Time, p string) (vclock.Time, error) {
 	p = namespace.Clean(p)
 	latest := at
 	for _, addr := range c.cfg.DataAddrs {
-		e := wire.NewEncoder(len(p) + 4)
+		e := wire.GetEncoder()
 		e.String(p)
 		done, _, err := c.caller.Call(addr, "drop", at, e.Bytes())
+		wire.PutEncoder(e)
 		if err != nil {
 			return done, err
 		}
 		latest = vclock.Max(latest, done)
 	}
 	return latest, nil
+}
+
+// ApplyBatch applies a set of independent-path mutations in as few MDS
+// round trips as possible: one RPC per metadata server touched, instead
+// of one per op. Ancestor resolution still happens per op (the cached
+// dentries make it nearly free for the commit module's long-TTL
+// clients). The returned slice has one entry per op — nil for success —
+// and a non-nil batch error means the whole batch's disposition is
+// unknown (transport failure) and the caller should fall back to
+// singleton application.
+func (c *Client) ApplyBatch(at vclock.Time, ops []fsapi.BatchOp) ([]error, vclock.Time, error) {
+	if len(ops) == 0 {
+		return nil, at, nil
+	}
+	errs := make([]error, len(ops))
+	// Resolve ancestors first (serially — each resolve advances the
+	// virtual clock like any client-side traversal would).
+	send := make([]int, 0, len(ops))
+	for i := range ops {
+		ops[i].Path = namespace.Clean(ops[i].Path)
+		done, err := c.resolveAncestors(at, ops[i].Path)
+		at = done
+		if err != nil {
+			errs[i] = err
+			continue
+		}
+		send = append(send, i)
+	}
+	if len(send) == 0 {
+		return errs, at, nil
+	}
+	// Group the survivors by owning MDS, preserving order within a group.
+	groups := make(map[string][]int)
+	var order []string
+	for _, i := range send {
+		addr := c.mdsFor(ops[i].Path)
+		if _, ok := groups[addr]; !ok {
+			order = append(order, addr)
+		}
+		groups[addr] = append(groups[addr], i)
+	}
+	// One RPC per MDS, all issued at the same virtual instant; the batch
+	// completes when the slowest group does.
+	latest := at
+	for _, addr := range order {
+		idxs := groups[addr]
+		e := wire.GetEncoder()
+		e.Uint32(c.cfg.Cred.UID)
+		e.Uint32(c.cfg.Cred.GID)
+		e.Uvarint(uint64(len(idxs)))
+		for _, i := range idxs {
+			op := ops[i]
+			e.Byte(byte(op.Kind))
+			e.Bool(op.IfExists)
+			e.String(op.Path)
+			fsapi.EncodeStat(e, op.Stat)
+		}
+		done, resp, err := c.caller.Call(addr, "apply_batch", at, e.Bytes())
+		wire.PutEncoder(e)
+		if err != nil {
+			return nil, done, err
+		}
+		latest = vclock.Max(latest, done)
+		d := wire.NewDecoder(resp)
+		n := d.Uvarint()
+		if n != uint64(len(idxs)) {
+			return nil, latest, fmt.Errorf("dfs: apply_batch returned %d results for %d ops", n, len(idxs))
+		}
+		for _, i := range idxs {
+			code := d.Byte()
+			detail := d.String()
+			errs[i] = fsapi.ErrOf(code, detail)
+			if errs[i] == nil {
+				switch ops[i].Kind {
+				case fsapi.BatchSetStat, fsapi.BatchRemove:
+					c.cacheDrop(ops[i].Path)
+				}
+			}
+		}
+		if derr := d.Finish(); derr != nil {
+			return nil, latest, derr
+		}
+	}
+	return errs, latest, nil
 }

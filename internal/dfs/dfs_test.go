@@ -456,3 +456,113 @@ func TestMultiMDSSharesNamespaceAndScales(t *testing.T) {
 		t.Fatalf("4 MDSes (%v) should be well faster than 1 (%v)", multiTime, singleTime)
 	}
 }
+
+func TestApplyBatchMixedOps(t *testing.T) {
+	c := testCluster(t)
+	cl := appClient(t, c)
+	if _, err := cl.Create(0, "/w/old", 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Create(0, "/w/resize", 0o644); err != nil {
+		t.Fatal(err)
+	}
+	newStat := fsapi.NewFileStat(appCred, 0o600)
+	newStat.Size = 999
+	ops := []fsapi.BatchOp{
+		{Kind: fsapi.BatchCreate, Path: "/w/new", Stat: fsapi.NewFileStat(appCred, 0o644)},
+		{Kind: fsapi.BatchMkdir, Path: "/w/dir", Stat: fsapi.NewDirStat(appCred, 0o755)},
+		{Kind: fsapi.BatchSetStat, Path: "/w/resize", Stat: newStat},
+		{Kind: fsapi.BatchRemove, Path: "/w/old"},
+	}
+	errs, _, err := cl.ApplyBatch(0, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range errs {
+		if e != nil {
+			t.Fatalf("op %d: %v", i, e)
+		}
+	}
+	if st, _, err := cl.Stat(0, "/w/new"); err != nil || st.Type != fsapi.TypeFile {
+		t.Fatalf("new: %+v, %v", st, err)
+	}
+	if st, _, err := cl.Stat(0, "/w/dir"); err != nil || !st.IsDir() {
+		t.Fatalf("dir: %+v, %v", st, err)
+	}
+	if st, _, err := cl.Stat(0, "/w/resize"); err != nil || st.Size != 999 {
+		t.Fatalf("resize: %+v, %v", st, err)
+	}
+	if _, _, err := cl.Stat(0, "/w/old"); !errors.Is(err, fsapi.ErrNotExist) {
+		t.Fatalf("old still present: %v", err)
+	}
+}
+
+func TestApplyBatchPerOpErrors(t *testing.T) {
+	c := testCluster(t)
+	cl := appClient(t, c)
+	if _, err := cl.Create(0, "/w/dup", 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ops := []fsapi.BatchOp{
+		{Kind: fsapi.BatchCreate, Path: "/w/dup", Stat: fsapi.NewFileStat(appCred, 0o644)},
+		{Kind: fsapi.BatchRemove, Path: "/w/ghost"},
+		{Kind: fsapi.BatchRemove, Path: "/w/ghost2", IfExists: true},
+		{Kind: fsapi.BatchCreate, Path: "/w/ok", Stat: fsapi.NewFileStat(appCred, 0o644)},
+	}
+	errs, _, err := cl.ApplyBatch(0, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(errs[0], fsapi.ErrExist) {
+		t.Fatalf("dup create = %v, want ErrExist", errs[0])
+	}
+	if !errors.Is(errs[1], fsapi.ErrNotExist) {
+		t.Fatalf("ghost remove = %v, want ErrNotExist", errs[1])
+	}
+	if errs[2] != nil {
+		t.Fatalf("IfExists remove of absent path = %v, want nil", errs[2])
+	}
+	if errs[3] != nil {
+		t.Fatalf("independent create = %v, want nil (batch survives sibling failures)", errs[3])
+	}
+	if _, _, err := cl.Stat(0, "/w/ok"); err != nil {
+		t.Fatalf("ok not created: %v", err)
+	}
+}
+
+func TestApplyBatchGroupsAcrossMDSes(t *testing.T) {
+	net := rpc.NewBus()
+	c := NewClusterMulti(net, vclock.Default(), rootCred, []string{"node0", "node1"}, nil)
+	root := c.NewClient("node0", rootCred, 0, 0)
+	if _, err := root.Mkdir(0, "/w", 0o777); err != nil {
+		t.Fatal(err)
+	}
+	cl := c.NewClient("node0", appCred, 64, vclock.Duration(1<<50))
+	// Warm the ancestor cache so the batch itself is pure mutation RPCs.
+	if _, _, err := cl.Stat(0, "/w"); err != nil {
+		t.Fatal(err)
+	}
+	base := cl.caller.Calls()
+	ops := make([]fsapi.BatchOp, 8)
+	for i := range ops {
+		ops[i] = fsapi.BatchOp{Kind: fsapi.BatchCreate, Path: fmt.Sprintf("/w/f%d", i), Stat: fsapi.NewFileStat(appCred, 0o644)}
+	}
+	errs, _, err := cl.ApplyBatch(0, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range errs {
+		if e != nil {
+			t.Fatalf("op %d: %v", i, e)
+		}
+	}
+	rpcs := cl.caller.Calls() - base
+	if rpcs > 2 {
+		t.Fatalf("8 ops over 2 MDSes took %d RPCs, want at most one per MDS", rpcs)
+	}
+	for i := range ops {
+		if _, _, err := cl.Stat(0, ops[i].Path); err != nil {
+			t.Fatalf("f%d missing: %v", i, err)
+		}
+	}
+}

@@ -7,6 +7,8 @@
 package dfs
 
 import (
+	"errors"
+	"fmt"
 	"sync/atomic"
 
 	"pacon/internal/fsapi"
@@ -92,6 +94,44 @@ func (m *MDS) checkParentWritable(op, p string, cred fsapi.Cred) error {
 	return nil
 }
 
+// applyOne applies a single batched mutation, mirroring the semantics of
+// the corresponding singleton handler exactly.
+func (m *MDS) applyOne(op fsapi.BatchOp, cred fsapi.Cred) error {
+	switch op.Kind {
+	case fsapi.BatchCreate:
+		if m.tree.Exists(op.Path) {
+			return fsapi.WrapPath("create", op.Path, fsapi.ErrExist)
+		}
+		if err := m.checkParentWritable("create", op.Path, cred); err != nil {
+			return err
+		}
+		return m.tree.Create(op.Path, op.Stat)
+	case fsapi.BatchMkdir:
+		if m.tree.Exists(op.Path) {
+			return fsapi.WrapPath("mkdir", op.Path, fsapi.ErrExist)
+		}
+		if err := m.checkParentWritable("mkdir", op.Path, cred); err != nil {
+			return err
+		}
+		return m.tree.Mkdir(op.Path, op.Stat)
+	case fsapi.BatchSetStat:
+		return m.tree.SetStat(op.Path, op.Stat)
+	case fsapi.BatchRemove:
+		if err := m.checkParentWritable("remove", op.Path, cred); err != nil {
+			return err
+		}
+		err := m.tree.Remove(op.Path)
+		if op.IfExists && errors.Is(err, fsapi.ErrNotExist) {
+			// Net-absence remove: the coalescer folded a create+remove
+			// pair, so the object may never have reached the DFS.
+			return nil
+		}
+		return err
+	default:
+		return fsapi.WrapPath("apply_batch", op.Path, fmt.Errorf("unknown batch op kind %d", op.Kind))
+	}
+}
+
 // Service exposes the MDS RPC methods.
 func (m *MDS) Service() *rpc.Service {
 	svc := rpc.NewService()
@@ -163,6 +203,46 @@ func (m *MDS) Service() *rpc.Service {
 		}
 		return m.tree.Rmdir(p)
 	}))
+
+	// apply_batch: a batch of independent-path mutations in one round
+	// trip — the batched commit path of Pacon's commit module. Each op is
+	// applied independently and reports its own result code; the batch
+	// succeeds at the RPC level even when individual ops fail, so one
+	// ErrExist does not force the whole batch through the retry path.
+	svc.Handle("apply_batch", func(at vclock.Time, body []byte) (vclock.Time, []byte, error) {
+		d := wire.NewDecoder(body)
+		cred := fsapi.Cred{UID: d.Uint32(), GID: d.Uint32()}
+		n := int(d.Uvarint())
+		ops := make([]fsapi.BatchOp, 0, n)
+		for i := 0; i < n && d.Err() == nil; i++ {
+			op := fsapi.BatchOp{Kind: fsapi.BatchKind(d.Byte())}
+			op.IfExists = d.Bool()
+			op.Path = d.String()
+			op.Stat = fsapi.DecodeStat(d)
+			ops = append(ops, op)
+		}
+		if err := d.Finish(); err != nil {
+			return at, nil, err
+		}
+		m.writes.Add(int64(len(ops)))
+		// The service pool is held once for the whole batch: server-side
+		// work still scales with the op count, but the per-request
+		// dispatch overhead is paid once.
+		done := m.res.Acquire(at, m.model.MDSWriteCost*vclock.Duration(len(ops)))
+		e := wire.NewEncoder(8 + 2*len(ops))
+		e.Uvarint(uint64(len(ops)))
+		for _, op := range ops {
+			err := m.applyOne(op, cred)
+			code := fsapi.CodeOf(err)
+			e.Byte(code)
+			if code == fsapi.CodeOther && err != nil {
+				e.String(err.Error())
+			} else {
+				e.String("")
+			}
+		}
+		return done, e.Bytes(), nil
+	})
 
 	// rename: move a file or subtree (extension; the paper's evaluation
 	// never renames, but the substrate supports it so Pacon can treat it

@@ -1,0 +1,30 @@
+package fsapi
+
+// BatchKind names a mutation inside a batched commit (one element of an
+// apply_batch RPC). Only the four queue-carried mutations batch; rmtree
+// and rename stay singleton dependent operations.
+type BatchKind uint8
+
+const (
+	BatchCreate BatchKind = iota
+	BatchMkdir
+	BatchSetStat
+	BatchRemove
+)
+
+// BatchOp is one mutation of a batched DFS commit. Paths within a batch
+// are independent (the commit module ships at most one op per path per
+// batch), so the server may apply them in any order.
+type BatchOp struct {
+	Kind BatchKind
+	Path string
+	// Stat carries the full metadata for create/mkdir/setstat; unused for
+	// remove.
+	Stat Stat
+	// IfExists marks a remove whose target may legitimately be absent:
+	// the commit module's coalescer folds a queued create+remove pair
+	// into one "ensure absent" remove, and the create may or may not have
+	// reached the DFS (an earlier attempt could have been applied before
+	// a retried batch). ErrNotExist is success for such a remove.
+	IfExists bool
+}

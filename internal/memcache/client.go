@@ -1,6 +1,8 @@
 package memcache
 
 import (
+	"sync"
+
 	"pacon/internal/dht"
 	"pacon/internal/rpc"
 	"pacon/internal/vclock"
@@ -27,24 +29,21 @@ func (c *Client) Ring() *dht.Ring { return c.ring }
 // Owner returns the server address responsible for key.
 func (c *Client) Owner(key string) string { return c.ring.Lookup(key) }
 
-func encodeKey(key string) []byte {
-	e := wire.NewEncoder(len(key) + 4)
-	e.String(key)
-	return e.Bytes()
-}
+// Calls returns the number of RPCs this client has issued.
+func (c *Client) Calls() int64 { return c.caller.Calls() }
 
-func encodeStore(key string, value []byte, flags uint32, expect uint64) []byte {
-	e := wire.NewEncoder(len(key) + len(value) + 20)
+// callKey issues a single-key request (pooled request encoder).
+func (c *Client) callKey(method string, at vclock.Time, key string) (vclock.Time, []byte, error) {
+	e := wire.GetEncoder()
 	e.String(key)
-	e.Uint32(flags)
-	e.Uint64(expect)
-	e.Blob(value)
-	return e.Bytes()
+	done, resp, err := c.caller.Call(c.Owner(key), method, at, e.Bytes())
+	wire.PutEncoder(e)
+	return done, resp, err
 }
 
 // Get fetches key from its owner.
 func (c *Client) Get(at vclock.Time, key string) (Item, vclock.Time, error) {
-	done, resp, err := c.caller.Call(c.Owner(key), "get", at, encodeKey(key))
+	done, resp, err := c.callKey("get", at, key)
 	if err != nil {
 		return Item{}, done, err
 	}
@@ -57,7 +56,13 @@ func (c *Client) Get(at vclock.Time, key string) (Item, vclock.Time, error) {
 }
 
 func (c *Client) storeOp(method string, at vclock.Time, key string, value []byte, flags uint32, expect uint64) (uint64, vclock.Time, error) {
-	done, resp, err := c.caller.Call(c.Owner(key), method, at, encodeStore(key, value, flags, expect))
+	e := wire.GetEncoder()
+	e.String(key)
+	e.Uint32(flags)
+	e.Uint64(expect)
+	e.Blob(value)
+	done, resp, err := c.caller.Call(c.Owner(key), method, at, e.Bytes())
+	wire.PutEncoder(e)
 	if err != nil {
 		return 0, done, err
 	}
@@ -86,7 +91,7 @@ func (c *Client) CAS(at vclock.Time, key string, value []byte, flags uint32, exp
 
 // Delete removes key from its owner.
 func (c *Client) Delete(at vclock.Time, key string) (vclock.Time, error) {
-	done, _, err := c.caller.Call(c.Owner(key), "delete", at, encodeKey(key))
+	done, _, err := c.callKey("delete", at, key)
 	return done, err
 }
 
@@ -95,45 +100,138 @@ func (c *Client) Delete(at vclock.Time, key string) (vclock.Time, error) {
 // must re-read before deciding to delete again (§III.D.3 applied to
 // deletion).
 func (c *Client) DeleteCAS(at vclock.Time, key string, expect uint64) (vclock.Time, error) {
-	e := wire.NewEncoder(len(key) + 12)
+	e := wire.GetEncoder()
 	e.String(key)
 	e.Uint64(expect)
 	done, _, err := c.caller.Call(c.Owner(key), "delete_cas", at, e.Bytes())
+	wire.PutEncoder(e)
 	return done, err
 }
 
-// FlushAll clears every server in the ring.
-func (c *Client) FlushAll(at vclock.Time) (vclock.Time, error) {
+// ClearDirty clears the dirty flag of key's value if its header seq
+// equals seq — the server evaluates the predicate under its shard lock,
+// replacing the commit module's Get + CAS retry loop with one round
+// trip. No-op (false) when the key is absent, the seq moved on, or the
+// value is already clean.
+func (c *Client) ClearDirty(at vclock.Time, key string, seq uint64) (bool, vclock.Time, error) {
+	e := wire.GetEncoder()
+	e.String(key)
+	e.Uvarint(seq)
+	done, resp, err := c.caller.Call(c.Owner(key), "clear_dirty", at, e.Bytes())
+	wire.PutEncoder(e)
+	if err != nil {
+		return false, done, err
+	}
+	d := wire.NewDecoder(resp)
+	cleared := d.Bool()
+	if derr := d.Finish(); derr != nil {
+		return false, done, derr
+	}
+	return cleared, done, nil
+}
+
+// DeleteIf removes key if cond holds for its current value header —
+// the server-side form of the Get + DeleteCAS loop: one round trip, no
+// ErrStale retry traffic. No-op (false) when absent or the predicate
+// fails.
+func (c *Client) DeleteIf(at vclock.Time, key string, cond Cond, seq uint64) (bool, vclock.Time, error) {
+	e := wire.GetEncoder()
+	e.String(key)
+	e.Byte(byte(cond))
+	e.Uvarint(seq)
+	done, resp, err := c.caller.Call(c.Owner(key), "delete_if", at, e.Bytes())
+	wire.PutEncoder(e)
+	if err != nil {
+		return false, done, err
+	}
+	d := wire.NewDecoder(resp)
+	deleted := d.Bool()
+	if derr := d.Finish(); derr != nil {
+		return false, done, derr
+	}
+	return deleted, done, nil
+}
+
+// fanOut invokes fn once per ring member concurrently, starting each at
+// the same virtual time (the broadcast a real client would issue in
+// parallel) and merging completion times with vclock.Max. The first
+// error wins; results are still awaited so no goroutine leaks.
+func (c *Client) fanOut(at vclock.Time, fn func(addr string) (vclock.Time, error)) (vclock.Time, error) {
+	members := c.ring.Members()
+	if len(members) == 1 {
+		done, err := fn(members[0])
+		return vclock.Max(at, done), err
+	}
+	var wg sync.WaitGroup
+	times := make([]vclock.Time, len(members))
+	errs := make([]error, len(members))
+	for i, addr := range members {
+		wg.Add(1)
+		go func(i int, addr string) {
+			defer wg.Done()
+			times[i], errs[i] = fn(addr)
+		}(i, addr)
+	}
+	wg.Wait()
 	latest := at
-	for _, addr := range c.ring.Members() {
-		done, _, err := c.caller.Call(addr, "flush_all", at, nil)
-		if err != nil {
-			return done, err
+	for i := range members {
+		if errs[i] != nil {
+			return times[i], errs[i]
 		}
-		latest = vclock.Max(latest, done)
+		latest = vclock.Max(latest, times[i])
 	}
 	return latest, nil
 }
 
-// StatsAll aggregates stats across every server in the ring.
+// FlushAll clears every server in the ring, fanning the broadcast out
+// concurrently: the flush completes at the slowest member's virtual
+// time, not the sum of all members'.
+func (c *Client) FlushAll(at vclock.Time) (vclock.Time, error) {
+	return c.fanOut(at, func(addr string) (vclock.Time, error) {
+		done, _, err := c.caller.Call(addr, "flush_all", at, nil)
+		return done, err
+	})
+}
+
+// StatsAll aggregates stats across every server in the ring. The
+// per-member requests run concurrently (same virtual start, vclock.Max
+// merge) like FlushAll.
 func (c *Client) StatsAll(at vclock.Time) (Stats, vclock.Time, error) {
-	var total Stats
-	latest := at
-	for _, addr := range c.ring.Members() {
+	members := c.ring.Members()
+	parts := make([]Stats, len(members))
+	idx := make(map[string]int, len(members))
+	for i, addr := range members {
+		idx[addr] = i
+	}
+	latest, err := c.fanOut(at, func(addr string) (vclock.Time, error) {
 		done, resp, err := c.caller.Call(addr, "stats", at, nil)
 		if err != nil {
-			return Stats{}, done, err
+			return done, err
 		}
 		d := wire.NewDecoder(resp)
-		total.Items += d.Int64()
-		total.UsedBytes += d.Int64()
-		total.Hits += d.Int64()
-		total.Misses += d.Int64()
-		total.Evictions += d.Int64()
-		if derr := d.Finish(); derr != nil {
-			return Stats{}, done, derr
+		st := Stats{
+			Items:     d.Int64(),
+			UsedBytes: d.Int64(),
+			Hits:      d.Int64(),
+			Misses:    d.Int64(),
+			Evictions: d.Int64(),
 		}
-		latest = vclock.Max(latest, done)
+		if derr := d.Finish(); derr != nil {
+			return done, derr
+		}
+		parts[idx[addr]] = st
+		return done, nil
+	})
+	if err != nil {
+		return Stats{}, latest, err
+	}
+	var total Stats
+	for _, st := range parts {
+		total.Items += st.Items
+		total.UsedBytes += st.UsedBytes
+		total.Hits += st.Hits
+		total.Misses += st.Misses
+		total.Evictions += st.Evictions
 	}
 	return total, latest, nil
 }

@@ -10,6 +10,7 @@ import (
 	"pacon/internal/fsapi"
 	"pacon/internal/rpc"
 	"pacon/internal/vclock"
+	"pacon/internal/wire"
 )
 
 func testServer(cfg ServerConfig) *Server {
@@ -356,5 +357,148 @@ func TestClientVirtualLatencyCrossNode(t *testing.T) {
 	max := min.Add(model.PerKB) // payload well under 1 KiB
 	if done < min || done > max {
 		t.Fatalf("done = %v, want in [%v, %v]", done, min, max)
+	}
+}
+
+// makeVal builds a value following the core header contract: flags byte,
+// uvarint seq, arbitrary payload.
+func makeVal(flags byte, seq uint64) []byte {
+	e := wire.NewEncoder(16)
+	e.Byte(flags)
+	e.Uvarint(seq)
+	e.String("payload")
+	return e.Bytes()
+}
+
+func TestServerClearDirty(t *testing.T) {
+	s := testServer(ServerConfig{})
+	if cleared, _, _ := s.ClearDirty(0, "/w/missing", 1); cleared {
+		t.Fatal("clear_dirty on absent key reported cleared")
+	}
+	cas, _, err := s.Set(0, "/w/f", makeVal(hdrDirty, 7), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wrong seq: predicate fails under the shard lock, value untouched.
+	if cleared, _, _ := s.ClearDirty(0, "/w/f", 6); cleared {
+		t.Fatal("clear_dirty with stale seq cleared the flag")
+	}
+	cleared, _, err := s.ClearDirty(0, "/w/f", 7)
+	if err != nil || !cleared {
+		t.Fatalf("clear_dirty = %v, %v", cleared, err)
+	}
+	item, _, _ := s.Get(0, "/w/f")
+	if item.Value[0]&hdrDirty != 0 {
+		t.Fatal("dirty flag still set")
+	}
+	if item.CAS == cas {
+		t.Fatal("clear_dirty did not bump the CAS version — a concurrent CAS writer would not see the conflict")
+	}
+	// A CAS against the pre-clear version must now fail.
+	if _, _, err := s.CAS(0, "/w/f", makeVal(hdrDirty, 8), 0, cas); !errors.Is(err, fsapi.ErrStale) {
+		t.Fatalf("stale CAS after clear_dirty = %v", err)
+	}
+	// Already clean: no-op.
+	if cleared, _, _ := s.ClearDirty(0, "/w/f", 7); cleared {
+		t.Fatal("clear_dirty on clean value reported cleared")
+	}
+}
+
+func TestServerDeleteIf(t *testing.T) {
+	s := testServer(ServerConfig{})
+	if deleted, _, _ := s.DeleteIf(0, "/w/missing", CondSeq, 1); deleted {
+		t.Fatal("delete_if on absent key reported deleted")
+	}
+
+	// CondSeq: only the exact incarnation goes.
+	s.Set(0, "/w/a", makeVal(hdrDirty, 3), 0)
+	if deleted, _, _ := s.DeleteIf(0, "/w/a", CondSeq, 2); deleted {
+		t.Fatal("CondSeq deleted a newer incarnation")
+	}
+	if deleted, _, _ := s.DeleteIf(0, "/w/a", CondSeq, 3); !deleted {
+		t.Fatal("CondSeq did not delete the matching incarnation")
+	}
+	if _, _, err := s.Get(0, "/w/a"); !errors.Is(err, fsapi.ErrNotExist) {
+		t.Fatal("value survived CondSeq delete")
+	}
+
+	// CondSeqRemoved: requires the removed flag on top of the seq match.
+	s.Set(0, "/w/b", makeVal(hdrDirty, 5), 0)
+	if deleted, _, _ := s.DeleteIf(0, "/w/b", CondSeqRemoved, 5); deleted {
+		t.Fatal("CondSeqRemoved deleted a live (non-removed) value")
+	}
+	s.Set(0, "/w/b", makeVal(hdrDirty|hdrRemoved, 5), 0)
+	if deleted, _, _ := s.DeleteIf(0, "/w/b", CondSeqRemoved, 5); !deleted {
+		t.Fatal("CondSeqRemoved did not delete the matching marker")
+	}
+
+	// CondClean: only committed (neither dirty nor removed) values go.
+	s.Set(0, "/w/c", makeVal(hdrDirty, 9), 0)
+	if deleted, _, _ := s.DeleteIf(0, "/w/c", CondClean, 0); deleted {
+		t.Fatal("CondClean deleted a dirty value")
+	}
+	s.Set(0, "/w/c", makeVal(0, 9), 0)
+	if deleted, _, _ := s.DeleteIf(0, "/w/c", CondClean, 0); !deleted {
+		t.Fatal("CondClean did not delete a clean value")
+	}
+
+	// Accounting: deletions through delete_if must release their bytes.
+	if used := s.Stats().UsedBytes; used != 0 {
+		t.Fatalf("used bytes after conditional deletes = %d", used)
+	}
+}
+
+func TestClientConditionalOpsThroughRPC(t *testing.T) {
+	c, _ := clusterEnv(t, 3)
+	if _, _, err := c.Set(0, "/w/f", makeVal(hdrDirty, 4), 0); err != nil {
+		t.Fatal(err)
+	}
+	cleared, _, err := c.ClearDirty(0, "/w/f", 4)
+	if err != nil || !cleared {
+		t.Fatalf("ClearDirty over rpc = %v, %v", cleared, err)
+	}
+	item, _, _ := c.Get(0, "/w/f")
+	if item.Value[0]&hdrDirty != 0 {
+		t.Fatal("dirty flag still set after rpc ClearDirty")
+	}
+	deleted, _, err := c.DeleteIf(0, "/w/f", CondClean, 0)
+	if err != nil || !deleted {
+		t.Fatalf("DeleteIf over rpc = %v, %v", deleted, err)
+	}
+	if _, _, err := c.Get(0, "/w/f"); !errors.Is(err, fsapi.ErrNotExist) {
+		t.Fatal("value survived rpc DeleteIf")
+	}
+	// No-op conditional delete: false, no error.
+	deleted, _, err = c.DeleteIf(0, "/w/f", CondSeq, 4)
+	if err != nil || deleted {
+		t.Fatalf("DeleteIf on absent key = %v, %v", deleted, err)
+	}
+}
+
+// TestBroadcastsFanOutConcurrently: FlushAll/StatsAll must start every
+// member's request at the same virtual time and merge completions with
+// vclock.Max — a broadcast over N idle members completes when the
+// slowest does, not N serial round trips later.
+func TestBroadcastsFanOutConcurrently(t *testing.T) {
+	// One idle cross-node round trip bounds a concurrent broadcast: every
+	// member is contacted at the same virtual instant, so the slowest
+	// (remote) member sets the completion time. A serial broadcast over 4
+	// members would take ~4 round trips.
+	m := vclock.Default()
+	oneRT := vclock.Time(m.RTT(false) + m.CacheOpCost)
+	c4, _ := clusterEnv(t, 4)
+	done4, err := c4.FlushAll(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done4 > 2*oneRT {
+		t.Fatalf("flush over 4 members took %d, one cross-node round trip is %d — broadcast looks serial", done4, oneRT)
+	}
+	_, sdone4, err := c4.StatsAll(done4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sdone4-done4 > 2*oneRT {
+		t.Fatalf("stats over 4 members took %d, one cross-node round trip is %d — broadcast looks serial", sdone4-done4, oneRT)
 	}
 }

@@ -9,6 +9,7 @@ package memcache
 
 import (
 	"container/list"
+	"encoding/binary"
 	"hash/fnv"
 	"sync"
 	"sync/atomic"
@@ -250,6 +251,110 @@ func (s *Server) DeleteCAS(at vclock.Time, key string, expect uint64) (vclock.Ti
 	return done, s.deleteLocked(key, expect, true)
 }
 
+// Pacon's core stores cache values with a fixed leading layout — one
+// flags byte (bit 0 = dirty, bit 1 = removed) followed by a uvarint
+// sequence number. The conditional operations below evaluate their
+// predicate against exactly this header, under the owning shard's lock,
+// so the commit module's bookkeeping costs one round trip instead of a
+// Get + CAS/DeleteCAS retry loop. The header contract is shared with
+// core.cacheVal.encode; values too short to carry it never match.
+const (
+	hdrDirty   = 1 << 0
+	hdrRemoved = 1 << 1
+)
+
+// parseValueHeader reads the shared value-header contract.
+func parseValueHeader(v []byte) (flags byte, seq uint64, ok bool) {
+	if len(v) < 2 {
+		return 0, 0, false
+	}
+	seq, n := binary.Uvarint(v[1:])
+	if n <= 0 {
+		return 0, 0, false
+	}
+	return v[0], seq, true
+}
+
+// Cond selects the predicate of a DeleteIf.
+type Cond uint8
+
+// Conditional-delete predicates, mirroring the commit module's cleanup
+// sites: seq match (discard rule, abandoned creates), seq match on a
+// removed marker (committed removes), and clean (eviction).
+const (
+	// CondSeq: the value's seq equals the given seq.
+	CondSeq Cond = iota
+	// CondSeqRemoved: seq matches and the removed flag is set.
+	CondSeqRemoved
+	// CondClean: neither dirty nor removed — committed metadata.
+	CondClean
+)
+
+func condHolds(cond Cond, seq uint64, flags byte, vseq uint64) bool {
+	switch cond {
+	case CondSeq:
+		return vseq == seq
+	case CondSeqRemoved:
+		return vseq == seq && flags&hdrRemoved != 0
+	case CondClean:
+		return flags&(hdrDirty|hdrRemoved) == 0
+	default:
+		return false
+	}
+}
+
+// ClearDirty clears the dirty flag of key's value if its seq equals seq,
+// bumping the CAS version (it is a store). The predicate runs under the
+// shard lock, so no concurrent writer can slip between the check and the
+// update — an absent key, a seq mismatch, or an already-clean value are
+// no-ops. Returns whether the flag was cleared.
+func (s *Server) ClearDirty(at vclock.Time, key string, seq uint64) (bool, vclock.Time, error) {
+	done := s.acquire(at)
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	si, ok := sh.items[key]
+	if !ok {
+		return false, done, nil
+	}
+	flags, vseq, hok := parseValueHeader(si.item.Value)
+	if !hok || vseq != seq || flags&hdrDirty == 0 {
+		return false, done, nil
+	}
+	v := append([]byte(nil), si.item.Value...)
+	v[0] = flags &^ hdrDirty
+	si.item.Value = v
+	si.item.CAS = s.casSeq.Add(1)
+	return true, done, nil
+}
+
+// DeleteIf removes key if cond holds for its current value, evaluated
+// under the shard lock (the server-side form of the commit module's
+// Get → DeleteCAS loop). An absent key or a failing predicate is a
+// no-op, not an error. Returns whether the key was deleted.
+func (s *Server) DeleteIf(at vclock.Time, key string, cond Cond, seq uint64) (bool, vclock.Time, error) {
+	done := s.acquire(at)
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	si, ok := sh.items[key]
+	if !ok {
+		return false, done, nil
+	}
+	flags, vseq, hok := parseValueHeader(si.item.Value)
+	if !hok || !condHolds(cond, seq, flags, vseq) {
+		return false, done, nil
+	}
+	freed := itemBytes(key, si.item.Value)
+	sh.used -= freed
+	s.used.Add(-freed)
+	if si.elem != nil {
+		sh.lru.Remove(si.elem)
+	}
+	delete(sh.items, key)
+	return true, done, nil
+}
+
 // deleteLocked removes key, optionally guarded by a CAS version check.
 func (s *Server) deleteLocked(key string, expect uint64, checkCAS bool) error {
 	sh := s.shardFor(key)
@@ -403,6 +508,37 @@ func (s *Server) Service() *rpc.Service {
 		}
 		done, err := s.DeleteCAS(at, key, expect)
 		return done, nil, err
+	})
+	svc.Handle("clear_dirty", func(at vclock.Time, body []byte) (vclock.Time, []byte, error) {
+		d := wire.NewDecoder(body)
+		key := d.String()
+		seq := d.Uvarint()
+		if err := d.Finish(); err != nil {
+			return at, nil, err
+		}
+		cleared, done, err := s.ClearDirty(at, key, seq)
+		if err != nil {
+			return done, nil, err
+		}
+		e := wire.NewEncoder(1)
+		e.Bool(cleared)
+		return done, e.Bytes(), nil
+	})
+	svc.Handle("delete_if", func(at vclock.Time, body []byte) (vclock.Time, []byte, error) {
+		d := wire.NewDecoder(body)
+		key := d.String()
+		cond := Cond(d.Byte())
+		seq := d.Uvarint()
+		if err := d.Finish(); err != nil {
+			return at, nil, err
+		}
+		deleted, done, err := s.DeleteIf(at, key, cond, seq)
+		if err != nil {
+			return done, nil, err
+		}
+		e := wire.NewEncoder(1)
+		e.Bool(deleted)
+		return done, e.Bytes(), nil
 	})
 	svc.Handle("flush_all", func(at vclock.Time, body []byte) (vclock.Time, []byte, error) {
 		return s.FlushAll(at), nil, nil

@@ -396,3 +396,73 @@ func TestQueueStatsMaxDepth(t *testing.T) {
 	}
 	_ = fmt.Sprintf("%+v", st)
 }
+
+func TestQueuePopBatchStopsAtBarrier(t *testing.T) {
+	q := NewQueue[int]()
+	q.Push(1)
+	q.Push(2)
+	q.Push(3)
+	q.PushBarrier(7)
+	q.Push(4)
+
+	batch, barrier, _, ok := q.PopBatch(16)
+	if !ok || barrier {
+		t.Fatalf("first PopBatch = (%v, barrier=%v)", batch, barrier)
+	}
+	if len(batch) != 3 || batch[0] != 1 || batch[2] != 3 {
+		t.Fatalf("batch before barrier = %v, want [1 2 3]", batch)
+	}
+	batch, barrier, epoch, ok := q.PopBatch(16)
+	if !ok || !barrier || epoch != 7 || batch != nil {
+		t.Fatalf("barrier PopBatch = (%v, barrier=%v, epoch=%d)", batch, barrier, epoch)
+	}
+	batch, barrier, _, ok = q.PopBatch(16)
+	if !ok || barrier || len(batch) != 1 || batch[0] != 4 {
+		t.Fatalf("trailing PopBatch = (%v, barrier=%v)", batch, barrier)
+	}
+}
+
+func TestQueuePopBatchRespectsMax(t *testing.T) {
+	q := NewQueue[int]()
+	for i := 0; i < 5; i++ {
+		q.Push(i)
+	}
+	batch, _, _, _ := q.PopBatch(2)
+	if len(batch) != 2 || batch[0] != 0 || batch[1] != 1 {
+		t.Fatalf("PopBatch(2) = %v", batch)
+	}
+	// max < 1 degrades to single-message pops rather than panicking.
+	batch, _, _, _ = q.PopBatch(0)
+	if len(batch) != 1 || batch[0] != 2 {
+		t.Fatalf("PopBatch(0) = %v", batch)
+	}
+	st := q.Stats()
+	if st.Popped != 3 {
+		t.Fatalf("popped = %d, want 3", st.Popped)
+	}
+}
+
+func TestQueuePopBatchBlocksAndClose(t *testing.T) {
+	q := NewQueue[int]()
+	got := make(chan []int, 1)
+	go func() {
+		batch, _, _, ok := q.PopBatch(8)
+		if ok {
+			got <- batch
+		}
+	}()
+	time.Sleep(10 * time.Millisecond)
+	q.Push(42)
+	select {
+	case batch := <-got:
+		if len(batch) != 1 || batch[0] != 42 {
+			t.Fatalf("batch = %v", batch)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("PopBatch did not wake on Push")
+	}
+	q.Close()
+	if _, _, _, ok := q.PopBatch(8); ok {
+		t.Fatal("PopBatch on closed drained queue must report !ok")
+	}
+}

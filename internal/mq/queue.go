@@ -92,6 +92,43 @@ func (q *Queue[T]) Pop() (v T, barrier bool, epoch uint64, ok bool) {
 	return it.v, it.barrier, it.epoch, true
 }
 
+// PopBatch blocks like Pop, then drains up to max consecutive ordinary
+// messages in one critical section. A barrier at the head is returned
+// alone (batch is nil, barrier=true); otherwise the batch stops before
+// the first barrier so every returned message belongs to the same
+// barrier epoch — the window inside which the commit process may
+// coalesce same-path operations. ok=false means closed and drained.
+func (q *Queue[T]) PopBatch(max int) (batch []T, barrier bool, epoch uint64, ok bool) {
+	if max < 1 {
+		max = 1
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.items) == 0 {
+		return nil, false, 0, false
+	}
+	if q.items[0].barrier {
+		it := q.items[0]
+		q.items = q.items[1:]
+		q.popped++
+		return nil, true, it.epoch, true
+	}
+	n := 0
+	for n < max && n < len(q.items) && !q.items[n].barrier {
+		n++
+	}
+	batch = make([]T, n)
+	for i := 0; i < n; i++ {
+		batch[i] = q.items[i].v
+	}
+	q.items = q.items[n:]
+	q.popped += int64(n)
+	return batch, false, 0, true
+}
+
 // TryPop is Pop without blocking; ok=false means empty right now (or
 // closed and drained).
 func (q *Queue[T]) TryPop() (v T, barrier bool, epoch uint64, ok bool) {

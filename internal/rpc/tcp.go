@@ -112,7 +112,7 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 		}
 		done, resp, herr := s.svc.dispatch(method, at, body)
 
-		e := wire.NewEncoder(16 + len(resp))
+		e := wire.GetEncoder()
 		e.Int64(int64(done))
 		code := fsapi.CodeOf(herr)
 		e.Byte(code)
@@ -122,7 +122,9 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 			e.String("")
 		}
 		e.Blob(resp)
-		if err := writeFrame(bw, e.Bytes()); err != nil {
+		werr := writeFrame(bw, e.Bytes())
+		wire.PutEncoder(e) // frame fully written (or abandoned) — safe to recycle
+		if werr != nil {
 			return
 		}
 		if err := bw.Flush(); err != nil {
@@ -277,11 +279,13 @@ type tcpConn struct {
 func (c *tcpConn) close() { c.conn.Close() }
 
 func (c *tcpConn) roundTrip(method string, at vclock.Time, body []byte) (vclock.Time, []byte, error, error) {
-	e := wire.NewEncoder(16 + len(method) + len(body))
+	e := wire.GetEncoder()
 	e.String(method)
 	e.Int64(int64(at))
 	e.Blob(body)
-	if err := writeFrame(c.bw, e.Bytes()); err != nil {
+	err := writeFrame(c.bw, e.Bytes())
+	wire.PutEncoder(e) // frame written to the socket buffer — safe to recycle
+	if err != nil {
 		return at, nil, nil, err
 	}
 	if err := c.bw.Flush(); err != nil {

@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 )
 
 // ErrTruncated reports a decode past the end of the buffer.
@@ -26,6 +27,36 @@ type Encoder struct{ buf []byte }
 
 // NewEncoder returns an encoder with the given capacity hint.
 func NewEncoder(capHint int) *Encoder { return &Encoder{buf: make([]byte, 0, capHint)} }
+
+// encoderPool recycles request-side encoders across RPCs. Every simulated
+// op builds at least one tiny wire message, so the allocations otherwise
+// dominate the encode hot path (see BenchmarkEncoderPooled).
+var encoderPool = sync.Pool{New: func() any { return new(Encoder) }}
+
+// poolMaxCap bounds the buffers the pool retains: one oversized frame
+// (a data chunk, a big readdir) must not pin megabytes forever.
+const poolMaxCap = 64 << 10
+
+// GetEncoder returns an empty encoder from the pool. Pair with
+// PutEncoder once the encoded bytes have been handed off.
+func GetEncoder() *Encoder {
+	e := encoderPool.Get().(*Encoder)
+	e.Reset()
+	return e
+}
+
+// PutEncoder recycles e. The caller must be done with every slice
+// obtained from e.Bytes(): in this repository that holds for request
+// bodies (transports consume the frame synchronously — the in-process
+// bus dispatches before Call returns, the TCP transport writes the frame
+// to the socket) but NOT for handler responses, which the RPC layer
+// retains after the handler returns.
+func PutEncoder(e *Encoder) {
+	if cap(e.buf) > poolMaxCap {
+		return
+	}
+	encoderPool.Put(e)
+}
 
 // Bytes returns the encoded message. The slice aliases the encoder's
 // buffer; callers that retain it across Reset must copy.
