@@ -14,7 +14,7 @@ test: build
 check: build
 	$(GO) vet ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/chaos/ ./internal/core/ ./internal/memcache/ ./internal/mq/
+	$(GO) test -race ./internal/chaos/ ./internal/core/ ./internal/memcache/ ./internal/mq/ ./internal/obs/ ./internal/rpc/
 
 # race-chaos runs only the chaos convergence schedules under -race.
 race-chaos:

@@ -13,8 +13,11 @@
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -31,8 +34,22 @@ func main() {
 		csvDir = flag.String("csv", "", "also write <id>.csv files into this directory")
 		list   = flag.Bool("list", false, "list experiment ids and exit")
 		cjson  = flag.String("commitjson", "", "run the commit experiment and write its JSON report to this path")
+		debug  = flag.String("debug", "", "serve /debug/vars and /debug/pprof on this address while experiments run")
 	)
 	flag.Parse()
+
+	if *debug != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/debug/vars", expvar.Handler())
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			if err := http.ListenAndServe(*debug, mux); err != nil {
+				fmt.Fprintln(os.Stderr, "paconbench: debug server:", err)
+			}
+		}()
+	}
 
 	if *list {
 		for _, id := range bench.IDs() {

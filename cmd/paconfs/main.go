@@ -6,25 +6,33 @@
 //
 // Usage:
 //
-//	paconfs [-nodes 4] [-ws /w]
+//	paconfs [-nodes 4] [-ws /w] [-metrics 127.0.0.1:9090]
 //
 //	pacon:/w> create results.dat
 //	pacon:/w> write results.dat hello world
 //	pacon:/w> stats
 //	pacon:/w> help
+//
+// With -metrics, the shell also serves Prometheus-text metrics at
+// /metrics, expvar at /debug/vars, and pprof at /debug/pprof/ while it
+// runs.
 package main
 
 import (
 	"bufio"
+	"expvar"
 	"flag"
 	"fmt"
+	"net/http"
+	"net/http/pprof"
 	"os"
 )
 
 func main() {
 	var (
-		nodes = flag.Int("nodes", 4, "client nodes in the region")
-		ws    = flag.String("ws", "/w", "workspace (consistent region root)")
+		nodes   = flag.Int("nodes", 4, "client nodes in the region")
+		ws      = flag.String("ws", "/w", "workspace (consistent region root)")
+		metrics = flag.String("metrics", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. 127.0.0.1:9090)")
 	)
 	flag.Parse()
 
@@ -34,6 +42,24 @@ func main() {
 		os.Exit(1)
 	}
 	defer sh.close()
+
+	if *metrics != "" {
+		sh.obs.PublishExpvar("pacon")
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", sh.obs.Handler())
+		mux.Handle("/debug/vars", expvar.Handler())
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			if err := http.ListenAndServe(*metrics, mux); err != nil {
+				fmt.Fprintln(os.Stderr, "paconfs: metrics server:", err)
+			}
+		}()
+		fmt.Printf("metrics on http://%s/metrics\n", *metrics)
+	}
 
 	fmt.Printf("paconfs — Pacon shell on %d nodes, workspace %s (type 'help')\n", *nodes, *ws)
 	in := bufio.NewScanner(os.Stdin)

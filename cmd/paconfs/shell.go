@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"pacon"
 	"pacon/internal/namespace"
@@ -16,13 +17,15 @@ type shell struct {
 	sim    *pacon.Simulation
 	region *pacon.Region
 	client *pacon.Client
+	obs    *pacon.Obs
 	ws     string
 	now    pacon.Time
 	ckpts  []uint64
 }
 
 func newShell(nodes int, ws string) (*shell, error) {
-	sim := pacon.NewSimulation(pacon.SimulationConfig{ClientNodes: nodes})
+	o := pacon.NewObs()
+	sim := pacon.NewSimulation(pacon.SimulationConfig{ClientNodes: nodes, Obs: o})
 	sim.MustMkdirAll(ws, 0o777)
 	region, err := sim.NewRegion(pacon.RegionConfig{
 		Name:      "shell",
@@ -38,7 +41,7 @@ func newShell(nodes int, ws string) (*shell, error) {
 		region.Close()
 		return nil, err
 	}
-	return &shell{sim: sim, region: region, client: client, ws: namespace.Clean(ws)}, nil
+	return &shell{sim: sim, region: region, client: client, obs: o, ws: namespace.Clean(ws)}, nil
 }
 
 func (s *shell) close() {
@@ -65,7 +68,9 @@ const helpText = `commands:
   mv SRC DST            rename a file or directory (sync + barrier)
   rmdir PATH            remove a directory recursively (sync + barrier)
   drain                 force all queued commits to the DFS
-  stats                 region + cache + queue statistics
+  stats                 region + cache + queue + latency statistics
+  slow [MS] [N]         N slowest traced ops over MS milliseconds
+                        (default threshold 20ms; 'slow 0' shows all)
   time                  current virtual time
   checkpoint            snapshot the workspace on the DFS
   restore N             roll back to checkpoint N
@@ -182,12 +187,47 @@ func (s *shell) exec(line string) (out string, quit bool, err error) {
 	case "stats":
 		rs := s.region.Stats()
 		cs := s.region.CacheStats()
-		return fmt.Sprintf(
+		out := fmt.Sprintf(
 			"commit: %d committed, %d retries, %d discarded, %d dropped\nqueue:  %d pending ops\ncache:  %d items, %d bytes, %d hits, %d misses\nevict:  %d rounds; spills pending: %d",
 			rs.Committed, rs.Retries, rs.Discarded, rs.Dropped,
 			s.region.QueueDepth(),
 			cs.Items, cs.UsedBytes, cs.Hits, cs.Misses,
-			rs.Evictions, s.region.SpillCount()), false, nil
+			rs.Evictions, s.region.SpillCount())
+		if sum := s.obs.Summary(); sum != "" {
+			out += "\n" + sum
+		}
+		return out, false, nil
+	case "slow":
+		// slow [THRESHOLD_MS] [N]: the N slowest traced ops whose total
+		// wall latency exceeded the threshold, with per-stage breakdown.
+		max := 10
+		if len(args) > 0 {
+			ms, perr := strconv.Atoi(args[0])
+			if perr != nil || ms < 0 {
+				return "", false, fmt.Errorf("slow: bad threshold %q (milliseconds)", args[0])
+			}
+			d := time.Duration(ms) * time.Millisecond
+			if ms == 0 {
+				d = time.Nanosecond // 0 means "show every traced op"
+			}
+			s.obs.SetSlowThreshold(d)
+		}
+		if len(args) > 1 {
+			n, perr := strconv.Atoi(args[1])
+			if perr != nil || n < 1 {
+				return "", false, fmt.Errorf("slow: bad count %q", args[1])
+			}
+			max = n
+		}
+		spans := s.obs.SlowSpans(max)
+		if len(spans) == 0 {
+			return fmt.Sprintf("no traced ops over %v", s.obs.SlowThreshold()), false, nil
+		}
+		lines := make([]string, 0, len(spans))
+		for _, sp := range spans {
+			lines = append(lines, sp.String())
+		}
+		return strings.Join(lines, "\n"), false, nil
 
 	case "checkpoint":
 		var seq uint64

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"pacon/internal/core"
+	"pacon/internal/obs"
 	"pacon/internal/vclock"
 	"pacon/internal/workload"
 )
@@ -40,6 +41,11 @@ type CommitVariant struct {
 	// VirtualOPS is client ops per second of virtual time, measured to
 	// the end of the drain (the backup copies all landed).
 	VirtualOPS float64 `json:"virtual_ops_per_sec"`
+	// StageLatency holds wall-clock {count, p50, p95, p99} per pipeline
+	// stage (client_op, queue_wait, cache_rpc, dfs_rpc, commit_lag, ...)
+	// from the run's observability sink. Wall time is real host time —
+	// orthogonal to VirtualOPS, which obs never perturbs.
+	StageLatency map[string]obs.Quantiles `json:"stage_latency_ns,omitempty"`
 }
 
 // CommitReport is the machine-readable result (BENCH_commit.json).
@@ -65,9 +71,12 @@ func (r *CommitReport) JSON() ([]byte, error) {
 
 // runCommitVariant drives the workload against one region configuration
 // and collects the variant's counters.
-func runCommitVariant(cfg Config, clients int, mutate func(*core.RegionConfig)) (CommitVariant, error) {
+func runCommitVariant(cfg Config, clients int, mutate func(*core.RegionConfig), o *obs.Obs) (CommitVariant, error) {
 	e := newEnv(cfg, cfg.nodesFor(clients))
 	defer e.close()
+	if o != nil {
+		e.instrument(o)
+	}
 	if err := e.provision("/w"); err != nil {
 		return CommitVariant{}, err
 	}
@@ -129,6 +138,9 @@ func runCommitVariant(cfg Config, clients int, mutate func(*core.RegionConfig)) 
 	if elapsed := done - res.Start; elapsed > 0 {
 		v.VirtualOPS = float64(res.Ops) / vclock.Duration(elapsed).Seconds()
 	}
+	if o != nil {
+		v.StageLatency = o.HistQuantiles()
+	}
 	return v, nil
 }
 
@@ -139,15 +151,17 @@ func RunCommit(cfg Config) (*CommitReport, []*Figure, error) {
 		clients = 2
 	}
 
+	// Each variant gets its own sink so the stage quantiles in the
+	// report are per-variant, not pooled.
 	legacy, err := runCommitVariant(cfg, clients, func(rc *core.RegionConfig) {
 		rc.ClientSideCommitOps = true
 		rc.DisableCoalesce = true
 		rc.CommitBatchSize = 1
-	})
+	}, obs.New())
 	if err != nil {
 		return nil, nil, fmt.Errorf("commit legacy variant: %w", err)
 	}
-	batched, err := runCommitVariant(cfg, clients, nil)
+	batched, err := runCommitVariant(cfg, clients, nil, obs.New())
 	if err != nil {
 		return nil, nil, fmt.Errorf("commit batched variant: %w", err)
 	}

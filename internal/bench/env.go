@@ -13,6 +13,7 @@ import (
 	"pacon/internal/dfs"
 	"pacon/internal/fsapi"
 	"pacon/internal/indexfs"
+	"pacon/internal/obs"
 	"pacon/internal/rpc"
 	"pacon/internal/vclock"
 	"pacon/internal/workload"
@@ -84,7 +85,19 @@ type env struct {
 	indexfs *indexfs.Cluster
 	regions []*core.Region
 
+	// obs, when non-nil, instruments regions started in this env and the
+	// transport. Wall-clock only; virtual-time results are unaffected.
+	obs *obs.Obs
+
 	provisioned []string
+}
+
+// instrument attaches an observability sink to the deployment: regions
+// created after this call trace their ops into it, and every RPC on the
+// bus reports its wall latency.
+func (e *env) instrument(o *obs.Obs) {
+	e.obs = o
+	e.bus.SetObserver(o)
 }
 
 // newEnv builds a deployment with n client nodes and the paper's storage
@@ -177,6 +190,7 @@ func (e *env) paconRegion(name, ws string, nodes []string) (*core.Region, error)
 		Model:     e.cfg.Model,
 	}, core.Deps{
 		Bus: e.bus,
+		Obs: e.obs,
 		NewBackend: func(node string) core.Backend {
 			return e.cluster.NewClient(node, appCred, 4096, time.Hour)
 		},

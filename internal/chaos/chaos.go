@@ -26,6 +26,7 @@ import (
 	"pacon/internal/core"
 	"pacon/internal/dfs"
 	"pacon/internal/fsapi"
+	"pacon/internal/obs"
 	"pacon/internal/rpc"
 	"pacon/internal/vclock"
 )
@@ -114,6 +115,10 @@ type Result struct {
 	Stalls       int // backend stalls injected
 	CacheEntries int // cache entries resident after the final drain
 	Stats        core.RegionStats
+	// StageSummary is the run's pipeline-stage latency summary plus the
+	// slowest traced ops. Filled only when the schedule violated — it is
+	// the first thing to read when triaging a failing seed.
+	StageSummary string
 }
 
 // injector decides, per backend mutation, whether to fail or stall it.
@@ -582,6 +587,12 @@ func Run(cfg Config) (Result, error) {
 	}
 
 	inj := newInjector(cfg)
+	// Every schedule runs instrumented: the per-stage latency summary is
+	// cheap (wall-clock hooks only, no virtual-time impact) and turns a
+	// failing seed report into a per-stage breakdown instead of a bare
+	// violation list.
+	o := obs.New()
+	bus.SetObserver(o)
 	nodes := make([]string, cfg.Nodes)
 	for i := range nodes {
 		nodes[i] = fmt.Sprintf("node%d", i)
@@ -598,6 +609,7 @@ func Run(cfg Config) (Result, error) {
 		Model:               model,
 	}, core.Deps{
 		Bus: bus,
+		Obs: o,
 		NewBackend: func(node string) core.Backend {
 			return &flakyBackend{
 				Backend: cluster.NewClient(node, appCred, 4096, vclock.Duration(time.Hour)),
@@ -662,6 +674,17 @@ func Run(cfg Config) (Result, error) {
 	}
 	if dump, derr := region.DumpCache(); derr == nil {
 		res.CacheEntries = len(dump)
+	}
+	if len(h.viol) > 0 {
+		var sb strings.Builder
+		sb.WriteString(o.Summary())
+		if slow := o.SlowSpans(5); len(slow) > 0 {
+			sb.WriteString("\nslowest traced ops:\n")
+			for _, sp := range slow {
+				sb.WriteString("  " + sp.String() + "\n")
+			}
+		}
+		res.StageSummary = sb.String()
 	}
 	return res, errors.Join(h.viol...)
 }

@@ -53,6 +53,9 @@ func TestChaosConvergence(t *testing.T) {
 			t.Parallel()
 			res, err := Run(configFor(seed))
 			if err != nil {
+				if res.StageSummary != "" {
+					t.Logf("seed %d stage latencies:\n%s", seed, res.StageSummary)
+				}
 				t.Fatalf("schedule diverged: %v\nresult: %+v", err, res)
 			}
 			if res.Injected == 0 && configFor(seed).FaultRate > 0 {

@@ -154,7 +154,7 @@ func TestDropOpKeepsNewerIncarnation(t *testing.T) {
 	defer e.region.SetDeleteHook(nil)
 
 	now := vclock.Time(0)
-	e.region.dropOp(Op{Kind: OpCreate, Path: "/w/phantom", Seq: 1}, &now, mc)
+	e.region.dropOp(Op{Kind: OpCreate, Path: "/w/phantom", Seq: 1}, &now, mc, nil)
 
 	ent, ok := findEntry(t, e.region, "/w/phantom")
 	if !ok {
@@ -165,7 +165,7 @@ func TestDropOpKeepsNewerIncarnation(t *testing.T) {
 	}
 	// Without a racing write, the phantom is cleaned as before.
 	e.region.SetDeleteHook(nil)
-	e.region.dropOp(Op{Kind: OpCreate, Path: "/w/phantom", Seq: 2}, &now, mc)
+	e.region.dropOp(Op{Kind: OpCreate, Path: "/w/phantom", Seq: 2}, &now, mc, nil)
 	if _, ok := findEntry(t, e.region, "/w/phantom"); ok {
 		t.Fatal("abandoned create's entry not cleaned")
 	}
@@ -240,7 +240,7 @@ func TestDiscardRuleKeepsNewerIncarnation(t *testing.T) {
 	now := vclock.Time(0)
 	discardedBefore := e.region.Stats().Discarded
 	if retry := e.region.applyOp(Op{Kind: OpCreate, Path: "/w/doomed/f", Seq: 1,
-		Stat: fsapi.NewFileStat(appCred, 0o644)}, &now, backend, mc); retry {
+		Stat: fsapi.NewFileStat(appCred, 0o644)}, &now, backend, mc, nil); retry {
 		t.Fatal("discarded create must not be resubmitted")
 	}
 	if e.region.Stats().Discarded != discardedBefore+1 {

@@ -3,10 +3,12 @@ package core
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"pacon/internal/fsapi"
 	"pacon/internal/memcache"
 	"pacon/internal/namespace"
+	"pacon/internal/obs"
 	"pacon/internal/rpc"
 	"pacon/internal/vclock"
 )
@@ -23,6 +25,8 @@ type Client struct {
 	cache   *memcache.Client
 	caller  *rpc.Caller
 	backend Backend
+	// ring is this node's observability event ring (nil when disabled).
+	ring *obs.Ring
 
 	// parentMemo caches positive parent-existence checks per barrier
 	// epoch: monotone until a dependent op can remove directories, at
@@ -45,9 +49,27 @@ func (r *Region) NewClient(node string) (*Client, error) {
 		cache:        memcache.NewClient(caller, r.ring),
 		caller:       caller,
 		backend:      r.newBackend(node),
+		ring:         r.obsRing(node),
 		parentMemo:   make(map[string]uint64),
 		remoteCaches: make(map[string]*memcache.Client),
 	}, nil
+}
+
+// opStart begins a client-visible-latency sample (0 when observability
+// is disabled); opEnd records it. The pair measures the synchronous
+// part of a client call in wall time — for async ops that is exactly
+// the latency Pacon hides from the application.
+func (c *Client) opStart() int64 {
+	if c.region.obs == nil {
+		return 0
+	}
+	return time.Now().UnixNano()
+}
+
+func (c *Client) opEnd(start int64) {
+	if start != 0 {
+		c.region.obs.Hist(obs.HistClientOp).RecordN(time.Now().UnixNano() - start)
+	}
 }
 
 // Pace attaches a virtual-time pacer to the client's cache RPCs and, if
@@ -82,9 +104,16 @@ func (c *Client) pushOp(at vclock.Time, kind OpKind, p string, st fsapi.Stat, se
 // Op.AfterRm); only insert() sets it.
 func (c *Client) pushOpFlagged(at vclock.Time, kind OpKind, p string, st fsapi.Stat, seq uint64, afterRm bool) (vclock.Time, error) {
 	op := Op{Kind: kind, Path: p, Stat: st, Time: at, Seq: seq, AfterRm: afterRm}
+	if o := c.region.obs; o != nil {
+		// The span is born here: it follows the op through dequeue,
+		// coalescing, parking and apply on whatever node commits it.
+		op.Span = o.Trace.NewSpan()
+		op.EnqWall = time.Now().UnixNano()
+	}
 	if err := c.region.queues[c.node].Push(op); err != nil {
 		return at, err
 	}
+	traceOp(c.ring, op, obs.StageEnqueue, "")
 	return at.Add(c.region.cfg.Model.QueuePushCost), nil
 }
 
@@ -320,6 +349,7 @@ func (c *Client) commitSyncInsert(at vclock.Time, p string, st fsapi.Stat, seq u
 // Mkdir creates a directory in the workspace (async commit); outside the
 // workspace it is redirected to the DFS.
 func (c *Client) Mkdir(at vclock.Time, p string, mode fsapi.Mode) (vclock.Time, error) {
+	defer c.opEnd(c.opStart())
 	p = namespace.Clean(p)
 	if !c.inWorkspace(p) {
 		if _, merged := c.region.mergedFor(p); merged {
@@ -332,6 +362,7 @@ func (c *Client) Mkdir(at vclock.Time, p string, mode fsapi.Mode) (vclock.Time, 
 
 // Create creates an empty file in the workspace (async commit).
 func (c *Client) Create(at vclock.Time, p string, mode fsapi.Mode) (vclock.Time, error) {
+	defer c.opEnd(c.opStart())
 	p = namespace.Clean(p)
 	if !c.inWorkspace(p) {
 		if _, merged := c.region.mergedFor(p); merged {
@@ -345,6 +376,7 @@ func (c *Client) Create(at vclock.Time, p string, mode fsapi.Mode) (vclock.Time,
 // Stat is Table I's getattr: a cache get, with a synchronous DFS load on
 // miss. Merged workspaces are read through the peer's distributed cache.
 func (c *Client) Stat(at vclock.Time, p string) (fsapi.Stat, vclock.Time, error) {
+	defer c.opEnd(c.opStart())
 	p = namespace.Clean(p)
 	at = c.overhead(at)
 	if !c.inWorkspace(p) {
@@ -417,6 +449,7 @@ func (c *Client) statMerged(at vclock.Time, m remoteRegion, p string) (fsapi.Sta
 // loop), commit asynchronously; the commit process deletes the cache
 // entry once the DFS applied it.
 func (c *Client) Remove(at vclock.Time, p string) (vclock.Time, error) {
+	defer c.opEnd(c.opStart())
 	p = namespace.Clean(p)
 	at = c.overhead(at)
 	r := c.region
@@ -486,6 +519,7 @@ func (c *Client) Remove(at vclock.Time, p string) (vclock.Time, error) {
 // it removes all metadata under the target on both the DFS and the
 // distributed cache (§III.D.1).
 func (c *Client) Rmdir(at vclock.Time, p string) (vclock.Time, error) {
+	defer c.opEnd(c.opStart())
 	p = namespace.Clean(p)
 	at = c.overhead(at)
 	r := c.region
@@ -571,6 +605,7 @@ func (c *Client) Rmdir(at vclock.Time, p string) (vclock.Time, error) {
 // Readdir is Table I's readdir: a barrier then the DFS's own listing —
 // the cache is never scanned ("avoid the costly full table scan").
 func (c *Client) Readdir(at vclock.Time, p string) ([]fsapi.DirEntry, vclock.Time, error) {
+	defer c.opEnd(c.opStart())
 	p = namespace.Clean(p)
 	at = c.overhead(at)
 	r := c.region
@@ -606,6 +641,7 @@ func (c *Client) Readdir(at vclock.Time, p string) ([]fsapi.DirEntry, vclock.Tim
 // the renamed subtree's cache entries are invalidated (they reload under
 // the new path on demand).
 func (c *Client) Rename(at vclock.Time, src, dst string) (vclock.Time, error) {
+	defer c.opEnd(c.opStart())
 	src, dst = namespace.Clean(src), namespace.Clean(dst)
 	at = c.overhead(at)
 	r := c.region

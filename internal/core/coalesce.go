@@ -38,7 +38,11 @@ package core
 // A remove never merges as prev (remove+create is a fresh incarnation
 // that must commit on its own), and nothing merges across a non-merge:
 // the map tracks only the latest position per path.
-func coalesceOps(ops []Op) ([]Op, int64) {
+//
+// onMerge (nil ok) is called once per fold with the surviving merged op
+// and the op absorbed into it — the observability layer's hook for
+// closing the absorbed op's span.
+func coalesceOps(ops []Op, onMerge func(survivor, absorbed Op)) ([]Op, int64) {
 	if len(ops) < 2 {
 		return ops, 0
 	}
@@ -48,6 +52,16 @@ func coalesceOps(ops []Op) ([]Op, int64) {
 	for _, op := range ops {
 		if i, ok := last[op.Path]; ok {
 			if m, ok := mergeOps(out[i], op); ok {
+				if onMerge != nil {
+					// The survivor keeps one side's span; the other side
+					// is the absorbed op (every merge rule keeps exactly
+					// one of the two spans).
+					if prev := out[i]; prev.Span != m.Span {
+						onMerge(m, prev)
+					} else if op.Span != m.Span {
+						onMerge(m, op)
+					}
+				}
 				out[i] = m
 				merged++
 				continue
@@ -82,7 +96,10 @@ func mergeOps(prev, next Op) (Op, bool) {
 		m.Time = t
 		return m, true
 	case (prev.Kind == OpCreate || prev.Kind == OpMkdir) && next.Kind == OpRemove && !prev.AfterRm:
-		return Op{Kind: OpRemove, Path: next.Path, Seq: next.Seq, Time: t, NetAbsent: true}, true
+		// The net-absence remove continues the remove's span (the
+		// create's span ends at the coalesce event).
+		return Op{Kind: OpRemove, Path: next.Path, Seq: next.Seq, Time: t, NetAbsent: true,
+			Span: next.Span, EnqWall: next.EnqWall}, true
 	}
 	return Op{}, false
 }

@@ -2,10 +2,12 @@ package core
 
 import (
 	"errors"
+	"fmt"
 	"time"
 
 	"pacon/internal/fsapi"
 	"pacon/internal/memcache"
+	"pacon/internal/obs"
 	"pacon/internal/rpc"
 	"pacon/internal/vclock"
 )
@@ -18,10 +20,15 @@ type pendingOp struct {
 }
 
 // pendingSet keeps failed ops in arrival order plus a per-path count so
-// later same-path ops can be held back.
+// later same-path ops can be held back. region and ring are the
+// observability seam (both may be nil: disabled observability, or
+// white-box tests building a bare set).
 type pendingSet struct {
 	ops   []pendingOp
 	paths map[string]int
+
+	region *Region
+	ring   *obs.Ring
 }
 
 func (p *pendingSet) add(op Op) {
@@ -30,6 +37,10 @@ func (p *pendingSet) add(op Op) {
 	}
 	p.ops = append(p.ops, pendingOp{op: op})
 	p.paths[op.Path]++
+	if p.region != nil {
+		p.region.parked.Add(1)
+		traceOp(p.ring, op, obs.StagePark, "")
+	}
 }
 
 // release drops one reference to a parked path, deleting the key when it
@@ -40,6 +51,9 @@ func (p *pendingSet) release(path string) {
 		p.paths[path] = n
 	} else {
 		delete(p.paths, path)
+	}
+	if p.region != nil {
+		p.region.parked.Add(-1)
 	}
 }
 
@@ -65,8 +79,19 @@ func (p *pendingSet) blocks(path string) bool { return p.paths[path] > 0 }
 func (r *Region) commitLoop(node string, backend Backend) {
 	q := r.queues[node]
 	cache := memcache.NewClient(rpc.NewCaller(r.deps.Bus, r.cfg.Model, node), r.ring)
+	ring := r.obsRing(node)
 	var now vclock.Time
-	var pending pendingSet
+	pending := pendingSet{region: r, ring: ring}
+
+	// onMerge records the absorbed op's coalesce event; its effect now
+	// rides the surviving op's span.
+	var onMerge func(survivor, absorbed Op)
+	if ring != nil {
+		onMerge = func(survivor, absorbed Op) {
+			traceOp(ring, absorbed, obs.StageCoalesce,
+				fmt.Sprintf("into span %d", survivor.Span))
+		}
+	}
 
 	for {
 		ops, isBarrier, epoch, ok := q.PopBatch(r.cfg.CommitBatchSize)
@@ -87,9 +112,10 @@ func (r *Region) commitLoop(node string, backend Backend) {
 			now = vclock.Max(now, rel)
 			continue
 		}
+		r.observeDequeue(ring, ops)
 		if !r.cfg.DisableCoalesce {
 			var merged int64
-			ops, merged = coalesceOps(ops)
+			ops, merged = coalesceOps(ops, onMerge)
 			r.coalesced.Add(merged)
 		}
 		r.applyOps(ops, &now, backend, cache, &pending)
@@ -160,7 +186,7 @@ func (r *Region) applyWave(wave []Op, now *vclock.Time, backend Backend, cache *
 		r.applyBatchRPC(batch, now, backend, cache, pending)
 	}
 	for _, op := range single {
-		if r.applyOp(op, now, backend, cache) {
+		if r.applyOp(op, now, backend, cache, pending.ring) {
 			pending.add(op)
 		}
 	}
@@ -207,7 +233,7 @@ func (r *Region) applyBatchRPC(ops []Op, now *vclock.Time, backend Backend, cach
 		// Transport-level failure: disposition unknown, fall back to
 		// singleton application which re-runs each op with full logic.
 		for _, op := range ops {
-			if r.applyOp(op, now, backend, cache) {
+			if r.applyOp(op, now, backend, cache, pending.ring) {
 				pending.add(op)
 			}
 		}
@@ -217,11 +243,11 @@ func (r *Region) applyBatchRPC(ops []Op, now *vclock.Time, backend Backend, cach
 		var retry bool
 		switch op.Kind {
 		case OpCreate, OpMkdir:
-			retry = r.finishCreate(op, inlines[i], errs[i], now, backend, cache)
+			retry = r.finishCreate(op, inlines[i], errs[i], now, backend, cache, pending.ring)
 		case OpSetStat:
-			retry = r.finishSetStat(op, errs[i], now, cache)
+			retry = r.finishSetStat(op, errs[i], now, cache, pending.ring)
 		case OpRemove:
-			retry = r.finishRemoveResult(op, errs[i], now, cache)
+			retry = r.finishRemoveResult(op, errs[i], now, cache, pending.ring)
 		}
 		if retry {
 			pending.add(op)
@@ -244,11 +270,12 @@ func (r *Region) retryPendingOnce(pending *pendingSet, now *vclock.Time, backend
 			continue
 		}
 		r.retries.Add(1)
-		if retry := r.applyOp(p.op, now, backend, cache); retry {
+		traceOp(pending.ring, p.op, obs.StageRetry, "")
+		if retry := r.applyOp(p.op, now, backend, cache, pending.ring); retry {
 			if counted {
 				p.attempts++
 				if p.attempts >= r.cfg.CommitRetryLimit {
-					r.dropOp(p.op, now, cache)
+					r.dropOp(p.op, now, cache, pending.ring)
 					pending.release(p.op.Path)
 					continue
 				}
@@ -259,6 +286,7 @@ func (r *Region) retryPendingOnce(pending *pendingSet, now *vclock.Time, backend
 			blocked[p.op.Path] = true
 			kept = append(kept, p)
 		} else {
+			traceOp(pending.ring, p.op, obs.StageUnpark, "")
 			pending.release(p.op.Path)
 		}
 	}
@@ -302,8 +330,8 @@ func (r *Region) drainPending(pending *pendingSet, now *vclock.Time, backend Bac
 }
 
 // applyOp applies one operation; it returns true if the op failed in a
-// resubmittable way.
-func (r *Region) applyOp(op Op, now *vclock.Time, backend Backend, cache *memcache.Client) bool {
+// resubmittable way. ring may be nil (observability disabled, tests).
+func (r *Region) applyOp(op Op, now *vclock.Time, backend Backend, cache *memcache.Client, ring *obs.Ring) bool {
 	t := vclock.Max(*now, op.Time)
 	switch op.Kind {
 	case OpCreate, OpMkdir:
@@ -313,7 +341,7 @@ func (r *Region) applyOp(op Op, now *vclock.Time, backend Backend, cache *memcac
 		// incarnation created after the rmdir window closed is live
 		// primary-copy metadata and must survive.
 		if r.isRemoving(op.Path) {
-			r.discarded.Add(1)
+			r.opDiscarded(ring, op)
 			r.deleteIf(cache, &t, op.Path, memcache.CondSeq, op.Seq)
 			*now = t
 			return false
@@ -327,13 +355,13 @@ func (r *Region) applyOp(op Op, now *vclock.Time, backend Backend, cache *memcac
 		r.backendRPCs.Add(1)
 		done, err := backend.CreateWithStat(t, op.Path, st)
 		*now = done
-		return r.finishCreate(op, inline, err, now, backend, cache)
+		return r.finishCreate(op, inline, err, now, backend, cache, ring)
 
 	case OpRemove:
 		r.backendRPCs.Add(1)
 		done, err := backend.Remove(t, op.Path)
 		*now = done
-		return r.finishRemoveResult(op, err, now, cache)
+		return r.finishRemoveResult(op, err, now, cache, ring)
 
 	case OpSetStat:
 		var done vclock.Time
@@ -347,7 +375,7 @@ func (r *Region) applyOp(op Op, now *vclock.Time, backend Backend, cache *memcac
 			done, err = backend.SetStat(t, op.Path, op.Stat)
 		}
 		*now = done
-		return r.finishSetStat(op, err, now, cache)
+		return r.finishSetStat(op, err, now, cache, ring)
 	}
 	return false
 }
@@ -355,10 +383,10 @@ func (r *Region) applyOp(op Op, now *vclock.Time, backend Backend, cache *memcac
 // finishCreate handles a create/mkdir's backend result (shared by the
 // singleton and batched paths); it returns true if the op must be
 // resubmitted.
-func (r *Region) finishCreate(op Op, inline []byte, err error, now *vclock.Time, backend Backend, cache *memcache.Client) bool {
+func (r *Region) finishCreate(op Op, inline []byte, err error, now *vclock.Time, backend Backend, cache *memcache.Client, ring *obs.Ring) bool {
 	switch {
 	case err == nil:
-		r.committed.Add(1)
+		r.opCommitted(ring, op)
 		r.writebackInline(op.Path, inline, now, backend)
 		r.writebackSpill(op.Path, now, backend)
 		r.clearDirty(op, now, cache)
@@ -379,7 +407,7 @@ func (r *Region) finishCreate(op Op, inline []byte, err error, now *vclock.Time,
 		// instead, imposing the create's metadata on it.
 		if v, ok := r.cacheLookup(op.Path, now, cache); ok && !v.removed {
 			if v.seq != op.Seq || !v.dirty {
-				r.committed.Add(1)
+				r.opCommitted(ring, op)
 				r.writebackSpill(op.Path, now, backend)
 				r.clearDirty(op, now, cache)
 				return false
@@ -396,7 +424,7 @@ func (r *Region) finishCreate(op Op, inline []byte, err error, now *vclock.Time,
 				if est.IsDir() != st.IsDir() {
 					// A different kind of object holds the name; the
 					// creation can never apply.
-					r.dropOp(op, now, cache)
+					r.dropOp(op, now, cache, ring)
 					return false
 				}
 				r.backendRPCs.Add(1)
@@ -405,7 +433,7 @@ func (r *Region) finishCreate(op Op, inline []byte, err error, now *vclock.Time,
 				if aerr != nil {
 					return true
 				}
-				r.committed.Add(1)
+				r.opCommitted(ring, op)
 				r.writebackInline(op.Path, inline, now, backend)
 				r.writebackSpill(op.Path, now, backend)
 				r.clearDirty(op, now, cache)
@@ -417,24 +445,24 @@ func (r *Region) finishCreate(op Op, inline []byte, err error, now *vclock.Time,
 		// Parent not committed yet (possibly queued on another node).
 		return true
 	default:
-		r.dropOp(op, now, cache)
+		r.dropOp(op, now, cache, ring)
 		return false
 	}
 }
 
 // finishRemoveResult handles a remove's backend result; it returns true
 // if the op must be resubmitted.
-func (r *Region) finishRemoveResult(op Op, err error, now *vclock.Time, cache *memcache.Client) bool {
+func (r *Region) finishRemoveResult(op Op, err error, now *vclock.Time, cache *memcache.Client, ring *obs.Ring) bool {
 	switch {
 	case err == nil:
-		r.committed.Add(1)
+		r.opCommitted(ring, op)
 		r.finishRemove(op, now, cache)
 		return false
 	case errors.Is(err, fsapi.ErrNotExist):
 		if op.NetAbsent {
 			// Net-absence remove: the folded create never reached the
 			// DFS, so an absent path IS the committed state.
-			r.committed.Add(1)
+			r.opCommitted(ring, op)
 			r.finishRemove(op, now, cache)
 			return false
 		}
@@ -442,33 +470,33 @@ func (r *Region) finishRemoveResult(op Op, err error, now *vclock.Time, cache *m
 		// another node — resubmit; if it was discarded under an
 		// rmdir, the retry limit cleans us up.
 		if r.isRemoving(op.Path) {
-			r.discarded.Add(1)
+			r.opDiscarded(ring, op)
 			r.finishRemove(op, now, cache)
 			return false
 		}
 		return true
 	default:
-		r.dropOp(op, now, cache)
+		r.dropOp(op, now, cache, ring)
 		return false
 	}
 }
 
 // finishSetStat handles a setstat/inline-write backend result; it
 // returns true if the op must be resubmitted.
-func (r *Region) finishSetStat(op Op, err error, now *vclock.Time, cache *memcache.Client) bool {
+func (r *Region) finishSetStat(op Op, err error, now *vclock.Time, cache *memcache.Client, ring *obs.Ring) bool {
 	switch {
 	case err == nil:
-		r.committed.Add(1)
+		r.opCommitted(ring, op)
 		r.clearDirty(op, now, cache)
 		return false
 	case errors.Is(err, fsapi.ErrNotExist):
 		if r.isRemoving(op.Path) {
-			r.discarded.Add(1)
+			r.opDiscarded(ring, op)
 			return false
 		}
 		return true // create still in flight
 	default:
-		r.dropOp(op, now, cache)
+		r.dropOp(op, now, cache, ring)
 		return false
 	}
 }
@@ -545,8 +573,9 @@ func (r *Region) deleteIf(cache *memcache.Client, now *vclock.Time, path string,
 // create accepted in the closing instants of an rmdir window whose
 // parent is gone): delete it — guarded by seq, so a newer incarnation
 // survives — rather than leave a permanently dirty phantom.
-func (r *Region) dropOp(op Op, now *vclock.Time, cache *memcache.Client) {
+func (r *Region) dropOp(op Op, now *vclock.Time, cache *memcache.Client, ring *obs.Ring) {
 	r.dropped.Add(1)
+	traceOp(ring, op, obs.StageDrop, "retry budget exhausted or unapplicable")
 	switch op.Kind {
 	case OpCreate, OpMkdir:
 		r.deleteIf(cache, now, op.Path, memcache.CondSeq, op.Seq)

@@ -28,6 +28,13 @@ type env struct {
 
 func newEnv(t *testing.T, n int, mutate func(*RegionConfig)) *env {
 	t.Helper()
+	return newEnvDeps(t, n, mutate, nil)
+}
+
+// newEnvDeps is newEnv with a hook to adjust region dependencies (e.g.
+// attach an observability sink) before the region starts.
+func newEnvDeps(t *testing.T, n int, mutate func(*RegionConfig), mutateDeps func(*Deps)) *env {
+	t.Helper()
 	bus := rpc.NewBus()
 	model := vclock.Default()
 	cluster := dfs.NewCluster(bus, model, rootCred, "storage0", []string{"storage1", "storage2"})
@@ -56,14 +63,18 @@ func newEnv(t *testing.T, n int, mutate func(*RegionConfig)) *env {
 	if mutate != nil {
 		mutate(&cfg)
 	}
-	region, err := NewRegion(cfg, Deps{
+	deps := Deps{
 		Bus: bus,
 		NewBackend: func(node string) Backend {
 			// Commit processes and redirection clients own their node's
 			// kernel-style dentry cache; Pacon owns consistency above.
 			return cluster.NewClient(node, appCred, 4096, time.Hour)
 		},
-	})
+	}
+	if mutateDeps != nil {
+		mutateDeps(&deps)
+	}
+	region, err := NewRegion(cfg, deps)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -69,6 +69,15 @@ type Op struct {
 	// original remove would have deleted anyway. Carried to the DFS as
 	// fsapi.BatchOp.IfExists.
 	NetAbsent bool
+	// Span is the observability trace ID allocated at the client call
+	// (0 = untraced). The op is an in-process queue message, never wire
+	// encoded, so the field rides along for free.
+	Span uint64
+	// EnqWall is the wall-clock time (unix nanoseconds) the op was
+	// enqueued, for queue-residency and commit-lag histograms. Wall, not
+	// virtual: the span crosses goroutines whose virtual clocks advance
+	// independently. 0 when observability is disabled.
+	EnqWall int64
 }
 
 // cacheVal is the distributed cache's value layout: the primary copy of

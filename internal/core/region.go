@@ -4,12 +4,14 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"pacon/internal/dht"
 	"pacon/internal/fsapi"
 	"pacon/internal/memcache"
 	"pacon/internal/mq"
 	"pacon/internal/namespace"
+	"pacon/internal/obs"
 	"pacon/internal/rpc"
 	"pacon/internal/vclock"
 )
@@ -122,6 +124,12 @@ type Deps struct {
 	// NewBackend builds a DFS client for a node (used by the node's
 	// commit process and by Pacon clients for redirection/misses).
 	NewBackend func(node string) Backend
+	// Obs, when non-nil, enables the observability layer: op lifecycle
+	// tracing, stage latency histograms, and gauge/counter registration.
+	// Nil (the default) keeps the hot path to one branch per site. When
+	// one Obs serves several regions, the last-registered region owns the
+	// gauge/counter names.
+	Obs *obs.Obs
 }
 
 // RegionStats aggregates commit-module counters.
@@ -192,6 +200,11 @@ type Region struct {
 	coalesced, cacheRPCs, backendRPCs                 atomic.Int64
 	batchRPCs, batchedOps                             atomic.Int64
 
+	// obs is the observability registry (nil = disabled); parked counts
+	// ops resident in the commit processes' pending sets.
+	obs    *obs.Obs
+	parked atomic.Int64
+
 	wg     sync.WaitGroup
 	closed atomic.Bool
 }
@@ -219,6 +232,7 @@ func NewRegion(cfg RegionConfig, deps Deps) (*Region, error) {
 	r := &Region{
 		cfg:      cfg,
 		deps:     deps,
+		obs:      deps.Obs,
 		servers:  make(map[string]*memcache.Server),
 		ring:     dht.New(0),
 		queues:   make(map[string]*mq.Queue[Op]),
@@ -259,6 +273,8 @@ func NewRegion(cfg RegionConfig, deps Deps) (*Region, error) {
 		return nil, err
 	}
 
+	r.registerMetrics()
+
 	// One commit process (queue subscriber) per node.
 	for _, node := range cfg.Nodes {
 		r.wg.Add(1)
@@ -268,6 +284,59 @@ func NewRegion(cfg RegionConfig, deps Deps) (*Region, error) {
 		}(node)
 	}
 	return r, nil
+}
+
+// registerMetrics exports the region's counters and gauges through the
+// observability registry (no-op when observability is disabled). The
+// readers run at scrape time, so exposition always reflects live state.
+func (r *Region) registerMetrics() {
+	o := r.obs
+	if o == nil {
+		return
+	}
+	o.RegisterCounter("ops_committed", r.committed.Load)
+	o.RegisterCounter("ops_discarded", r.discarded.Load)
+	o.RegisterCounter("ops_retried", r.retries.Load)
+	o.RegisterCounter("ops_dropped", r.dropped.Load)
+	o.RegisterCounter("evict_rounds", r.evictions.Load)
+	o.RegisterCounter("ops_coalesced", r.coalesced.Load)
+	o.RegisterCounter("commit_cache_rpcs", r.cacheRPCs.Load)
+	o.RegisterCounter("commit_backend_rpcs", r.backendRPCs.Load)
+	o.RegisterCounter("batch_rpcs", r.batchRPCs.Load)
+	o.RegisterCounter("batched_ops", r.batchedOps.Load)
+
+	o.RegisterGauge("queue_depth", func() int64 { return int64(r.QueueDepth()) })
+	o.RegisterGauge("parked_ops", r.parked.Load)
+	o.RegisterGauge("spill_pending", func() int64 { return int64(r.SpillCount()) })
+	o.RegisterGauge("cache_items", func() int64 { return r.CacheStats().Items })
+	o.RegisterGauge("cache_used_bytes", func() int64 { return r.CacheStats().UsedBytes })
+	o.RegisterGauge("dirty_keys", func() int64 {
+		dirty, _ := r.headerCounts()
+		return dirty
+	})
+	o.RegisterGauge("removed_keys", func() int64 {
+		_, removed := r.headerCounts()
+		return removed
+	})
+	if cap := r.cfg.CacheCapacityBytes; cap > 0 {
+		// Eviction watermark: per-mille of cache capacity in use — the
+		// pressure level at which region round-robin eviction starts.
+		total := cap * int64(len(r.cfg.Nodes))
+		o.RegisterGauge("evict_watermark_permille", func() int64 {
+			return r.CacheStats().UsedBytes * 1000 / total
+		})
+	}
+}
+
+// headerCounts sums the dirty/removed header flags across the region's
+// cache servers.
+func (r *Region) headerCounts() (dirty, removed int64) {
+	for _, s := range r.servers {
+		d, rm := s.HeaderCounts()
+		dirty += d
+		removed += rm
+	}
+	return dirty, removed
 }
 
 // newBackend builds a backend via deps and records it. The region keeps
@@ -337,11 +406,26 @@ func (r *Region) Stats() RegionStats {
 	}
 }
 
-// CacheStats aggregates the region's cache servers.
+// CacheStats aggregates the region's cache servers concurrently — the
+// same fan-out shape as memcache.Client.StatsAll/FlushAll. Each server's
+// Stats walks its 16 shard locks, so a sequential sweep over a large
+// region serializes on the busiest servers; fanning out bounds the
+// aggregation at the slowest single server.
 func (r *Region) CacheStats() memcache.Stats {
-	var total memcache.Stats
+	stats := make([]memcache.Stats, len(r.cacheAddrs))
+	var wg sync.WaitGroup
+	i := 0
 	for _, s := range r.servers {
-		st := s.Stats()
+		wg.Add(1)
+		go func(slot int, s *memcache.Server) {
+			defer wg.Done()
+			stats[slot] = s.Stats()
+		}(i, s)
+		i++
+	}
+	wg.Wait()
+	var total memcache.Stats
+	for _, st := range stats {
 		total.Items += st.Items
 		total.UsedBytes += st.UsedBytes
 		total.Hits += st.Hits
@@ -442,6 +526,10 @@ func (r *Region) SpillCount() int {
 // every commit process has applied all earlier operations. The caller
 // performs its dependent operation and then calls barrier.Release.
 func (r *Region) syncBarrier(at vclock.Time) (epoch uint64, drain vclock.Time, err error) {
+	var start int64
+	if r.obs != nil {
+		start = time.Now().UnixNano()
+	}
 	epoch, err = r.barrier.Begin()
 	if err != nil {
 		return 0, at, err
@@ -455,6 +543,9 @@ func (r *Region) syncBarrier(at vclock.Time) (epoch uint64, drain vclock.Time, e
 	drain, err = r.barrier.AwaitArrivals(epoch)
 	if err != nil {
 		return 0, at, err
+	}
+	if r.obs != nil {
+		r.obs.Hist(obs.HistBarrierWait).RecordN(time.Now().UnixNano() - start)
 	}
 	return epoch, vclock.Max(drain, at), nil
 }

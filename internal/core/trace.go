@@ -1,0 +1,74 @@
+package core
+
+import (
+	"time"
+
+	"pacon/internal/obs"
+)
+
+// This file is the commit pipeline's seam to internal/obs. Everything
+// here is nil-safe and records WALL-clock time: virtual time measures
+// the modeled system, while spans and stage histograms profile the real
+// process so perf work can see where wall time goes. The disabled path
+// (r.obs == nil) costs exactly one branch per site — no ring exists, no
+// span is allocated (Op.Span stays 0), and traceOp returns immediately.
+
+// obsRing returns the node's event ring, or nil when observability is
+// disabled.
+func (r *Region) obsRing(node string) *obs.Ring {
+	if r.obs == nil {
+		return nil
+	}
+	return r.obs.Trace.Ring(node)
+}
+
+// traceOp records one stage event for a traced op.
+func traceOp(ring *obs.Ring, op Op, stage obs.Stage, note string) {
+	if ring == nil || op.Span == 0 {
+		return
+	}
+	ring.Record(obs.Event{
+		Span:  op.Span,
+		Stage: stage,
+		Op:    op.Kind.String(),
+		Path:  op.Path,
+		Wall:  time.Now().UnixNano(),
+		Note:  note,
+	})
+}
+
+// opCommitted accounts a durably applied op: the committed counter, the
+// apply stage event, and the commit-lag histogram (enqueue → durable on
+// the DFS — how far the backup copy trails the primary).
+func (r *Region) opCommitted(ring *obs.Ring, op Op) {
+	r.committed.Add(1)
+	if r.obs == nil {
+		return
+	}
+	traceOp(ring, op, obs.StageApply, "")
+	if op.EnqWall != 0 {
+		r.obs.Hist(obs.HistCommitLag).RecordN(time.Now().UnixNano() - op.EnqWall)
+	}
+}
+
+// opDiscarded accounts an op dropped under an active rmdir (§III.D.1).
+func (r *Region) opDiscarded(ring *obs.Ring, op Op) {
+	r.discarded.Add(1)
+	traceOp(ring, op, obs.StageDiscard, "under active rmdir")
+}
+
+// observeDequeue records the dequeue stage and queue-residency samples
+// for a popped batch.
+func (r *Region) observeDequeue(ring *obs.Ring, ops []Op) {
+	if r.obs == nil {
+		return
+	}
+	wall := time.Now().UnixNano()
+	h := r.obs.Hist(obs.HistQueueWait)
+	for _, op := range ops {
+		traceOp(ring, op, obs.StageDequeue, "")
+		if op.EnqWall != 0 {
+			h.RecordN(wall - op.EnqWall)
+		}
+	}
+}

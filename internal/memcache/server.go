@@ -445,6 +445,30 @@ func (s *Server) Stats() Stats {
 	}
 }
 
+// HeaderCounts scans resident values' shared header (parseValueHeader)
+// and reports how many carry the dirty and removed flags — the
+// dirty-key gauges of the observability layer. Values that predate or
+// bypass the header contract count as neither. Diagnostic only; charges
+// no virtual time.
+func (s *Server) HeaderCounts() (dirty, removed int64) {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for _, si := range sh.items {
+			if flags, _, ok := parseValueHeader(si.item.Value); ok {
+				if flags&hdrDirty != 0 {
+					dirty++
+				}
+				if flags&hdrRemoved != 0 {
+					removed++
+				}
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return dirty, removed
+}
+
 // Resource exposes the service resource for utilization reporting.
 func (s *Server) Resource() *vclock.Resource { return s.res }
 

@@ -1,0 +1,290 @@
+package obs
+
+import (
+	"io"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{-5, 0}, {0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4},
+		{1023, 10}, {1024, 11}, {1 << 40, 41}, {1<<62 + 1, 63},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.v); got != c.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	// Every positive value must be strictly below its bucket's bound and
+	// at or above the previous bucket's bound.
+	for _, v := range []int64{1, 2, 3, 5, 100, 4096, 1 << 30} {
+		i := bucketOf(v)
+		if v >= BucketBound(i) {
+			t.Errorf("value %d not below BucketBound(%d)=%d", v, i, BucketBound(i))
+		}
+		if i > 1 && v < BucketBound(i-1) {
+			t.Errorf("value %d below lower bound of bucket %d", v, i)
+		}
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h *Histogram
+	h.RecordN(5) // nil-safe no-op
+	if h.Count() != 0 {
+		t.Fatal("nil histogram has samples")
+	}
+	s := NewHistogram().Snapshot()
+	if q := s.Quantile(0.5); q != 0 {
+		t.Fatalf("empty quantile = %d, want 0", q)
+	}
+	if m := s.Mean(); m != 0 {
+		t.Fatalf("empty mean = %v, want 0", m)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram()
+	// 90 fast samples (~100ns) and 10 slow (~1ms).
+	for i := 0; i < 90; i++ {
+		h.RecordN(100)
+	}
+	for i := 0; i < 10; i++ {
+		h.RecordN(1_000_000)
+	}
+	s := h.Snapshot()
+	if q := s.Quantile(0.50); q != BucketBound(bucketOf(100)) {
+		t.Errorf("p50 = %d, want bound of 100's bucket (%d)", q, BucketBound(bucketOf(100)))
+	}
+	if q := s.Quantile(0.99); q != BucketBound(bucketOf(1_000_000)) {
+		t.Errorf("p99 = %d, want bound of 1ms bucket (%d)", q, BucketBound(bucketOf(1_000_000)))
+	}
+	if s.Count != 100 || s.Sum != 90*100+10*1_000_000 {
+		t.Errorf("count/sum = %d/%d", s.Count, s.Sum)
+	}
+	q := s.Quantiles()
+	if q.Count != 100 || q.P50 > q.P95 || q.P95 > q.P99 {
+		t.Errorf("quantile digest not monotone: %+v", q)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	a.RecordN(10)
+	a.RecordN(20)
+	b.RecordN(1 << 20)
+	s := a.Snapshot()
+	s.Merge(b.Snapshot())
+	if s.Count != 3 || s.Sum != 10+20+1<<20 {
+		t.Fatalf("merged count/sum = %d/%d", s.Count, s.Sum)
+	}
+	if s.Buckets[bucketOf(10)] == 0 || s.Buckets[bucketOf(1<<20)] == 0 {
+		t.Fatal("merged buckets missing samples")
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram()
+	const workers, per = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.RecordN(int64(w*per + i + 1))
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != workers*per {
+		t.Fatalf("count = %d, want %d", s.Count, workers*per)
+	}
+	total := int64(0)
+	for _, b := range s.Buckets {
+		total += b
+	}
+	if total != workers*per {
+		t.Fatalf("bucket sum = %d, want %d", total, workers*per)
+	}
+}
+
+func TestRingWrap(t *testing.T) {
+	tr := &Tracer{ringSize: 4}
+	r := tr.Ring("n0")
+	for i := 1; i <= 6; i++ {
+		r.Record(Event{Span: uint64(i), Wall: int64(i)})
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("resident events = %d, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		if want := uint64(i + 3); ev.Span != want {
+			t.Errorf("event %d span = %d, want %d (oldest-first after wrap)", i, ev.Span, want)
+		}
+		if ev.Node != "n0" {
+			t.Errorf("ring did not stamp node: %q", ev.Node)
+		}
+	}
+}
+
+func TestTracerNilSafe(t *testing.T) {
+	var tr *Tracer
+	if tr.NewSpan() != 0 {
+		t.Fatal("nil tracer allocated a span")
+	}
+	tr.Ring("x").Record(Event{Span: 1})
+	if evs := tr.Events(); evs != nil {
+		t.Fatal("nil tracer returned events")
+	}
+	var o *Obs
+	o.Hist("x").Record(time.Millisecond)
+	o.ObserveRPC("a/pacon-r", "get", time.Millisecond, nil)
+	o.RegisterGauge("g", func() int64 { return 1 })
+	if o.SlowSpans(0) != nil {
+		t.Fatal("nil obs returned slow spans")
+	}
+}
+
+func TestTracerFilterAndSlowSpans(t *testing.T) {
+	tr := &Tracer{}
+	s1, s2 := tr.NewSpan(), tr.NewSpan()
+	r0, r1 := tr.Ring("n0"), tr.Ring("n1")
+	r0.Record(Event{Span: s1, Stage: StageEnqueue, Op: "create", Path: "/a", Wall: 100})
+	r1.Record(Event{Span: s1, Stage: StageDequeue, Op: "create", Path: "/a", Wall: 200})
+	r1.Record(Event{Span: s1, Stage: StageApply, Op: "create", Path: "/a", Wall: 900})
+	r0.Record(Event{Span: s2, Stage: StageEnqueue, Op: "rm", Path: "/b", Wall: 150})
+	r0.Record(Event{Span: s2, Stage: StageApply, Op: "rm", Path: "/b", Wall: 250})
+
+	evs := tr.SpanEvents(s1)
+	if len(evs) != 3 {
+		t.Fatalf("span %d events = %d, want 3", s1, len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Wall < evs[i-1].Wall {
+			t.Fatal("span events not wall-ordered")
+		}
+	}
+	if evs[0].Stage != StageEnqueue || evs[2].Stage != StageApply {
+		t.Fatalf("lifecycle order wrong: %v ... %v", evs[0].Stage, evs[2].Stage)
+	}
+
+	slow := tr.SlowSpans(500, 0)
+	if len(slow) != 1 || slow[0].Span != s1 {
+		t.Fatalf("slow spans = %+v, want only span %d", slow, s1)
+	}
+	if slow[0].Total != 800 || slow[0].Outcome != StageApply {
+		t.Fatalf("slow summary = %+v", slow[0])
+	}
+	if len(slow[0].Steps) != 3 || slow[0].Steps[1].D != 100 || slow[0].Steps[2].D != 700 {
+		t.Fatalf("per-stage breakdown wrong: %+v", slow[0].Steps)
+	}
+	if s := slow[0].String(); !strings.Contains(s, "apply") || !strings.Contains(s, "create") {
+		t.Fatalf("summary render missing fields: %q", s)
+	}
+}
+
+func TestObsRegistryAndProm(t *testing.T) {
+	o := New()
+	o.Hist(HistClientOp).Record(3 * time.Microsecond)
+	o.Hist(HistQueueWait).Record(80 * time.Microsecond)
+	o.ObserveRPC("node0/pacon-r0", "set", 2*time.Microsecond, nil)
+	o.ObserveRPC("node0/mds", "apply_batch", 40*time.Microsecond, nil)
+	o.RegisterCounter("ops_committed", func() int64 { return 42 })
+	o.RegisterGauge("queue_depth", func() int64 { return 7 })
+
+	if o.Hist(HistCacheRPC).Count() != 1 || o.Hist(HistDFSRPC).Count() != 1 {
+		t.Fatal("ObserveRPC misclassified cache vs dfs round trips")
+	}
+
+	srv := httptest.NewServer(o.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	for _, want := range []string{
+		"# TYPE pacon_ops_committed_total counter",
+		"pacon_ops_committed_total 42",
+		"# TYPE pacon_queue_depth gauge",
+		"pacon_queue_depth 7",
+		"# TYPE pacon_client_op_seconds histogram",
+		"pacon_client_op_seconds_count 1",
+		`pacon_client_op_seconds_bucket{le="+Inf"} 1`,
+		"# TYPE pacon_cache_rpc_seconds histogram",
+		"pacon_dfs_rpc_seconds_count 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q\n---\n%s", want, body)
+		}
+	}
+	// Histograms must emit cumulative buckets: the +Inf bucket equals count.
+	if !strings.Contains(body, `pacon_queue_wait_seconds_bucket{le="+Inf"} 1`) {
+		t.Errorf("queue_wait +Inf bucket wrong\n---\n%s", body)
+	}
+
+	q := o.HistQuantiles()
+	if len(q) < 4 {
+		t.Fatalf("quantile digest has %d stages, want >= 4: %v", len(q), q)
+	}
+	if q[HistClientOp].Count != 1 {
+		t.Fatalf("client_op digest = %+v", q[HistClientOp])
+	}
+
+	sum := o.Summary()
+	for _, want := range []string{"queue_depth", "ops_committed", "client_op", "p95"} {
+		if !strings.Contains(sum, want) {
+			t.Errorf("summary missing %q:\n%s", want, sum)
+		}
+	}
+
+	o.PublishExpvar("pacon-test")
+	o.PublishExpvar("pacon-test") // must not panic on duplicate
+}
+
+func TestPromSeconds(t *testing.T) {
+	cases := map[int64]string{
+		0:             "0",
+		1:             "0.000000001",
+		1_000_000_000: "1",
+		1_500_000_000: "1.5",
+	}
+	for ns, want := range cases {
+		if got := promSeconds(ns); got != want {
+			t.Errorf("promSeconds(%d) = %q, want %q", ns, got, want)
+		}
+	}
+}
+
+func TestSlowThreshold(t *testing.T) {
+	o := New()
+	if o.SlowThreshold() != DefaultSlowSpan {
+		t.Fatal("default threshold wrong")
+	}
+	o.SetSlowThreshold(time.Second)
+	if o.SlowThreshold() != time.Second {
+		t.Fatal("threshold not applied")
+	}
+	o.SetSlowThreshold(0)
+	if o.SlowThreshold() != DefaultSlowSpan {
+		t.Fatal("zero threshold should restore default")
+	}
+}

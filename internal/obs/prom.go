@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// metricName sanitizes a registry name into a Prometheus metric name and
+// prefixes the pacon namespace.
+func metricName(name string) string {
+	var b strings.Builder
+	b.WriteString("pacon_")
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_':
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WriteProm renders the registry in the Prometheus text exposition
+// format (version 0.0.4): counters, gauges, then histograms. Latency
+// histograms are exported in seconds, as Prometheus convention wants,
+// with cumulative `le` buckets up to the highest non-empty bucket plus
+// `+Inf`, `_sum`, and `_count`.
+func (o *Obs) WriteProm(w io.Writer) {
+	if o == nil {
+		return
+	}
+	counters := o.counterValues()
+	for _, name := range sortedKeys(counters) {
+		m := metricName(name) + "_total"
+		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", m, m, counters[name])
+	}
+	gauges := o.gaugeValues()
+	for _, name := range sortedKeys(gauges) {
+		m := metricName(name)
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", m, m, gauges[name])
+	}
+	snaps := o.histSnapshots()
+	for _, name := range sortedKeys(snaps) {
+		writePromHist(w, metricName(name)+"_seconds", snaps[name])
+	}
+}
+
+// writePromHist renders one histogram. Bucket bounds are the log2
+// nanosecond bounds converted to seconds.
+func writePromHist(w io.Writer, m string, s HistSnapshot) {
+	fmt.Fprintf(w, "# TYPE %s histogram\n", m)
+	top := 0
+	for i, b := range s.Buckets {
+		if b > 0 {
+			top = i
+		}
+	}
+	cum := int64(0)
+	for i := 0; i <= top; i++ {
+		cum += s.Buckets[i]
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", m, promSeconds(BucketBound(i)), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", m, cum)
+	fmt.Fprintf(w, "%s_sum %s\n", m, promSeconds(s.Sum))
+	fmt.Fprintf(w, "%s_count %d\n", m, s.Count)
+}
+
+// promSeconds formats nanoseconds as seconds without float artifacts.
+func promSeconds(ns int64) string {
+	s := strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.9f", float64(ns)/1e9), "0"), ".")
+	if s == "" || s == "-" {
+		return "0"
+	}
+	return s
+}
+
+// Handler returns the /metrics HTTP handler. Safe on a nil registry
+// (serves an empty exposition).
+func (o *Obs) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		o.WriteProm(w)
+	})
+}
+
+// PublishExpvar publishes the registry under one expvar name rendering
+// counters, gauges, and histogram quantile digests as JSON.
+// expvar.Publish panics on duplicate names, so re-publishing (tests,
+// multiple regions) is guarded by a Get probe.
+func (o *Obs) PublishExpvar(name string) {
+	if o == nil || expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any {
+		return map[string]any{
+			"counters": o.counterValues(),
+			"gauges":   o.gaugeValues(),
+			"latency":  o.HistQuantiles(),
+		}
+	}))
+}

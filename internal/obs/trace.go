@@ -1,0 +1,286 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Stage is one point in an operation's commit-pipeline lifecycle.
+type Stage uint8
+
+// Span lifecycle stages, in the order a healthy op visits them. Park,
+// unpark, retry, drop and discard are the failure-path detours; coalesce
+// marks an op merged away at dequeue time (its effect rides another
+// span's apply).
+const (
+	StageEnqueue Stage = iota
+	StageDequeue
+	StageCoalesce
+	StagePark
+	StageUnpark
+	StageApply
+	StageRetry
+	StageDrop
+	StageDiscard
+)
+
+var stageNames = [...]string{
+	StageEnqueue:  "enqueue",
+	StageDequeue:  "dequeue",
+	StageCoalesce: "coalesce",
+	StagePark:     "park",
+	StageUnpark:   "unpark",
+	StageApply:    "apply",
+	StageRetry:    "retry",
+	StageDrop:     "drop",
+	StageDiscard:  "discard",
+}
+
+// String implements fmt.Stringer.
+func (s Stage) String() string {
+	if int(s) < len(stageNames) {
+		return stageNames[s]
+	}
+	return fmt.Sprintf("stage(%d)", uint8(s))
+}
+
+// Event is one timestamped span event. Wall is wall-clock unix
+// nanoseconds — spans cross goroutines (client → commit process), and
+// wall time is the only clock shared monotonically between them.
+type Event struct {
+	Span  uint64
+	Stage Stage
+	Node  string // filled by the recording ring
+	Op    string
+	Path  string
+	Wall  int64
+	Note  string
+}
+
+// String renders one dump line.
+func (e Event) String() string {
+	s := fmt.Sprintf("span=%d %-8s node=%s %s %s", e.Span, e.Stage, e.Node, e.Op, e.Path)
+	if e.Note != "" {
+		s += " (" + e.Note + ")"
+	}
+	return s
+}
+
+// defaultRingSize bounds one node ring's resident events.
+const defaultRingSize = 4096
+
+// Ring is one node's event buffer: a fixed-size overwrite ring under its
+// own mutex, so recording is O(1), allocation-free after warm-up, and
+// nodes never contend with each other. Nil-safe: a nil ring drops
+// events, which is how disabled observability costs one branch.
+type Ring struct {
+	node string
+	mu   sync.Mutex
+	buf  []Event
+	next int
+	full bool
+}
+
+// Record appends ev, overwriting the oldest event when full.
+func (r *Ring) Record(ev Event) {
+	if r == nil {
+		return
+	}
+	ev.Node = r.node
+	r.mu.Lock()
+	r.buf[r.next] = ev
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+	r.mu.Unlock()
+}
+
+// Events returns the resident events oldest-first.
+func (r *Ring) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.full {
+		return append([]Event(nil), r.buf[:r.next]...)
+	}
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Tracer allocates span IDs and owns the per-node rings.
+type Tracer struct {
+	spanSeq  atomic.Uint64
+	ringSize int
+
+	mu    sync.Mutex
+	rings map[string]*Ring
+}
+
+// NewSpan allocates a span ID (never 0 — 0 marks an untraced op). A nil
+// tracer returns 0.
+func (t *Tracer) NewSpan() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.spanSeq.Add(1)
+}
+
+// Ring returns (creating on first use) the named node's event ring. Nil
+// tracer → nil ring, which records nothing.
+func (t *Tracer) Ring(node string) *Ring {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.rings == nil {
+		t.rings = make(map[string]*Ring)
+	}
+	r, ok := t.rings[node]
+	if !ok {
+		size := t.ringSize
+		if size <= 0 {
+			size = defaultRingSize
+		}
+		r = &Ring{node: node, buf: make([]Event, size)}
+		t.rings[node] = r
+	}
+	return r
+}
+
+// Events merges every ring's resident events, ordered by wall time (span
+// then stage break ties, so one span's same-instant events keep their
+// pipeline order).
+func (t *Tracer) Events() []Event {
+	return t.Filter(func(Event) bool { return true })
+}
+
+// Filter returns the resident events keep admits, in wall-time order.
+// This is the dump API: filter by span, path, stage, or time window.
+func (t *Tracer) Filter(keep func(Event) bool) []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	rings := make([]*Ring, 0, len(t.rings))
+	for _, r := range t.rings {
+		rings = append(rings, r)
+	}
+	t.mu.Unlock()
+	var out []Event
+	for _, r := range rings {
+		for _, ev := range r.Events() {
+			if keep(ev) {
+				out = append(out, ev)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Wall != out[j].Wall {
+			return out[i].Wall < out[j].Wall
+		}
+		if out[i].Span != out[j].Span {
+			return out[i].Span < out[j].Span
+		}
+		return out[i].Stage < out[j].Stage
+	})
+	return out
+}
+
+// SpanEvents returns one span's resident events in wall-time order.
+func (t *Tracer) SpanEvents(span uint64) []Event {
+	return t.Filter(func(e Event) bool { return e.Span == span })
+}
+
+// SpanStep is one hop of a span's per-stage breakdown: the stage arrived
+// at and the time spent getting there from the previous event.
+type SpanStep struct {
+	Stage Stage
+	D     time.Duration
+}
+
+// SpanSummary digests one span for the slow-op log.
+type SpanSummary struct {
+	Span    uint64
+	Op      string
+	Path    string
+	Total   time.Duration
+	Steps   []SpanStep
+	Outcome Stage // last recorded stage
+}
+
+// String renders one slow-op line with its per-stage breakdown.
+func (s SpanSummary) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "span=%d %s %s total=%v [", s.Span, s.Op, s.Path, s.Total)
+	for i, st := range s.Steps {
+		if i > 0 {
+			b.WriteString(" ")
+		}
+		fmt.Fprintf(&b, "%s+%v", st.Stage, st.D)
+	}
+	b.WriteString("]")
+	return b.String()
+}
+
+// SlowSpans groups resident events by span and returns the spans whose
+// first-to-last wall span meets threshold, slowest first, at most max
+// (0 = unlimited). Spans still mid-flight are reported as-is — a span
+// parked for seconds is exactly what the slow-op log exists to show.
+func (t *Tracer) SlowSpans(threshold time.Duration, max int) []SpanSummary {
+	if t == nil {
+		return nil
+	}
+	evs := t.Events()
+	byspan := make(map[uint64][]Event)
+	for _, ev := range evs {
+		if ev.Span != 0 {
+			byspan[ev.Span] = append(byspan[ev.Span], ev)
+		}
+	}
+	var out []SpanSummary
+	for span, sevs := range byspan {
+		total := time.Duration(sevs[len(sevs)-1].Wall - sevs[0].Wall)
+		if total < threshold {
+			continue
+		}
+		sum := SpanSummary{
+			Span:    span,
+			Op:      sevs[0].Op,
+			Path:    sevs[0].Path,
+			Total:   total,
+			Outcome: sevs[len(sevs)-1].Stage,
+		}
+		if sum.Path == "" && len(sevs) > 1 {
+			sum.Path = sevs[1].Path
+		}
+		for i, ev := range sevs {
+			var d time.Duration
+			if i > 0 {
+				d = time.Duration(ev.Wall - sevs[i-1].Wall)
+			}
+			sum.Steps = append(sum.Steps, SpanStep{Stage: ev.Stage, D: d})
+		}
+		out = append(out, sum)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Total != out[j].Total {
+			return out[i].Total > out[j].Total
+		}
+		return out[i].Span < out[j].Span
+	})
+	if max > 0 && len(out) > max {
+		out = out[:max]
+	}
+	return out
+}

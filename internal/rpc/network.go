@@ -73,6 +73,12 @@ func (n *TCPNetwork) Unregister(addr string) {
 	}
 }
 
+// SetObserver installs the per-round-trip instrumentation hook on the
+// underlying TCP transport.
+func (n *TCPNetwork) SetObserver(o RPCObserver) {
+	n.transport.SetObserver(o)
+}
+
 // Invoke implements Transport.
 func (n *TCPNetwork) Invoke(addr, method string, at vclock.Time, body []byte) (vclock.Time, []byte, error) {
 	return n.transport.Invoke(addr, method, at, body)

@@ -1,0 +1,17 @@
+package rpc
+
+import "time"
+
+// RPCObserver receives one callback per transport round trip with the
+// wall-clock time the dispatch took. The signature uses only built-ins
+// so internal/obs can implement it without this package importing it
+// (and vice versa): latency histograms hook in at the transport seam,
+// the one place every cache and DFS round trip passes through, so each
+// is measured exactly once regardless of transport.
+//
+// Observed durations are wall time, not virtual time — the observer
+// exists to profile the real process, while vclock continues to own
+// throughput math.
+type RPCObserver interface {
+	ObserveRPC(addr, method string, d time.Duration, err error)
+}

@@ -1,0 +1,85 @@
+package rpc
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"pacon/internal/vclock"
+)
+
+// recObserver records observed round trips.
+type recObserver struct {
+	mu    sync.Mutex
+	calls []string
+	errs  int
+}
+
+func (r *recObserver) ObserveRPC(addr, method string, d time.Duration, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.calls = append(r.calls, addr+"."+method)
+	if err != nil {
+		r.errs++
+	}
+	if d < 0 {
+		panic("negative duration")
+	}
+}
+
+func TestBusObserver(t *testing.T) {
+	bus := NewBus()
+	svc := NewService()
+	svc.Handle("ping", func(at vclock.Time, body []byte) (vclock.Time, []byte, error) {
+		return at, []byte("pong"), nil
+	})
+	bus.Register("n0/pacon-r", svc)
+
+	rec := &recObserver{}
+	bus.SetObserver(rec)
+	if _, _, err := bus.Invoke("n0/pacon-r", "ping", 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := bus.Invoke("n0/pacon-r", "bogus", 0, nil); err == nil {
+		t.Fatal("expected unknown-method error")
+	}
+	rec.mu.Lock()
+	calls, errs := len(rec.calls), rec.errs
+	rec.mu.Unlock()
+	if calls != 2 || errs != 1 {
+		t.Fatalf("observed %d calls / %d errors, want 2 / 1", calls, errs)
+	}
+
+	// Removing the observer stops the callbacks.
+	bus.SetObserver(nil)
+	if _, _, err := bus.Invoke("n0/pacon-r", "ping", 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	rec.mu.Lock()
+	after := len(rec.calls)
+	rec.mu.Unlock()
+	if after != 2 {
+		t.Fatalf("observer still firing after removal: %d calls", after)
+	}
+}
+
+func TestTCPNetworkObserver(t *testing.T) {
+	net := NewTCPNetwork()
+	defer net.Close()
+	svc := NewService()
+	svc.Handle("ping", func(at vclock.Time, body []byte) (vclock.Time, []byte, error) {
+		return at, []byte("pong"), nil
+	})
+	net.Register("n0/mds", svc)
+
+	rec := &recObserver{}
+	net.SetObserver(rec)
+	if _, _, err := net.Invoke("n0/mds", "ping", 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	if len(rec.calls) != 1 || rec.calls[0] != "n0/mds.ping" {
+		t.Fatalf("observed %v, want one n0/mds.ping", rec.calls)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"pacon/internal/fsapi"
 	"pacon/internal/vclock"
@@ -69,6 +70,7 @@ type Bus struct {
 
 	calls atomic.Int64
 	bytes atomic.Int64
+	obs   atomic.Pointer[RPCObserver]
 }
 
 // NewBus returns an empty bus.
@@ -89,6 +91,16 @@ func (b *Bus) Unregister(addr string) {
 	delete(b.services, addr)
 }
 
+// SetObserver installs (or, with nil, removes) the per-round-trip
+// instrumentation hook. Safe to call concurrently with Invoke.
+func (b *Bus) SetObserver(o RPCObserver) {
+	if o == nil {
+		b.obs.Store(nil)
+		return
+	}
+	b.obs.Store(&o)
+}
+
 // Invoke implements Transport.
 func (b *Bus) Invoke(addr, method string, at vclock.Time, body []byte) (vclock.Time, []byte, error) {
 	b.mu.RLock()
@@ -99,6 +111,12 @@ func (b *Bus) Invoke(addr, method string, at vclock.Time, body []byte) (vclock.T
 	}
 	b.calls.Add(1)
 	b.bytes.Add(int64(len(body)))
+	if p := b.obs.Load(); p != nil {
+		start := time.Now()
+		done, resp, err := svc.dispatch(method, at, body)
+		(*p).ObserveRPC(addr, method, time.Since(start), err)
+		return done, resp, err
+	}
 	return svc.dispatch(method, at, body)
 }
 

@@ -7,6 +7,8 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"pacon/internal/fsapi"
 	"pacon/internal/vclock"
@@ -166,6 +168,8 @@ type TCPTransport struct {
 	mu      sync.Mutex
 	resolve map[string]string // logical addr -> host:port
 	pools   map[string]*connPool
+
+	obs atomic.Pointer[RPCObserver]
 }
 
 // NewTCPTransport builds a transport with a logical→physical address map.
@@ -184,8 +188,23 @@ func (t *TCPTransport) AddRoute(addr, hostport string) {
 	t.resolve[addr] = hostport
 }
 
+// SetObserver installs (or, with nil, removes) the per-round-trip
+// instrumentation hook. Safe to call concurrently with Invoke.
+func (t *TCPTransport) SetObserver(o RPCObserver) {
+	if o == nil {
+		t.obs.Store(nil)
+		return
+	}
+	t.obs.Store(&o)
+}
+
 // Invoke implements Transport.
 func (t *TCPTransport) Invoke(addr, method string, at vclock.Time, body []byte) (vclock.Time, []byte, error) {
+	var start time.Time
+	obs := t.obs.Load()
+	if obs != nil {
+		start = time.Now()
+	}
 	t.mu.Lock()
 	hostport, ok := t.resolve[addr]
 	if !ok {
@@ -206,9 +225,15 @@ func (t *TCPTransport) Invoke(addr, method string, at vclock.Time, body []byte) 
 	done, resp, rerr, ioErr := c.roundTrip(method, at, body)
 	if ioErr != nil {
 		c.close()
+		if obs != nil {
+			(*obs).ObserveRPC(addr, method, time.Since(start), ioErr)
+		}
 		return at, nil, ioErr
 	}
 	pool.put(c)
+	if obs != nil {
+		(*obs).ObserveRPC(addr, method, time.Since(start), rerr)
+	}
 	return done, resp, rerr
 }
 

@@ -36,6 +36,7 @@ package pacon
 import (
 	"pacon/internal/core"
 	"pacon/internal/fsapi"
+	"pacon/internal/obs"
 	"pacon/internal/vclock"
 )
 
@@ -70,6 +71,16 @@ type (
 	PermEntry = core.PermEntry
 	// SpecialPerm overrides the normal permission for a path or subtree.
 	SpecialPerm = core.SpecialPerm
+
+	// Obs is an observability sink: op tracing, latency histograms,
+	// counters/gauges, and a Prometheus-text /metrics handler. Attach
+	// one via Deps.Obs (or SimulationConfig.Obs); nil disables all
+	// instrumentation at the cost of one branch per hook.
+	Obs = obs.Obs
+	// SpanSummary is one traced operation's per-stage breakdown.
+	SpanSummary = obs.SpanSummary
+	// Quantiles is a histogram digest (count, p50/p95/p99 in ns).
+	Quantiles = obs.Quantiles
 
 	// Time is a virtual timestamp (nanoseconds since run start).
 	Time = vclock.Time
@@ -107,6 +118,11 @@ func NewRegion(cfg RegionConfig, deps Deps) (*Region, error) {
 // DefaultModel returns the calibrated latency model (TIANHE-II-like
 // testbed: IB fabric, NVMe MDS, co-located cache/IndexFS servers).
 func DefaultModel() LatencyModel { return vclock.Default() }
+
+// NewObs creates an observability sink with the pipeline-stage
+// histograms pre-registered. Wall-clock only: it never touches virtual
+// time, so enabling it does not change simulated results.
+func NewObs() *Obs { return obs.New() }
 
 // NewPacer creates a virtual-time pacer for n concurrent clients.
 func NewPacer(n int, window vclock.Duration) *Pacer { return vclock.NewPacer(n, window) }

@@ -29,6 +29,10 @@ type SimulationConfig struct {
 	// the in-process transport — functionally identical, useful to
 	// demonstrate (and test) transport independence.
 	OverTCP bool
+	// Obs, when non-nil, instruments the deployment: the transport
+	// reports per-RPC wall latency to it, and regions created through
+	// NewRegion inherit it for op tracing and pipeline histograms.
+	Obs *Obs
 }
 
 // Simulation is the assembled deployment.
@@ -56,6 +60,13 @@ func NewSimulation(cfg SimulationConfig) *Simulation {
 	var network rpc.Network = rpc.NewBus()
 	if cfg.OverTCP {
 		network = rpc.NewTCPNetwork()
+	}
+	if cfg.Obs != nil {
+		// Both transports expose the observer seam; rpc.Network itself
+		// stays minimal so third-party transports aren't forced to.
+		if o, ok := network.(interface{ SetObserver(rpc.RPCObserver) }); ok {
+			o.SetObserver(cfg.Obs)
+		}
 	}
 	dataNodes := make([]string, cfg.DataServers)
 	for i := range dataNodes {
@@ -128,6 +139,7 @@ func (s *Simulation) NewRegion(cfg RegionConfig) (*Region, error) {
 	}
 	return NewRegion(cfg, Deps{
 		Bus: s.net,
+		Obs: s.cfg.Obs,
 		NewBackend: func(node string) Backend {
 			return s.dfs.NewClient(node, cfg.Cred, 4096, time.Hour)
 		},
