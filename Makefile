@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check race-chaos clean
+.PHONY: build test check race-chaos bench-read clean
 
 build:
 	$(GO) build ./...
@@ -15,6 +15,12 @@ check: build
 	$(GO) vet ./...
 	$(GO) test ./...
 	$(GO) test -race ./internal/chaos/ ./internal/core/ ./internal/memcache/ ./internal/mq/ ./internal/obs/ ./internal/rpc/
+	$(GO) test -run '^$$' -bench 'ReaddirBarrier' -benchtime 1x ./internal/core/
+
+# bench-read regenerates the read-path report (BENCH_read.json): batched
+# multi-key reads + scoped barriers vs the per-key/full-drain baseline.
+bench-read:
+	$(GO) run ./cmd/paconbench -readjson BENCH_read.json
 
 # race-chaos runs only the chaos convergence schedules under -race.
 race-chaos:

@@ -34,6 +34,7 @@ func main() {
 		csvDir = flag.String("csv", "", "also write <id>.csv files into this directory")
 		list   = flag.Bool("list", false, "list experiment ids and exit")
 		cjson  = flag.String("commitjson", "", "run the commit experiment and write its JSON report to this path")
+		rjson  = flag.String("readjson", "", "run the read experiment and write its JSON report to this path")
 		debug  = flag.String("debug", "", "serve /debug/vars and /debug/pprof on this address while experiments run")
 	)
 	flag.Parse()
@@ -82,6 +83,30 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s\n", *cjson)
+		if !*all && *fig == "" && *rjson == "" {
+			return
+		}
+	}
+
+	if *rjson != "" {
+		rep, figs, err := bench.RunRead(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paconbench: read: %v\n", err)
+			os.Exit(1)
+		}
+		for _, f := range figs {
+			fmt.Println(f.String())
+		}
+		data, err := rep.JSON()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*rjson, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *rjson)
 		if !*all && *fig == "" {
 			return
 		}

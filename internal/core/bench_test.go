@@ -109,6 +109,63 @@ func BenchmarkReaddirBarrier(b *testing.B) {
 	}
 }
 
+// BenchmarkReaddirBarrierSiblingWriter measures the scoped-barrier win:
+// a writer floods /w/sib from another node while we list /w/hot. With
+// scoped barriers the listings never wait for the sibling queue; run
+// with -tags or the bench harness's DisableScopedBarrier ablation to
+// see the full-drain cost. Also runs as a short-mode smoke in `make
+// check` (-benchtime=1x).
+func BenchmarkReaddirBarrierSiblingWriter(b *testing.B) {
+	region, c := benchEnv(b, 2)
+	now := vclock.Time(0)
+	var err error
+	if now, err = c.Mkdir(now, "/w/hot", 0o755); err != nil {
+		b.Fatal(err)
+	}
+	if now, err = c.Mkdir(now, "/w/sib", 0o755); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		if now, err = c.Create(now, fmt.Sprintf("/w/hot/f%02d", i), 0o644); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if now, err = region.Drain(now); err != nil {
+		b.Fatal(err)
+	}
+
+	w, err := region.NewClient("node1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		wt := now
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var werr error
+			if wt, werr = w.Create(wt, fmt.Sprintf("/w/sib/s%09d", i), 0o644); werr != nil {
+				return
+			}
+		}
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, now, err = c.Readdir(now, "/w/hot"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	close(stop)
+	<-done
+}
+
 func BenchmarkCacheValCodec(b *testing.B) {
 	v := cacheVal{dirty: true, seq: 42, stat: fsapi.NewFileStat(appCred, 0o644)}
 	b.ReportAllocs()

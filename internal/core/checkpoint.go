@@ -64,7 +64,8 @@ func copySubtree(b Backend, at vclock.Time, src, dst string) (vclock.Time, error
 // number to roll back to.
 func (r *Region) Checkpoint(c *Client, at vclock.Time) (uint64, vclock.Time, error) {
 	seq := r.ckptSeq.Add(1)
-	epoch, drain, err := r.syncBarrier(at)
+	// Whole-workspace snapshot: every queue must drain (full barrier).
+	epoch, drain, err := r.syncBarrier(at, "")
 	if err != nil {
 		return 0, at, err
 	}
@@ -88,7 +89,7 @@ func (r *Region) Checkpoint(c *Client, at vclock.Time) (uint64, vclock.Time, err
 // SimulateNodeFailure, or any time the application wants the snapshot
 // back.
 func (r *Region) Restore(c *Client, at vclock.Time, seq uint64) (vclock.Time, error) {
-	epoch, drain, err := r.syncBarrier(at)
+	epoch, drain, err := r.syncBarrier(at, "")
 	if err != nil {
 		return at, err
 	}

@@ -30,8 +30,13 @@ type Client struct {
 
 	// parentMemo caches positive parent-existence checks per barrier
 	// epoch: monotone until a dependent op can remove directories, at
-	// which point the epoch changes and the memo resets.
+	// which point the epoch changes and the memo resets. memoEpoch is
+	// the epoch of the newest entry; when it advances, the stale
+	// entries are swept so the memo stays bounded by the directories
+	// touched in one epoch rather than growing for the client's
+	// lifetime.
 	parentMemo map[string]uint64
+	memoEpoch  uint64
 
 	// remoteCaches lazily built per merged peer ring.
 	remoteCaches map[string]*memcache.Client
@@ -103,14 +108,20 @@ func (c *Client) pushOp(at vclock.Time, kind OpKind, p string, st fsapi.Stat, se
 // pushOpFlagged is pushOp with the create-after-rm marker (see
 // Op.AfterRm); only insert() sets it.
 func (c *Client) pushOpFlagged(at vclock.Time, kind OpKind, p string, st fsapi.Stat, seq uint64, afterRm bool) (vclock.Time, error) {
-	op := Op{Kind: kind, Path: p, Stat: st, Time: at, Seq: seq, AfterRm: afterRm}
+	op := Op{Kind: kind, Path: p, Stat: st, Time: at, Seq: seq, Node: c.node, AfterRm: afterRm}
 	if o := c.region.obs; o != nil {
 		// The span is born here: it follows the op through dequeue,
 		// coalescing, parking and apply on whatever node commits it.
 		op.Span = o.Trace.NewSpan()
 		op.EnqWall = time.Now().UnixNano()
 	}
+	// Track the path before the push: a scoped barrier that snapshots
+	// the tracker between the two sees the op it might have to wait
+	// for; the reverse order would let a marker slip ahead of an
+	// already-queued, still-untracked op.
+	c.region.trackers[c.node].add(p)
 	if err := c.region.queues[c.node].Push(op); err != nil {
+		c.region.trackers[c.node].remove(p)
 		return at, err
 	}
 	traceOp(c.ring, op, obs.StageEnqueue, "")
@@ -162,6 +173,18 @@ func (c *Client) checkParent(at vclock.Time, p string) (vclock.Time, error) {
 		at = c.cacheLoad(at, dir, st, gen)
 	default:
 		return at, err
+	}
+	if epoch != c.memoEpoch {
+		// The epoch advanced since the last memoization: every older
+		// entry is dead weight (the lookup above ignores them) — sweep
+		// so the memo cannot grow by one stale entry per directory per
+		// barrier epoch.
+		for d, e := range c.parentMemo {
+			if e != epoch {
+				delete(c.parentMemo, d)
+			}
+		}
+		c.memoEpoch = epoch
 	}
 	c.parentMemo[dir] = epoch
 	return at, nil
@@ -416,18 +439,24 @@ func (c *Client) Stat(at vclock.Time, p string) (fsapi.Stat, vclock.Time, error)
 	}
 }
 
+// remoteCache lazily builds the read-only cache client for a merged
+// peer's ring.
+func (c *Client) remoteCache(m remoteRegion) *memcache.Client {
+	rc, ok := c.remoteCaches[m.workspace]
+	if !ok {
+		rc = memcache.NewClient(c.caller, m.ring)
+		c.remoteCaches[m.workspace] = rc
+	}
+	return rc
+}
+
 // statMerged reads a merged peer's cache (read-only, no load-on-miss:
 // we must not write into the peer's cache).
 func (c *Client) statMerged(at vclock.Time, m remoteRegion, p string) (fsapi.Stat, vclock.Time, error) {
 	if err := m.perm.Check(c.region.cfg.Cred, p, fsapi.WantRead); err != nil {
 		return fsapi.Stat{}, at, err
 	}
-	rc, ok := c.remoteCaches[m.workspace]
-	if !ok {
-		rc = memcache.NewClient(c.caller, m.ring)
-		c.remoteCaches[m.workspace] = rc
-	}
-	item, done, err := rc.Get(at, p)
+	item, done, err := c.remoteCache(m).Get(at, p)
 	at = done
 	if err == nil {
 		v, derr := decodeCacheVal(item.Value)
@@ -444,6 +473,268 @@ func (c *Client) statMerged(at vclock.Time, m remoteRegion, p string) (fsapi.Sta
 	}
 	return c.backend.Stat(at, p)
 }
+
+// StatMulti is the batched form of Stat: workspace paths resolve with
+// one get_multi per owning cache server, misses bulk-load from the DFS
+// (the backend's stat_batch when it has one) and warm the cache for
+// the next reader; merged-peer paths read the peer's cache the same
+// way but stay strictly read-only; everything else goes to the DFS
+// per path. Results align with paths — per-path failures land in their
+// StatResult, they never fail the batch. With ReadBatchSize 1 (the
+// ablation baseline) every path takes the per-key Stat path instead.
+func (c *Client) StatMulti(at vclock.Time, paths []string) ([]fsapi.StatResult, vclock.Time, error) {
+	defer c.opEnd(c.opStart())
+	r := c.region
+	out := make([]fsapi.StatResult, len(paths))
+	cleaned := make([]string, len(paths))
+	for i, p := range paths {
+		cleaned[i] = namespace.Clean(p)
+	}
+	if r.cfg.ReadBatchSize <= 1 {
+		// Per-key baseline: exactly what N application Stat calls cost.
+		for i, p := range cleaned {
+			st, done, err := c.Stat(at, p)
+			at = done
+			out[i] = fsapi.StatResult{Stat: st, Err: err}
+		}
+		return out, at, nil
+	}
+	at = c.overhead(at)
+
+	// Classify. Workspace paths batch through our own cache; merged
+	// workspaces batch through the peer's (grouped per peer); paths
+	// outside any region redirect to the DFS one by one.
+	var wsIdx []int
+	var wsPaths []string
+	type mergedGroup struct {
+		m     remoteRegion
+		idx   []int
+		paths []string
+	}
+	var mgroups []mergedGroup
+	for i, p := range cleaned {
+		if c.inWorkspace(p) {
+			var err error
+			if at, err = c.checkPerm(at, p, fsapi.WantRead); err != nil {
+				out[i] = fsapi.StatResult{Err: err}
+				continue
+			}
+			wsIdx = append(wsIdx, i)
+			wsPaths = append(wsPaths, p)
+			continue
+		}
+		if m, ok := r.mergedFor(p); ok {
+			if err := m.perm.Check(r.cfg.Cred, p, fsapi.WantRead); err != nil {
+				out[i] = fsapi.StatResult{Err: err}
+				continue
+			}
+			gi := -1
+			for j := range mgroups {
+				if mgroups[j].m.workspace == m.workspace {
+					gi = j
+					break
+				}
+			}
+			if gi < 0 {
+				mgroups = append(mgroups, mergedGroup{m: m})
+				gi = len(mgroups) - 1
+			}
+			mgroups[gi].idx = append(mgroups[gi].idx, i)
+			mgroups[gi].paths = append(mgroups[gi].paths, p)
+			continue
+		}
+		st, done, err := c.backend.Stat(at, p)
+		at = done
+		out[i] = fsapi.StatResult{Stat: st, Err: err}
+	}
+
+	if len(wsPaths) > 0 {
+		res, done := c.statBatchCached(at, wsPaths)
+		at = done
+		for j, i := range wsIdx {
+			out[i] = res[j]
+		}
+	}
+	for _, g := range mgroups {
+		res, done := c.statMultiMerged(at, g.m, g.paths)
+		at = done
+		for j, i := range g.idx {
+			out[i] = res[j]
+		}
+	}
+	return out, at, nil
+}
+
+// decodeStatResult turns one cache hit into a StatResult (a removed
+// marker reads as absence, exactly like Stat).
+func decodeStatResult(p string, raw []byte) fsapi.StatResult {
+	v, derr := decodeCacheVal(raw)
+	if derr != nil {
+		return fsapi.StatResult{Err: derr}
+	}
+	if v.removed {
+		return fsapi.StatResult{Err: fsapi.WrapPath("stat", p, fsapi.ErrNotExist)}
+	}
+	return fsapi.StatResult{Stat: v.stat}
+}
+
+// statBatchCached resolves cleaned, permission-checked workspace paths
+// with the batched read pipeline: get_multi over the owning cache
+// servers (chunked by ReadBatchSize), a bulk authoritative miss-load,
+// and an add_multi warm of what the misses produced. A dead owner
+// degrades only its own keys — they fall back to one per-key get each
+// and, failing that, to the DFS load, so a partial cache outage slows
+// the batch instead of failing it.
+func (c *Client) statBatchCached(at vclock.Time, paths []string) ([]fsapi.StatResult, vclock.Time) {
+	r := c.region
+	out := make([]fsapi.StatResult, len(paths))
+	size := r.cfg.ReadBatchSize
+	for start := 0; start < len(paths); start += size {
+		end := start + size
+		if end > len(paths) {
+			end = len(paths)
+		}
+		chunk := paths[start:end]
+		res, done := c.cache.GetMulti(at, chunk)
+		at = done
+		var missIdx []int
+		for i, mr := range res {
+			switch {
+			case mr.Err != nil:
+				// This key's owner failed the batched call; the singleton
+				// path has its own retry/ErrNotExist semantics.
+				item, done, gerr := c.cache.Get(at, chunk[i])
+				at = done
+				if gerr == nil {
+					out[start+i] = decodeStatResult(chunk[i], item.Value)
+				} else {
+					missIdx = append(missIdx, i)
+				}
+			case mr.Hit:
+				out[start+i] = decodeStatResult(chunk[i], mr.Item.Value)
+			default:
+				missIdx = append(missIdx, i)
+			}
+		}
+		if len(missIdx) == 0 {
+			continue
+		}
+		// Bulk miss-load. The generation is read before the DFS reads,
+		// per the cacheLoadVal contract: if a dependent operation bumps
+		// it before the warm lands, the warm revokes itself.
+		gen := r.invalGen.Load()
+		missPaths := make([]string, len(missIdx))
+		for j, i := range missIdx {
+			missPaths[j] = chunk[i]
+		}
+		stats, done := c.statBatchFresh(at, missPaths)
+		at = done
+		entries := make([]memcache.AddEntry, 0, len(missIdx))
+		for j, i := range missIdx {
+			sr := stats[j]
+			if sr.Err != nil {
+				out[start+i] = fsapi.StatResult{Err: fsapi.WrapPath("stat", chunk[i], sr.Err)}
+				continue
+			}
+			out[start+i] = fsapi.StatResult{Stat: sr.Stat}
+			v := cacheVal{stat: sr.Stat, large: sr.Stat.Size > int64(r.cfg.SmallFileThreshold)}
+			entries = append(entries, memcache.AddEntry{Key: chunk[i], Value: v.encode()})
+		}
+		at = c.warmEntries(at, entries, gen)
+	}
+	return out, at
+}
+
+// statBatchFresh bulk-loads authoritative stats: the backend's
+// StatBatch capability when present (dfs.Client's consults the MDS for
+// every final component — the StatFresh contract in batched form),
+// otherwise a per-path statFresh loop. A batch-level transport error
+// also falls back to the loop: the singletons re-establish each path's
+// disposition individually.
+func (c *Client) statBatchFresh(at vclock.Time, paths []string) ([]fsapi.StatResult, vclock.Time) {
+	if sb, ok := c.backend.(interface {
+		StatBatch(vclock.Time, []string) ([]fsapi.StatResult, vclock.Time, error)
+	}); ok {
+		res, done, err := sb.StatBatch(at, paths)
+		at = done
+		if err == nil {
+			return res, at
+		}
+	}
+	out := make([]fsapi.StatResult, len(paths))
+	for i, p := range paths {
+		st, done, err := c.statFresh(at, p)
+		at = done
+		out[i] = fsapi.StatResult{Stat: st, Err: err}
+	}
+	return out, at
+}
+
+// warmEntries inserts clean loaded values add-if-absent in one
+// add_multi fan-out, then revokes its own inserts (CAS-guarded) if the
+// invalidation generation moved since gen — the batched form of
+// cacheLoadVal. Unlike the synchronous miss path, warming never runs
+// eviction rounds: per-entry ErrOutOfSpace (like ErrExist) just skips
+// the key — a warm is an optimization, not worth evicting for.
+func (c *Client) warmEntries(at vclock.Time, entries []memcache.AddEntry, gen uint64) vclock.Time {
+	if len(entries) == 0 {
+		return at
+	}
+	r := c.region
+	res, done := c.cache.AddMulti(at, entries)
+	at = done
+	revoke := r.invalGen.Load() != gen
+	var warmed int64
+	for i, ar := range res {
+		if ar.Err != nil {
+			continue
+		}
+		if revoke {
+			if done, derr := c.cache.DeleteCAS(at, entries[i].Key, ar.CAS); derr == nil ||
+				errors.Is(derr, fsapi.ErrNotExist) || errors.Is(derr, fsapi.ErrStale) {
+				at = done
+			}
+			continue
+		}
+		warmed++
+	}
+	r.cacheWarms.Add(warmed)
+	return at
+}
+
+// statMultiMerged resolves permission-checked paths of one merged peer
+// through the peer's distributed cache in get_multi chunks. Strictly
+// read-only (§III.D.4): a miss — or an unreachable peer owner — falls
+// through to the DFS without ever writing the peer's cache.
+func (c *Client) statMultiMerged(at vclock.Time, m remoteRegion, paths []string) ([]fsapi.StatResult, vclock.Time) {
+	out := make([]fsapi.StatResult, len(paths))
+	rc := c.remoteCache(m)
+	size := c.region.cfg.ReadBatchSize
+	for start := 0; start < len(paths); start += size {
+		end := start + size
+		if end > len(paths) {
+			end = len(paths)
+		}
+		chunk := paths[start:end]
+		res, done := rc.GetMulti(at, chunk)
+		at = done
+		for i, mr := range res {
+			if mr.Err == nil && mr.Hit {
+				out[start+i] = decodeStatResult(chunk[i], mr.Item.Value)
+				continue
+			}
+			st, done, err := c.backend.Stat(at, chunk[i])
+			at = done
+			out[start+i] = fsapi.StatResult{Stat: st, Err: err}
+		}
+	}
+	return out, at
+}
+
+// CacheRPCs reports this client's cumulative metadata-cache round
+// trips (a multi-key call counts once per owner contacted) — the read
+// bench's cache-RPCs-per-op numerator.
+func (c *Client) CacheRPCs() int64 { return c.cache.Calls() }
 
 // Remove is Table I's rm: mark the cached entry removed (CAS retry
 // loop), commit asynchronously; the commit process deletes the cache
@@ -553,7 +844,10 @@ func (c *Client) Rmdir(at vclock.Time, p string) (vclock.Time, error) {
 	r.addRemoving(p)
 	defer r.delRemoving(p)
 
-	epoch, drain, err := r.syncBarrier(at)
+	// The barrier only needs the queues with pending work under the
+	// doomed subtree: RmTree touches nothing outside it, and creations
+	// racing into it are handled by the removing-set discard above.
+	epoch, drain, err := r.syncBarrier(at, p)
 	if err != nil {
 		return at, err
 	}
@@ -602,8 +896,13 @@ func (c *Client) Rmdir(at vclock.Time, p string) (vclock.Time, error) {
 	return at, nil
 }
 
-// Readdir is Table I's readdir: a barrier then the DFS's own listing —
-// the cache is never scanned ("avoid the costly full table scan").
+// Readdir is Table I's readdir: a barrier (scoped to the listed
+// subtree) then the DFS's own listing — the cache is never scanned
+// ("avoid the costly full table scan"). The post-barrier listing is the
+// freshest view of the directory the region can produce, so its
+// children are bulk-loaded into the distributed cache afterwards:
+// follow-up stats (the ls -l pattern) then hit the cache instead of
+// each paying a DFS round trip.
 func (c *Client) Readdir(at vclock.Time, p string) ([]fsapi.DirEntry, vclock.Time, error) {
 	defer c.opEnd(c.opStart())
 	p = namespace.Clean(p)
@@ -620,7 +919,7 @@ func (c *Client) Readdir(at vclock.Time, p string) ([]fsapi.DirEntry, vclock.Tim
 	if err != nil {
 		return nil, at, err
 	}
-	epoch, drain, err := r.syncBarrier(at)
+	epoch, drain, err := r.syncBarrier(at, p)
 	if err != nil {
 		return nil, at, err
 	}
@@ -630,6 +929,21 @@ func (c *Client) Readdir(at vclock.Time, p string) ([]fsapi.DirEntry, vclock.Tim
 	r.barrier.Release(epoch, at)
 	if rerr != nil {
 		return nil, at, fsapi.WrapPath("readdir", p, rerr)
+	}
+	if o := r.obs; o != nil {
+		o.Hist(obs.HistReaddirEntries).RecordN(int64(len(ents)))
+	}
+	if r.cfg.ReadBatchSize > 1 && len(ents) > 0 {
+		// Warm the cache from the listing. Safe after the release: the
+		// stats come from fresh DFS reads under statBatchCached's
+		// invalidation-generation guard, and the inserts are
+		// add-if-absent, so they can neither mask a newer queued
+		// mutation nor resurrect a concurrently removed subtree.
+		children := make([]string, len(ents))
+		for i, ent := range ents {
+			children[i] = namespace.Join(p, ent.Name)
+		}
+		_, at = c.statBatchCached(at, children)
 	}
 	return ents, at, nil
 }
@@ -670,7 +984,9 @@ func (c *Client) Rename(at vclock.Time, src, dst string) (vclock.Time, error) {
 		return at, err
 	}
 
-	epoch, drain, err := r.syncBarrier(at)
+	// Rename's footprint is two subtrees plus both parents' listings —
+	// not one prefix — so it always drains every queue.
+	epoch, drain, err := r.syncBarrier(at, "")
 	if err != nil {
 		return at, err
 	}

@@ -40,8 +40,11 @@ package core
 // the map tracks only the latest position per path.
 //
 // onMerge (nil ok) is called once per fold with the surviving merged op
-// and the op absorbed into it — the observability layer's hook for
-// closing the absorbed op's span.
+// and the op absorbed into it — the commit loop's hook for closing the
+// absorbed op's span and releasing its path-tracker reference. The
+// absorbed side is identified structurally (the merged op keeps prev's
+// kind when a setstat folded into a create, and next's kind otherwise)
+// so the hook fires even when tracing is off and every span is zero.
 func coalesceOps(ops []Op, onMerge func(survivor, absorbed Op)) ([]Op, int64) {
 	if len(ops) < 2 {
 		return ops, 0
@@ -53,12 +56,9 @@ func coalesceOps(ops []Op, onMerge func(survivor, absorbed Op)) ([]Op, int64) {
 		if i, ok := last[op.Path]; ok {
 			if m, ok := mergeOps(out[i], op); ok {
 				if onMerge != nil {
-					// The survivor keeps one side's span; the other side
-					// is the absorbed op (every merge rule keeps exactly
-					// one of the two spans).
-					if prev := out[i]; prev.Span != m.Span {
-						onMerge(m, prev)
-					} else if op.Span != m.Span {
+					if m.Kind == op.Kind {
+						onMerge(m, out[i])
+					} else {
 						onMerge(m, op)
 					}
 				}
@@ -98,8 +98,8 @@ func mergeOps(prev, next Op) (Op, bool) {
 	case (prev.Kind == OpCreate || prev.Kind == OpMkdir) && next.Kind == OpRemove && !prev.AfterRm:
 		// The net-absence remove continues the remove's span (the
 		// create's span ends at the coalesce event).
-		return Op{Kind: OpRemove, Path: next.Path, Seq: next.Seq, Time: t, NetAbsent: true,
-			Span: next.Span, EnqWall: next.EnqWall}, true
+		return Op{Kind: OpRemove, Path: next.Path, Seq: next.Seq, Node: next.Node, Time: t,
+			NetAbsent: true, Span: next.Span, EnqWall: next.EnqWall}, true
 	}
 	return Op{}, false
 }

@@ -83,11 +83,13 @@ func (r *Region) commitLoop(node string, backend Backend) {
 	var now vclock.Time
 	pending := pendingSet{region: r, ring: ring}
 
-	// onMerge records the absorbed op's coalesce event; its effect now
-	// rides the surviving op's span.
-	var onMerge func(survivor, absorbed Op)
-	if ring != nil {
-		onMerge = func(survivor, absorbed Op) {
+	// onMerge retires the absorbed op: its path-tracker reference is
+	// released (the survivor carries the path to its own terminal) and,
+	// when tracing, its coalesce event recorded — its effect now rides
+	// the surviving op's span.
+	onMerge := func(survivor, absorbed Op) {
+		r.opTerminal(absorbed)
+		if ring != nil {
 			traceOp(ring, absorbed, obs.StageCoalesce,
 				fmt.Sprintf("into span %d", survivor.Span))
 		}
@@ -575,6 +577,7 @@ func (r *Region) deleteIf(cache *memcache.Client, now *vclock.Time, path string,
 // survives — rather than leave a permanently dirty phantom.
 func (r *Region) dropOp(op Op, now *vclock.Time, cache *memcache.Client, ring *obs.Ring) {
 	r.dropped.Add(1)
+	r.opTerminal(op)
 	traceOp(ring, op, obs.StageDrop, "retry budget exhausted or unapplicable")
 	switch op.Kind {
 	case OpCreate, OpMkdir:

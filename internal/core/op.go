@@ -54,6 +54,10 @@ type Op struct {
 	// newest seq so commit processes only clear the dirty flag for the
 	// op that made it dirty last.
 	Seq uint64
+	// Node is the queue the op entered, so terminal accounting can
+	// release the node's path-tracker reference (scoped barriers) from
+	// whatever goroutine finishes the op.
+	Node string
 	// AfterRm marks a create/mkdir that replaced a removed marker in the
 	// cache (create-after-rm). It disambiguates the commit's ErrExist
 	// handling: with the flag the existing DFS object is a doomed old

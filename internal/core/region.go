@@ -77,6 +77,14 @@ type RegionConfig struct {
 	// DisableCoalesce turns off dequeue-time merging of same-path
 	// operation runs (ablation / debugging switch).
 	DisableCoalesce bool
+	// ReadBatchSize caps how many paths a batched read (StatMulti,
+	// readdir cache warming) packs into one multi-key cache round trip
+	// (default 64). 1 restores per-key gets (ablation switch).
+	ReadBatchSize int
+	// DisableScopedBarrier makes every sync barrier drain all node
+	// queues even when the dependent operation only covers a subtree
+	// (ablation switch; rename and Drain always use the full barrier).
+	DisableScopedBarrier bool
 	// ClientSideCommitOps makes the commit module use the legacy
 	// client-side Get+CAS / Get+DeleteCAS retry loops instead of the
 	// cache servers' conditional operations (ablation switch; the
@@ -110,6 +118,12 @@ func (c RegionConfig) withDefaults() RegionConfig {
 	}
 	if c.CommitBatchSize < 1 {
 		c.CommitBatchSize = 1
+	}
+	if c.ReadBatchSize == 0 {
+		c.ReadBatchSize = 64
+	}
+	if c.ReadBatchSize < 1 {
+		c.ReadBatchSize = 1
 	}
 	c.Workspace = namespace.Clean(c.Workspace)
 	c.Perm = c.Perm.withDefaults(c.Cred)
@@ -145,6 +159,10 @@ type RegionStats struct {
 	BackendRPCs int64 // commit-path DFS round trips (batch counts as one)
 	BatchRPCs   int64 // apply_batch calls issued
 	BatchedOps  int64 // ops shipped inside apply_batch calls
+
+	BarriersScoped int64 // sync barriers that skipped at least one queue
+	BarriersFull   int64 // sync barriers that drained every queue
+	CacheWarms     int64 // clean entries bulk-loaded into the cache by read paths
 }
 
 // Region is a running consistent region.
@@ -157,6 +175,12 @@ type Region struct {
 	ring       *dht.Ring
 	queues     map[string]*mq.Queue[Op]
 	barrier    *mq.Barrier
+
+	// trackers holds, per node, the paths of ops that entered the node's
+	// commit pipeline and have not reached a terminal state (committed,
+	// discarded or dropped). A scoped sync barrier consults them to skip
+	// queues with nothing pending under the dependent op's subtree.
+	trackers map[string]*pathTracker
 
 	seq     atomic.Uint64
 	ckptSeq atomic.Uint64
@@ -199,6 +223,7 @@ type Region struct {
 	committed, discarded, retries, dropped, evictions atomic.Int64
 	coalesced, cacheRPCs, backendRPCs                 atomic.Int64
 	batchRPCs, batchedOps                             atomic.Int64
+	barriersScoped, barriersFull, cacheWarms          atomic.Int64
 
 	// obs is the observability registry (nil = disabled); parked counts
 	// ops resident in the commit processes' pending sets.
@@ -207,6 +232,57 @@ type Region struct {
 
 	wg     sync.WaitGroup
 	closed atomic.Bool
+}
+
+// pathTracker refcounts the paths pending in one node's commit pipeline:
+// incremented before the op enters the queue, decremented exactly once
+// when the op reaches a terminal state (committed, discarded, dropped,
+// or absorbed by the coalescer). The count covers queued, in-flight and
+// parked ops alike — any of them obliges the node to join a barrier
+// whose scope covers the path.
+type pathTracker struct {
+	mu    sync.Mutex
+	paths map[string]int
+}
+
+func (t *pathTracker) add(p string) {
+	t.mu.Lock()
+	if t.paths == nil {
+		t.paths = make(map[string]int)
+	}
+	t.paths[p]++
+	t.mu.Unlock()
+}
+
+func (t *pathTracker) remove(p string) {
+	t.mu.Lock()
+	if n := t.paths[p] - 1; n > 0 {
+		t.paths[p] = n
+	} else {
+		delete(t.paths, p)
+	}
+	t.mu.Unlock()
+}
+
+// hasUnder reports whether any pending path lies in scope's subtree.
+func (t *pathTracker) hasUnder(scope string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for p := range t.paths {
+		if namespace.IsUnder(p, scope) {
+			return true
+		}
+	}
+	return false
+}
+
+// opTerminal releases an op's path-tracker reference. Every op that
+// entered a queue reaches exactly one terminal: committed, discarded,
+// dropped, or absorbed into a coalesced survivor.
+func (r *Region) opTerminal(op Op) {
+	if t := r.trackers[op.Node]; t != nil {
+		t.remove(op.Path)
+	}
 }
 
 // remoteRegion is a merged peer's shareable view (§III.D.4: basic info —
@@ -237,6 +313,7 @@ func NewRegion(cfg RegionConfig, deps Deps) (*Region, error) {
 		ring:     dht.New(0),
 		queues:   make(map[string]*mq.Queue[Op]),
 		barrier:  mq.NewBarrier(len(cfg.Nodes)),
+		trackers: make(map[string]*pathTracker),
 		removing: make(map[string]int),
 		spill:    make(map[string][]byte),
 	}
@@ -253,6 +330,7 @@ func NewRegion(cfg RegionConfig, deps Deps) (*Region, error) {
 		r.cacheAddrs = append(r.cacheAddrs, addr)
 		r.ring.Add(addr)
 		r.queues[node] = mq.NewQueue[Op]()
+		r.trackers[node] = &pathTracker{}
 	}
 
 	// Verify the workspace and seed its metadata into the cache.
@@ -304,6 +382,9 @@ func (r *Region) registerMetrics() {
 	o.RegisterCounter("commit_backend_rpcs", r.backendRPCs.Load)
 	o.RegisterCounter("batch_rpcs", r.batchRPCs.Load)
 	o.RegisterCounter("batched_ops", r.batchedOps.Load)
+	o.RegisterCounter("barrier_scoped", r.barriersScoped.Load)
+	o.RegisterCounter("barrier_full", r.barriersFull.Load)
+	o.RegisterCounter("cache_warm", r.cacheWarms.Load)
 
 	o.RegisterGauge("queue_depth", func() int64 { return int64(r.QueueDepth()) })
 	o.RegisterGauge("parked_ops", r.parked.Load)
@@ -403,6 +484,10 @@ func (r *Region) Stats() RegionStats {
 		BackendRPCs: r.backendRPCs.Load(),
 		BatchRPCs:   r.batchRPCs.Load(),
 		BatchedOps:  r.batchedOps.Load(),
+
+		BarriersScoped: r.barriersScoped.Load(),
+		BarriersFull:   r.barriersFull.Load(),
+		CacheWarms:     r.cacheWarms.Load(),
 	}
 }
 
@@ -522,10 +607,21 @@ func (r *Region) SpillCount() int {
 }
 
 // syncBarrier runs the barrier protocol up to the drain point: it opens
-// an epoch, pushes one marker into every node queue, and waits until
-// every commit process has applied all earlier operations. The caller
-// performs its dependent operation and then calls barrier.Release.
-func (r *Region) syncBarrier(at vclock.Time) (epoch uint64, drain vclock.Time, err error) {
+// an epoch, pushes one marker into the participating node queues, and
+// waits until those commit processes have applied all earlier
+// operations. The caller performs its dependent operation and then
+// calls barrier.Release.
+//
+// scope, when non-empty, is the dependent operation's subtree: only
+// queues whose path tracker shows a pending op under it participate —
+// the rest are never drained, never even see the marker
+// (barrier.SetExpect shrinks the epoch to the participant count). An
+// op pushed into a skipped queue after the participant snapshot is
+// concurrent with the barrier and owes it nothing, exactly like an op
+// racing the marker push in the full protocol. Scope "" (rename,
+// Drain — operations whose footprint is not one subtree) and the
+// DisableScopedBarrier ablation drain every queue.
+func (r *Region) syncBarrier(at vclock.Time, scope string) (epoch uint64, drain vclock.Time, err error) {
 	var start int64
 	if r.obs != nil {
 		start = time.Now().UnixNano()
@@ -534,7 +630,28 @@ func (r *Region) syncBarrier(at vclock.Time) (epoch uint64, drain vclock.Time, e
 	if err != nil {
 		return 0, at, err
 	}
-	for _, q := range r.queues {
+	participants := make([]*mq.Queue[Op], 0, len(r.queues))
+	if scope == "" || r.cfg.DisableScopedBarrier {
+		for _, q := range r.queues {
+			participants = append(participants, q)
+		}
+	} else {
+		for node, q := range r.queues {
+			if r.trackers[node].hasUnder(scope) {
+				participants = append(participants, q)
+			}
+		}
+	}
+	if len(participants) < len(r.queues) {
+		r.barriersScoped.Add(1)
+	} else {
+		r.barriersFull.Add(1)
+	}
+	// The initiator owns the epoch exclusively between Begin and the
+	// marker pushes, so shrinking the expectation here cannot race an
+	// arrival.
+	r.barrier.SetExpect(epoch, len(participants))
+	for _, q := range participants {
 		if err := q.PushBarrier(epoch); err != nil {
 			r.barrier.Release(epoch, at)
 			return 0, at, err
@@ -554,7 +671,7 @@ func (r *Region) syncBarrier(at vclock.Time) (epoch uint64, drain vclock.Time, e
 // region is globally consistent (every backup copy updated). Used by
 // tests, checkpointing and orderly shutdown.
 func (r *Region) Drain(at vclock.Time) (vclock.Time, error) {
-	epoch, drain, err := r.syncBarrier(at)
+	epoch, drain, err := r.syncBarrier(at, "")
 	if err != nil {
 		return at, err
 	}

@@ -42,6 +42,7 @@ func traceOp(ring *obs.Ring, op Op, stage obs.Stage, note string) {
 // the DFS — how far the backup copy trails the primary).
 func (r *Region) opCommitted(ring *obs.Ring, op Op) {
 	r.committed.Add(1)
+	r.opTerminal(op)
 	if r.obs == nil {
 		return
 	}
@@ -54,6 +55,7 @@ func (r *Region) opCommitted(ring *obs.Ring, op Op) {
 // opDiscarded accounts an op dropped under an active rmdir (§III.D.1).
 func (r *Region) opDiscarded(ring *obs.Ring, op Op) {
 	r.discarded.Add(1)
+	r.opTerminal(op)
 	traceOp(ring, op, obs.StageDiscard, "under active rmdir")
 }
 

@@ -623,6 +623,89 @@ func (c *Client) RemoveData(at vclock.Time, p string) (vclock.Time, error) {
 	return latest, nil
 }
 
+// StatBatch resolves a set of paths in as few MDS round trips as
+// possible: one "stat_batch" RPC per metadata server touched. It has
+// StatFresh's semantics per path — the final component always comes
+// from the MDS (never a dentry snapshot) and refreshes the dentry
+// cache — because Pacon's bulk miss-loads install the results as the
+// region's primary copies. Ancestor resolution still happens per path.
+// The returned slice has one entry per path; a non-nil batch error
+// means the whole batch's disposition is unknown (transport failure)
+// and the caller should fall back to singleton StatFresh calls.
+func (c *Client) StatBatch(at vclock.Time, paths []string) ([]fsapi.StatResult, vclock.Time, error) {
+	if len(paths) == 0 {
+		return nil, at, nil
+	}
+	out := make([]fsapi.StatResult, len(paths))
+	cleaned := make([]string, len(paths))
+	send := make([]int, 0, len(paths))
+	for i, p := range paths {
+		cleaned[i] = namespace.Clean(p)
+		done, err := c.resolveAncestors(at, cleaned[i])
+		at = done
+		if err != nil {
+			out[i].Err = err
+			continue
+		}
+		send = append(send, i)
+	}
+	if len(send) == 0 {
+		return out, at, nil
+	}
+	groups := make(map[string][]int)
+	var order []string
+	for _, i := range send {
+		addr := c.mdsFor(cleaned[i])
+		if _, ok := groups[addr]; !ok {
+			order = append(order, addr)
+		}
+		groups[addr] = append(groups[addr], i)
+	}
+	// One RPC per MDS, all issued at the same virtual instant; the
+	// batch completes when the slowest group does.
+	latest := at
+	for _, addr := range order {
+		idxs := groups[addr]
+		c.mu.Lock()
+		c.lookupRPCs += int64(len(idxs))
+		c.mu.Unlock()
+		e := wire.GetEncoder()
+		ps := make([]string, len(idxs))
+		for j, i := range idxs {
+			ps[j] = cleaned[i]
+		}
+		e.Strings(ps)
+		done, resp, err := c.caller.Call(addr, "stat_batch", at, e.Bytes())
+		wire.PutEncoder(e)
+		if err != nil {
+			return nil, done, err
+		}
+		latest = vclock.Max(latest, done)
+		d := wire.NewDecoder(resp)
+		n := d.Uvarint()
+		if n != uint64(len(idxs)) {
+			return nil, latest, fmt.Errorf("dfs: stat_batch returned %d results for %d paths", n, len(idxs))
+		}
+		for _, i := range idxs {
+			code := d.Byte()
+			if code == fsapi.CodeOK {
+				out[i].Stat = fsapi.DecodeStat(d)
+				if d.Err() == nil {
+					c.cachePut(cleaned[i], out[i].Stat, latest)
+				}
+			} else {
+				detail := d.String()
+				out[i].Err = fsapi.ErrOf(code, detail)
+				c.cacheDrop(cleaned[i])
+			}
+		}
+		if derr := d.Finish(); derr != nil {
+			return nil, latest, derr
+		}
+	}
+	return out, latest, nil
+}
+
 // ApplyBatch applies a set of independent-path mutations in as few MDS
 // round trips as possible: one RPC per metadata server touched, instead
 // of one per op. Ancestor resolution still happens per op (the cached

@@ -153,6 +153,40 @@ func (m *MDS) Service() *rpc.Service {
 		return done, fsapi.MarshalStat(st), nil
 	})
 
+	// stat_batch: resolve a batch of paths in one round trip — the
+	// bulk miss-load of Pacon's read path. Each path reports its own
+	// result code; the service pool is held once for the batch, but the
+	// per-path lookup work (depth-dependent, like "lookup") still
+	// accumulates.
+	svc.Handle("stat_batch", func(at vclock.Time, body []byte) (vclock.Time, []byte, error) {
+		d := wire.NewDecoder(body)
+		paths := d.Strings()
+		if err := d.Finish(); err != nil {
+			return at, nil, err
+		}
+		m.lookups.Add(int64(len(paths)))
+		var cost vclock.Duration
+		for _, p := range paths {
+			cost += m.lookupCost(namespace.Depth(p))
+		}
+		done := m.res.Acquire(at, cost)
+		e := wire.NewEncoder(8 + 96*len(paths))
+		e.Uvarint(uint64(len(paths)))
+		for _, p := range paths {
+			st, err := m.tree.Lookup(p)
+			code := fsapi.CodeOf(err)
+			e.Byte(code)
+			if code == fsapi.CodeOK {
+				fsapi.EncodeStat(e, st)
+			} else if code == fsapi.CodeOther && err != nil {
+				e.String(err.Error())
+			} else {
+				e.String("")
+			}
+		}
+		return done, e.Bytes(), nil
+	})
+
 	// mutation ops: create, mkdir, setstat, remove, rmdir.
 	mutate := func(op string, fn func(p string, cred fsapi.Cred, st fsapi.Stat) error) rpc.Handler {
 		return func(at vclock.Time, body []byte) (vclock.Time, []byte, error) {

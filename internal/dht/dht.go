@@ -136,6 +136,30 @@ func (r *Ring) Members() []string {
 	return out
 }
 
+// GroupByOwner partitions keys by their owning member, preserving the
+// input order within each group. Batch operations (memcache GetMulti)
+// use this to turn N per-key round trips into one RPC per owner. Keys
+// share one read lock and one hash-per-key; an empty ring maps every
+// key to the "" owner.
+func (r *Ring) GroupByOwner(keys []string) map[string][]string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	groups := make(map[string][]string)
+	for _, key := range keys {
+		owner := ""
+		if len(r.hashes) != 0 {
+			h := hashKey(key)
+			i := sort.Search(len(r.hashes), func(i int) bool { return r.hashes[i] >= h })
+			if i == len(r.hashes) {
+				i = 0 // wrap around
+			}
+			owner = r.owner[r.hashes[i]]
+		}
+		groups[owner] = append(groups[owner], key)
+	}
+	return groups
+}
+
 // Size returns the member count.
 func (r *Ring) Size() int {
 	r.mu.RLock()

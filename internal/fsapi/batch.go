@@ -12,6 +12,14 @@ const (
 	BatchRemove
 )
 
+// StatResult is one per-path outcome of a batched stat (the read-path
+// analogue of ApplyBatch's per-op error slice): Stat is valid only when
+// Err is nil.
+type StatResult struct {
+	Stat Stat
+	Err  error
+}
+
 // BatchOp is one mutation of a batched DFS commit. Paths within a batch
 // are independent (the commit module ships at most one op per path per
 // batch), so the server may apply them in any order.

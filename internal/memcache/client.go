@@ -1,9 +1,11 @@
 package memcache
 
 import (
+	"fmt"
 	"sync"
 
 	"pacon/internal/dht"
+	"pacon/internal/fsapi"
 	"pacon/internal/rpc"
 	"pacon/internal/vclock"
 	"pacon/internal/wire"
@@ -53,6 +55,159 @@ func (c *Client) Get(at vclock.Time, key string) (Item, vclock.Time, error) {
 		return Item{}, done, derr
 	}
 	return item, done, nil
+}
+
+// MultiResult is one per-key result of Client.GetMulti: Hit/Item on
+// success, Err when the key's owner could not be reached or answered
+// garbage. A plain miss is Hit == false with a nil Err.
+type MultiResult struct {
+	Item Item
+	Hit  bool
+	Err  error
+}
+
+// ownerBatch is one owner's slice of a batched request, with each
+// element's position in the caller's input.
+type ownerBatch struct {
+	addr string
+	keys []string
+	idx  []int
+}
+
+// batchByOwner groups keys by owning server and records each key
+// occurrence's input position (duplicates fill in input order, which
+// GroupByOwner preserves within a group).
+func (c *Client) batchByOwner(keys []string) []ownerBatch {
+	slots := make(map[string][]int, len(keys))
+	for i, k := range keys {
+		slots[k] = append(slots[k], i)
+	}
+	groups := c.ring.GroupByOwner(keys)
+	batches := make([]ownerBatch, 0, len(groups))
+	for addr, gkeys := range groups {
+		b := ownerBatch{addr: addr, keys: gkeys, idx: make([]int, len(gkeys))}
+		for j, k := range gkeys {
+			b.idx[j] = slots[k][0]
+			slots[k] = slots[k][1:]
+		}
+		batches = append(batches, b)
+	}
+	return batches
+}
+
+// GetMulti fetches keys with one "get_multi" RPC per owning server,
+// fanned out concurrently from the same virtual instant and merged with
+// vclock.Max — the batched read path's single round trip per owner.
+// Results align with keys. A dead or misbehaving owner marks only its
+// own keys with Err; the other owners' keys still resolve, so callers
+// can fall back to per-key Gets for exactly the failed subset.
+func (c *Client) GetMulti(at vclock.Time, keys []string) ([]MultiResult, vclock.Time) {
+	out := make([]MultiResult, len(keys))
+	if len(keys) == 0 {
+		return out, at
+	}
+	batches := c.batchByOwner(keys)
+	var wg sync.WaitGroup
+	times := make([]vclock.Time, len(batches))
+	for bi := range batches {
+		wg.Add(1)
+		go func(bi int) {
+			defer wg.Done()
+			b := batches[bi]
+			e := wire.GetEncoder()
+			e.Strings(b.keys)
+			done, resp, err := c.caller.Call(b.addr, "get_multi", at, e.Bytes())
+			wire.PutEncoder(e)
+			times[bi] = done
+			if err == nil {
+				d := wire.NewDecoder(resp)
+				if n := d.Uvarint(); n != uint64(len(b.keys)) {
+					err = fmt.Errorf("memcache: get_multi returned %d results for %d keys", n, len(b.keys))
+				} else {
+					for _, i := range b.idx {
+						if d.Bool() {
+							out[i] = MultiResult{
+								Item: Item{CAS: d.Uint64(), Flags: d.Uint32(), Value: d.Blob()},
+								Hit:  true,
+							}
+						}
+					}
+					err = d.Finish()
+				}
+			}
+			if err != nil {
+				for _, i := range b.idx {
+					out[i] = MultiResult{Err: err}
+				}
+			}
+		}(bi)
+	}
+	wg.Wait()
+	latest := at
+	for _, t := range times {
+		latest = vclock.Max(latest, t)
+	}
+	return out, latest
+}
+
+// AddMulti stores a batch of entries add-if-absent with one "add_multi"
+// RPC per owning server (concurrent fan-out, vclock.Max merge) — the
+// grouped cache warm. Results align with entries; per-entry ErrExist /
+// ErrOutOfSpace mean "skip", a transport error marks the whole owner's
+// slice.
+func (c *Client) AddMulti(at vclock.Time, entries []AddEntry) ([]AddResult, vclock.Time) {
+	out := make([]AddResult, len(entries))
+	if len(entries) == 0 {
+		return out, at
+	}
+	keys := make([]string, len(entries))
+	for i, en := range entries {
+		keys[i] = en.Key
+	}
+	batches := c.batchByOwner(keys)
+	var wg sync.WaitGroup
+	times := make([]vclock.Time, len(batches))
+	for bi := range batches {
+		wg.Add(1)
+		go func(bi int) {
+			defer wg.Done()
+			b := batches[bi]
+			e := wire.GetEncoder()
+			e.Uvarint(uint64(len(b.idx)))
+			for _, i := range b.idx {
+				e.String(entries[i].Key)
+				e.Uint32(entries[i].Flags)
+				e.Blob(entries[i].Value)
+			}
+			done, resp, err := c.caller.Call(b.addr, "add_multi", at, e.Bytes())
+			wire.PutEncoder(e)
+			times[bi] = done
+			if err == nil {
+				d := wire.NewDecoder(resp)
+				if n := d.Uvarint(); n != uint64(len(b.idx)) {
+					err = fmt.Errorf("memcache: add_multi returned %d results for %d entries", n, len(b.idx))
+				} else {
+					for _, i := range b.idx {
+						code := d.Byte()
+						cas := d.Uint64()
+						out[i] = AddResult{CAS: cas, Err: fsapi.ErrOf(code, "")}
+					}
+					err = d.Finish()
+				}
+			}
+			if err != nil {
+				for _, i := range b.idx {
+					out[i] = AddResult{Err: err}
+				}
+			}
+		}(bi)
+	}
+	wg.Wait()
+	latest := at
+	for _, t := range times {
+		latest = vclock.Max(latest, t)
+	}
+	return out, latest
 }
 
 func (c *Client) storeOp(method string, at vclock.Time, key string, value []byte, flags uint32, expect uint64) (uint64, vclock.Time, error) {

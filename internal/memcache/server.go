@@ -124,6 +124,68 @@ func (s *Server) Get(at vclock.Time, key string) (Item, vclock.Time, error) {
 	return out, done, nil
 }
 
+// GetMultiResult is one per-key result of GetMulti; a miss is Hit ==
+// false, not an error.
+type GetMultiResult struct {
+	Item Item
+	Hit  bool
+}
+
+// GetMulti looks up a batch of keys in one service slot (memcached
+// multiget): the batch charges one CacheOpCost — the round-trip economy
+// batched reads exist for — while hit/miss accounting and LRU touches
+// match N single Gets.
+func (s *Server) GetMulti(at vclock.Time, keys []string) ([]GetMultiResult, vclock.Time) {
+	done := s.acquire(at)
+	out := make([]GetMultiResult, len(keys))
+	for i, key := range keys {
+		sh := s.shardFor(key)
+		sh.mu.Lock()
+		if si, ok := sh.items[key]; ok {
+			s.hits.Add(1)
+			if si.elem != nil {
+				sh.lru.MoveToFront(si.elem)
+			}
+			it := si.item
+			it.Value = append([]byte(nil), si.item.Value...)
+			out[i] = GetMultiResult{Item: it, Hit: true}
+		} else {
+			s.misses.Add(1)
+			sh.mu.Unlock()
+			continue
+		}
+		sh.mu.Unlock()
+	}
+	return out, done
+}
+
+// AddEntry is one key/value of a batched add.
+type AddEntry struct {
+	Key   string
+	Value []byte
+	Flags uint32
+}
+
+// AddResult is one per-entry outcome of AddMulti.
+type AddResult struct {
+	CAS uint64
+	Err error
+}
+
+// AddMulti stores a batch of absent keys in one service slot (the
+// grouped cache warm after a bulk miss-load). Per-entry errors mirror
+// Add: ErrExist when a concurrent loader won the key, ErrOutOfSpace at
+// capacity — warm paths treat both as "skip this key".
+func (s *Server) AddMulti(at vclock.Time, entries []AddEntry) ([]AddResult, vclock.Time) {
+	done := s.acquire(at)
+	out := make([]AddResult, len(entries))
+	for i, en := range entries {
+		cas, err := s.store(en.Key, en.Value, en.Flags, storeAdd, 0)
+		out[i] = AddResult{CAS: cas, Err: err}
+	}
+	return out, done
+}
+
 // Set unconditionally stores key and returns the new CAS version.
 func (s *Server) Set(at vclock.Time, key string, value []byte, flags uint32) (uint64, vclock.Time, error) {
 	done := s.acquire(at)
@@ -489,6 +551,50 @@ func (s *Server) Service() *rpc.Service {
 		e.Uint64(item.CAS)
 		e.Uint32(item.Flags)
 		e.Blob(item.Value)
+		return done, e.Bytes(), nil
+	})
+	svc.Handle("get_multi", func(at vclock.Time, body []byte) (vclock.Time, []byte, error) {
+		d := wire.NewDecoder(body)
+		keys := d.Strings()
+		if err := d.Finish(); err != nil {
+			return at, nil, err
+		}
+		results, done := s.GetMulti(at, keys)
+		sz := 16
+		for _, r := range results {
+			sz += 16 + len(r.Item.Value)
+		}
+		e := wire.NewEncoder(sz)
+		e.Uvarint(uint64(len(results)))
+		for _, r := range results {
+			e.Bool(r.Hit)
+			if r.Hit {
+				e.Uint64(r.Item.CAS)
+				e.Uint32(r.Item.Flags)
+				e.Blob(r.Item.Value)
+			}
+		}
+		return done, e.Bytes(), nil
+	})
+	svc.Handle("add_multi", func(at vclock.Time, body []byte) (vclock.Time, []byte, error) {
+		d := wire.NewDecoder(body)
+		n := d.Uvarint()
+		entries := make([]AddEntry, 0, n)
+		for i := uint64(0); i < n && d.Err() == nil; i++ {
+			en := AddEntry{Key: d.String(), Flags: d.Uint32()}
+			en.Value = d.BlobView()
+			entries = append(entries, en)
+		}
+		if err := d.Finish(); err != nil {
+			return at, nil, err
+		}
+		results, done := s.AddMulti(at, entries)
+		e := wire.NewEncoder(10 * len(results))
+		e.Uvarint(uint64(len(results)))
+		for _, r := range results {
+			e.Byte(fsapi.CodeOf(r.Err))
+			e.Uint64(r.CAS)
+		}
 		return done, e.Bytes(), nil
 	})
 	store := func(mode storeMode) rpc.Handler {

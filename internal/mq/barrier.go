@@ -33,6 +33,7 @@ type Barrier struct {
 	active      bool
 	closed      bool
 	epoch       uint64
+	expect      int // participating commit processes this epoch
 	arrived     int
 	arriveTime  vclock.Time
 	released    bool
@@ -74,12 +75,33 @@ func (b *Barrier) Begin() (uint64, error) {
 	}
 	b.active = true
 	b.epoch++
+	b.expect = b.nodes
 	b.arrived = 0
 	b.arriveTime = 0
 	b.released = false
 	b.releaseTime = 0
 	b.acks = 0
 	return b.epoch, nil
+}
+
+// SetExpect narrows the epoch to n participating commit processes
+// (path-scoped barriers: queues with no pending ops under the scope get
+// no marker and neither arrive nor ack). The initiator must call it
+// after Begin and before pushing markers — it owns the epoch exclusively
+// in that window, so the count cannot race with arrivals. n == 0 is
+// legal: AwaitArrivals returns immediately and Release retires the
+// epoch itself.
+func (b *Barrier) SetExpect(epoch uint64, n int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if epoch != b.epoch || !b.active {
+		panic("mq: barrier SetExpect for wrong epoch")
+	}
+	if n < 0 || n > b.nodes {
+		panic("mq: barrier SetExpect out of range")
+	}
+	b.expect = n
+	b.cond.Broadcast()
 }
 
 // Arrive records that one commit process reached the epoch's marker at
@@ -102,7 +124,7 @@ func (b *Barrier) Arrive(epoch uint64, at vclock.Time) {
 func (b *Barrier) AwaitArrivals(epoch uint64) (vclock.Time, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	for b.epoch == epoch && b.arrived < b.nodes && !b.closed {
+	for b.epoch == epoch && b.active && b.arrived < b.expect && !b.closed {
 		b.cond.Wait()
 	}
 	if b.closed {
@@ -121,6 +143,11 @@ func (b *Barrier) Release(epoch uint64, at vclock.Time) {
 	}
 	b.released = true
 	b.releaseTime = at
+	if b.acks >= b.expect {
+		// Zero-participant epoch: no commit process will ack, so the
+		// release itself retires the epoch.
+		b.active = false
+	}
 	b.cond.Broadcast()
 }
 
@@ -138,7 +165,7 @@ func (b *Barrier) AwaitRelease(epoch uint64) (vclock.Time, error) {
 	}
 	t := b.releaseTime
 	b.acks++
-	if b.acks == b.nodes {
+	if b.acks == b.expect {
 		b.active = false
 		b.cond.Broadcast()
 	}

@@ -34,6 +34,10 @@ const (
 	// HistCommitLag is enqueue to durable apply on the DFS: how far the
 	// backup copy trails the primary.
 	HistCommitLag = "commit_lag"
+	// HistReaddirEntries is the entry count per workspace readdir — a
+	// size distribution, not a latency; it sizes the listings the read
+	// path's cache warming fans out over.
+	HistReaddirEntries = "readdir_entries"
 )
 
 // DefaultSlowSpan is the slow-op log threshold until overridden.
@@ -66,7 +70,7 @@ func New() *Obs {
 	// stage inventory from the first scrape.
 	for _, name := range []string{
 		HistClientOp, HistQueueWait, HistBarrierWait,
-		HistCacheRPC, HistDFSRPC, HistCommitLag,
+		HistCacheRPC, HistDFSRPC, HistCommitLag, HistReaddirEntries,
 	} {
 		o.hists[name] = NewHistogram()
 	}

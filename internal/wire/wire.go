@@ -108,6 +108,15 @@ func (e *Encoder) Blob(b []byte) {
 	e.buf = append(e.buf, b...)
 }
 
+// Strings appends a uvarint count followed by each string. A nil slice
+// round-trips as an empty one.
+func (e *Encoder) Strings(ss []string) {
+	e.Uvarint(uint64(len(ss)))
+	for _, s := range ss {
+		e.String(s)
+	}
+}
+
 // Decoder consumes a buffer produced by Encoder. The first failure
 // sticks: subsequent reads return zero values and Err reports the cause.
 type Decoder struct {
@@ -242,6 +251,28 @@ func (d *Decoder) Blob() []byte {
 	}
 	out := make([]byte, len(b))
 	copy(out, b)
+	return out
+}
+
+// Strings reads a uvarint count followed by that many strings.
+func (d *Decoder) Strings() []string {
+	n := d.Uvarint()
+	if d.err != nil {
+		return nil
+	}
+	if n > uint64(d.Remaining()) {
+		// Every string costs at least its one-byte length prefix, so a
+		// count beyond Remaining is corrupt — reject before allocating.
+		d.fail(ErrTooLong)
+		return nil
+	}
+	out := make([]string, 0, n)
+	for i := uint64(0); i < n; i++ {
+		out = append(out, d.String())
+	}
+	if d.err != nil {
+		return nil
+	}
 	return out
 }
 
