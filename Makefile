@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check race-chaos bench-read clean
+.PHONY: build test check audit-check race-chaos bench-read clean
 
 build:
 	$(GO) build ./...
@@ -14,8 +14,17 @@ test: build
 check: build
 	$(GO) vet ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/chaos/ ./internal/core/ ./internal/memcache/ ./internal/mq/ ./internal/obs/ ./internal/rpc/
+	$(GO) test -race ./internal/audit/ ./internal/chaos/ ./internal/core/ ./internal/memcache/ ./internal/mq/ ./internal/obs/ ./internal/rpc/
 	$(GO) test -run '^$$' -bench 'ReaddirBarrier' -benchtime 1x ./internal/core/
+
+# audit-check is the divergence gate: the chaos suite runs with the
+# post-drain auditor as a second convergence oracle (any divergent or
+# stale-pending key fails the run), the audit/core staleness tests run,
+# and the audit experiment writes AUDIT_report.json — the evidence CI
+# archives. The report is written even when the gate fails.
+audit-check: build
+	$(GO) test -count=1 ./internal/chaos/ ./internal/audit/
+	$(GO) run ./cmd/paconbench -quick -auditjson AUDIT_report.json
 
 # bench-read regenerates the read-path report (BENCH_read.json): batched
 # multi-key reads + scoped barriers vs the per-key/full-drain baseline.

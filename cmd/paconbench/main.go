@@ -35,6 +35,7 @@ func main() {
 		list   = flag.Bool("list", false, "list experiment ids and exit")
 		cjson  = flag.String("commitjson", "", "run the commit experiment and write its JSON report to this path")
 		rjson  = flag.String("readjson", "", "run the read experiment and write its JSON report to this path")
+		ajson  = flag.String("auditjson", "", "run the divergence-audit experiment and write its JSON report to this path")
 		debug  = flag.String("debug", "", "serve /debug/vars and /debug/pprof on this address while experiments run")
 	)
 	flag.Parse()
@@ -83,6 +84,31 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s\n", *cjson)
+		if !*all && *fig == "" && *rjson == "" && *ajson == "" {
+			return
+		}
+	}
+
+	if *ajson != "" {
+		rep, figs, err := bench.RunAudit(cfg)
+		// A failed gate still writes its report — CI archives the
+		// evidence before the step fails.
+		if rep != nil {
+			if data, jerr := rep.JSON(); jerr == nil {
+				if werr := os.WriteFile(*ajson, append(data, '\n'), 0o644); werr == nil {
+					fmt.Printf("wrote %s\n", *ajson)
+				} else {
+					fmt.Fprintln(os.Stderr, werr)
+				}
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paconbench: audit: %v\n", err)
+			os.Exit(1)
+		}
+		for _, f := range figs {
+			fmt.Println(f.String())
+		}
 		if !*all && *fig == "" && *rjson == "" {
 			return
 		}

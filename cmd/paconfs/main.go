@@ -14,18 +14,21 @@
 //	pacon:/w> help
 //
 // With -metrics, the shell also serves Prometheus-text metrics at
-// /metrics, expvar at /debug/vars, and pprof at /debug/pprof/ while it
-// runs.
+// /metrics, region health as JSON at /healthz (503 once stalled),
+// expvar at /debug/vars, and pprof at /debug/pprof/ while it runs.
 package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"expvar"
 	"flag"
 	"fmt"
 	"net/http"
 	"net/http/pprof"
 	"os"
+
+	"pacon"
 )
 
 func main() {
@@ -47,6 +50,21 @@ func main() {
 		sh.obs.PublishExpvar("pacon")
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", sh.obs.Handler())
+		// /healthz serves the region's aggregated health as JSON: 200
+		// while the region is ok or degraded (still making progress),
+		// 503 once it is stalled — the shape load balancers probe.
+		mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+			h := sh.region.Health(pacon.HealthThresholds{})
+			w.Header().Set("Content-Type", "application/json")
+			if h.Status == pacon.HealthStalled {
+				w.WriteHeader(http.StatusServiceUnavailable)
+			}
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(h); err != nil {
+				fmt.Fprintln(os.Stderr, "paconfs: healthz:", err)
+			}
+		})
 		mux.Handle("/debug/vars", expvar.Handler())
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"pacon"
+	"pacon/internal/audit"
 	"pacon/internal/namespace"
 )
 
@@ -69,6 +70,9 @@ const helpText = `commands:
   rmdir PATH            remove a directory recursively (sync + barrier)
   drain                 force all queued commits to the DFS
   stats                 region + cache + queue + latency statistics
+  health                region health: status, staleness, queue state
+  audit [N]             compare committed cache entries against the DFS
+                        (sample at most N keys; default: every key)
   slow [MS] [N]         N slowest traced ops over MS milliseconds
                         (default threshold 20ms; 'slow 0' shows all)
   time                  current virtual time
@@ -197,6 +201,46 @@ func (s *shell) exec(line string) (out string, quit bool, err error) {
 			out += "\n" + sum
 		}
 		return out, false, nil
+	case "health":
+		h := s.region.Health(pacon.HealthThresholds{})
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "status: %s", h.Status)
+		for _, r := range h.Reasons {
+			fmt.Fprintf(&sb, "\n  %s", r)
+		}
+		fmt.Fprintf(&sb, "\nstaleness: max=%v peak-commit-lag=%v queue-head-age=%v",
+			time.Duration(h.MaxStalenessNS), time.Duration(h.MaxCommitLagNS),
+			time.Duration(h.QueueHeadAgeNS))
+		fmt.Fprintf(&sb, "\nqueues: %d pending op(s), %d parked", h.QueueDepth, h.ParkedOps)
+		fmt.Fprintf(&sb, "\ncache: %d dirty key(s), %d removed", h.DirtyKeys, h.RemovedKeys)
+		fmt.Fprintf(&sb, "\ndropped: %d", h.DroppedOps)
+		for _, reason := range sortedKeys(h.DroppedByReason) {
+			fmt.Fprintf(&sb, "\n  %s: %d", reason, h.DroppedByReason[reason])
+		}
+		if h.LastAudit != nil {
+			fmt.Fprintf(&sb, "\nlast audit: %d sampled — %d match, %d stale-pending, %d divergent",
+				h.LastAudit.Sampled, h.LastAudit.Matched,
+				h.LastAudit.StalePending, h.LastAudit.Divergent)
+		} else {
+			sb.WriteString("\nlast audit: never ran (try 'audit')")
+		}
+		return sb.String(), false, nil
+	case "audit":
+		cfg := audit.Config{}
+		if len(args) > 0 {
+			n, perr := strconv.Atoi(args[0])
+			if perr != nil || n < 1 {
+				return "", false, fmt.Errorf("audit: bad sample limit %q", args[0])
+			}
+			cfg.SampleLimit = n
+		}
+		var rep audit.Report
+		rep, s.now, err = audit.Run(s.client, s.now, cfg)
+		if err != nil {
+			return "", false, err
+		}
+		return rep.String(), false, nil
+
 	case "slow":
 		// slow [THRESHOLD_MS] [N]: the N slowest traced ops whose total
 		// wall latency exceeded the threshold, with per-stage breakdown.
@@ -260,4 +304,14 @@ func (s *shell) exec(line string) (out string, quit bool, err error) {
 	default:
 		return "", false, fmt.Errorf("unknown command %q (try 'help')", cmd)
 	}
+}
+
+// sortedKeys orders a counter map's keys for stable shell output.
+func sortedKeys(m map[string]int64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }

@@ -153,3 +153,39 @@ func TestShellRename(t *testing.T) {
 		t.Fatal("old name must be gone")
 	}
 }
+
+func TestShellHealthAndAudit(t *testing.T) {
+	sh := testShell(t)
+	run(t, sh, "create h1.dat")
+	run(t, sh, "create h2.dat")
+	run(t, sh, "drain")
+
+	out := run(t, sh, "health")
+	if !strings.Contains(out, "status: ok") {
+		t.Fatalf("health on a drained region: %q", out)
+	}
+	if !strings.Contains(out, "last audit: never ran") {
+		t.Fatalf("health before any audit: %q", out)
+	}
+
+	out = run(t, sh, "audit")
+	if !strings.Contains(out, "0 divergent") || strings.Contains(out, "0 sampled") {
+		t.Fatalf("audit on a drained region: %q", out)
+	}
+	// The verdict must now show up in health.
+	if out = run(t, sh, "health"); !strings.Contains(out, "last audit:") ||
+		strings.Contains(out, "never ran") {
+		t.Fatalf("health after audit: %q", out)
+	}
+
+	// A sample limit caps the audited keys.
+	if out = run(t, sh, "audit 1"); !strings.Contains(out, "1 sampled") {
+		t.Fatalf("audit 1: %q", out)
+	}
+	if _, _, err := sh.exec("audit zero"); err == nil {
+		t.Fatal("bad audit limit must error")
+	}
+	if out = run(t, sh, "help"); !strings.Contains(out, "audit") {
+		t.Fatalf("help missing audit: %q", out)
+	}
+}

@@ -1,0 +1,293 @@
+// Package audit implements Pacon's cache↔DFS divergence auditor: an
+// online scrubber that samples committed (clean) keys from the region's
+// distributed cache and compares them against the authoritative DFS
+// state. Pacon's partial consistency promises a *bounded* window in
+// which the DFS backup copy trails the cache's primary copy; the
+// auditor measures whether that promise holds. Each sampled key is
+// classified as
+//
+//   - match:         region view and DFS agree;
+//   - stale-pending: they disagree, but an operation for the key is
+//     still in some node's commit pipeline — the disagreement is the
+//     inconsistency window working as designed, and the finding carries
+//     the in-flight op's age;
+//   - divergent:     they disagree and nothing is in flight to repair
+//     it — a real consistency violation (lost commit, external
+//     mutation, a bug).
+//
+// The comparison deliberately reuses the production read paths on both
+// sides: Client.StatMulti (the batched cache read) for the region view
+// and Client.StatBackend (the batched authoritative miss-load) for the
+// DFS, so an audit exercises exactly the code applications trust.
+//
+// On a quiesced (drained) region every sampled key must be a match; the
+// chaos harness runs the auditor after each fault schedule as a
+// correctness oracle.
+package audit
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"pacon/internal/core"
+	"pacon/internal/fsapi"
+	"pacon/internal/vclock"
+)
+
+// Verdict classifies one audited key.
+type Verdict int
+
+const (
+	Match Verdict = iota
+	StalePending
+	Divergent
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case Match:
+		return "match"
+	case StalePending:
+		return "stale-pending"
+	case Divergent:
+		return "divergent"
+	}
+	return fmt.Sprintf("Verdict(%d)", int(v))
+}
+
+// MarshalText renders the verdict by name in JSON reports.
+func (v Verdict) MarshalText() ([]byte, error) { return []byte(v.String()), nil }
+
+// Finding is one non-match key with its classification.
+type Finding struct {
+	Path    string  `json:"path"`
+	Verdict Verdict `json:"verdict"`
+	// AgeNS is how long the key's oldest in-flight op has been pending
+	// (stale-pending; 0 when observability is disabled) — the staleness
+	// age of the disagreement.
+	AgeNS int64 `json:"age_ns,omitempty"`
+	// Detail says what disagreed (missing on DFS, size mismatch, ...).
+	Detail string `json:"detail,omitempty"`
+}
+
+// Report is one audit run's outcome.
+type Report struct {
+	// Wall is the unix-ns wall-clock completion time of the run.
+	Wall         int64 `json:"wall_ns"`
+	Sampled      int   `json:"sampled"`
+	Matched      int   `json:"matched"`
+	StalePending int   `json:"stale_pending"`
+	Divergent    int   `json:"divergent"`
+	// Findings lists every non-match key, sorted by path.
+	Findings []Finding `json:"findings,omitempty"`
+}
+
+// Clean reports whether the run found no divergence. Stale-pending keys
+// are clean: they are the bounded window, not a violation.
+func (r Report) Clean() bool { return r.Divergent == 0 }
+
+// String renders a one-look summary plus the worst findings.
+func (r Report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "audit: %d sampled — %d match, %d stale-pending, %d divergent",
+		r.Sampled, r.Matched, r.StalePending, r.Divergent)
+	for i, f := range r.Findings {
+		if i >= 10 {
+			fmt.Fprintf(&sb, "\n  ... and %d more", len(r.Findings)-i)
+			break
+		}
+		fmt.Fprintf(&sb, "\n  %-13s %s", f.Verdict, f.Path)
+		if f.Detail != "" {
+			fmt.Fprintf(&sb, " (%s)", f.Detail)
+		}
+		if f.AgeNS > 0 {
+			fmt.Fprintf(&sb, " age=%s", time.Duration(f.AgeNS))
+		}
+	}
+	return sb.String()
+}
+
+// Config tunes one audit run.
+type Config struct {
+	// SampleLimit caps how many committed keys are sampled; <= 0 audits
+	// every committed entry resident in the cache.
+	SampleLimit int
+}
+
+// Run performs one audit through cl. It charges virtual time like any
+// client reads (the sampling itself is server-side and free), records
+// its verdict with the region for Health, and returns the report.
+func Run(cl *core.Client, at vclock.Time, cfg Config) (Report, vclock.Time, error) {
+	region := cl.Region()
+	entries := region.SampleCommitted(cfg.SampleLimit)
+	paths := make([]string, len(entries))
+	large := make(map[string]bool, len(entries))
+	for i, e := range entries {
+		paths[i] = e.Path
+		if e.Large {
+			large[e.Path] = true
+		}
+	}
+
+	rep := Report{Sampled: len(entries)}
+	var findings []Finding
+	if len(paths) > 0 {
+		cacheRes, done, err := cl.StatMulti(at, paths)
+		at = done
+		if err != nil {
+			return rep, at, err
+		}
+		backRes, done := cl.StatBackend(at, paths)
+		at = done
+
+		// First pass: every disagreement with an op still in flight is
+		// stale-pending; the rest are divergence *candidates*.
+		var candidates []int
+		for i, p := range paths {
+			detail := compare(cacheRes[i], backRes[i], large[p])
+			if detail == "" {
+				rep.Matched++
+				continue
+			}
+			if region.PathPending(p) {
+				findings = append(findings, Finding{
+					Path: p, Verdict: StalePending, AgeNS: region.OldestPendingAge(p), Detail: detail,
+				})
+				continue
+			}
+			candidates = append(candidates, i)
+		}
+
+		// Second look at the candidates: a key can reach here through a
+		// benign race — its op committed (and left the pending trackers)
+		// between our DFS read and the pending check, or a new write
+		// landed after the sample. Re-reading both sides now and
+		// re-checking pending separates those from real divergence.
+		for _, i := range candidates {
+			p := paths[i]
+			cr, done, err := cl.StatMulti(at, []string{p})
+			at = done
+			if err != nil {
+				return rep, at, err
+			}
+			br, done := cl.StatBackend(at, []string{p})
+			at = done
+			detail := compare(cr[0], br[0], large[p])
+			if detail == "" {
+				rep.Matched++
+				continue
+			}
+			if region.PathPending(p) {
+				findings = append(findings, Finding{
+					Path: p, Verdict: StalePending, AgeNS: region.OldestPendingAge(p), Detail: detail,
+				})
+				continue
+			}
+			findings = append(findings, Finding{Path: p, Verdict: Divergent, Detail: detail})
+		}
+	}
+
+	sort.Slice(findings, func(i, j int) bool { return findings[i].Path < findings[j].Path })
+	for _, f := range findings {
+		switch f.Verdict {
+		case StalePending:
+			rep.StalePending++
+		case Divergent:
+			rep.Divergent++
+		}
+	}
+	rep.Findings = findings
+	rep.Wall = time.Now().UnixNano()
+	region.RecordAudit(core.AuditVerdict{
+		Wall:         rep.Wall,
+		Sampled:      rep.Sampled,
+		Matched:      rep.Matched,
+		StalePending: rep.StalePending,
+		Divergent:    rep.Divergent,
+	})
+	return rep, at, nil
+}
+
+// compare returns "" when the region view and the DFS agree, else a
+// description of the disagreement. Comparison rules follow the chaos
+// oracle: kind must match; size is compared only for small regular
+// files (a Large file's authoritative size lives on the DFS data path,
+// and directory sizes are DFS-implementation-defined).
+func compare(cache, dfs fsapi.StatResult, large bool) string {
+	cacheAbsent := cache.Err != nil && errors.Is(cache.Err, fsapi.ErrNotExist)
+	dfsAbsent := dfs.Err != nil && errors.Is(dfs.Err, fsapi.ErrNotExist)
+	switch {
+	case cache.Err != nil && !cacheAbsent:
+		return fmt.Sprintf("region read failed: %v", cache.Err)
+	case dfs.Err != nil && !dfsAbsent:
+		return fmt.Sprintf("DFS read failed: %v", dfs.Err)
+	case cacheAbsent && dfsAbsent:
+		return "" // absent on both sides is agreement
+	case dfsAbsent:
+		return "missing on DFS"
+	case cacheAbsent:
+		return "absent in region view but present on DFS"
+	case cache.Stat.IsDir() != dfs.Stat.IsDir():
+		return fmt.Sprintf("kind mismatch: region %v, DFS %v", cache.Stat.Type, dfs.Stat.Type)
+	case !cache.Stat.IsDir() && !large && cache.Stat.Size != dfs.Stat.Size:
+		return fmt.Sprintf("size mismatch: region %d, DFS %d", cache.Stat.Size, dfs.Stat.Size)
+	}
+	return ""
+}
+
+// Auditor runs paced audits: MaybeRun is cheap to call from any
+// convenient point (a metrics scrape, a request path) and performs a
+// real audit at most once per MinInterval of wall time.
+type Auditor struct {
+	cl  *core.Client
+	cfg Config
+	// MinInterval is the minimum wall-clock spacing between runs
+	// (default 5s).
+	MinInterval time.Duration
+
+	mu       sync.Mutex
+	lastWall int64
+	last     Report
+	ran      bool
+}
+
+// NewAuditor builds a paced auditor over cl.
+func NewAuditor(cl *core.Client, cfg Config) *Auditor {
+	return &Auditor{cl: cl, cfg: cfg, MinInterval: 5 * time.Second}
+}
+
+// MaybeRun audits if MinInterval has elapsed since the previous run.
+// ran=false means the pacer suppressed it (at is returned unchanged,
+// rep is the previous report if any).
+func (a *Auditor) MaybeRun(at vclock.Time) (rep Report, done vclock.Time, ran bool, err error) {
+	a.mu.Lock()
+	now := time.Now().UnixNano()
+	if a.ran && now-a.lastWall < int64(a.MinInterval) {
+		rep = a.last
+		a.mu.Unlock()
+		return rep, at, false, nil
+	}
+	a.mu.Unlock()
+
+	rep, done, err = Run(a.cl, at, a.cfg)
+	if err != nil {
+		return rep, done, false, err
+	}
+	a.mu.Lock()
+	a.lastWall = now
+	a.last = rep
+	a.ran = true
+	a.mu.Unlock()
+	return rep, done, true, nil
+}
+
+// Last returns the most recent report, if any run has completed.
+func (a *Auditor) Last() (Report, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.last, a.ran
+}

@@ -53,7 +53,7 @@ func TestFigureAccessors(t *testing.T) {
 func TestRegistryListsAllFigures(t *testing.T) {
 	ids := IDs()
 	want := []string{
-		"abl-async", "abl-inline", "abl-model", "abl-multimds", "abl-perm", "commit", "ext-batchfs",
+		"abl-async", "abl-inline", "abl-model", "abl-multimds", "abl-perm", "audit", "commit", "ext-batchfs",
 		"fig1", "fig10", "fig11", "fig12", "fig2", "fig7", "fig8", "fig9", "read",
 	}
 	if len(ids) != len(want) {

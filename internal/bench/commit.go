@@ -3,6 +3,7 @@ package bench
 import (
 	"encoding/json"
 	"fmt"
+	"time"
 
 	"pacon/internal/core"
 	"pacon/internal/obs"
@@ -46,6 +47,20 @@ type CommitVariant struct {
 	// from the run's observability sink. Wall time is real host time —
 	// orthogonal to VirtualOPS, which obs never perturbs.
 	StageLatency map[string]obs.Quantiles `json:"stage_latency_ns,omitempty"`
+	// Staleness is the consistency-lag digest for the variant: how far
+	// the backup copy trailed the primary during the run.
+	Staleness *StalenessBlock `json:"staleness_ns,omitempty"`
+}
+
+// StalenessBlock summarizes a variant's consistency lag, all in
+// wall-clock nanoseconds. CommitLag digests per-op enqueue→durable-apply
+// lag; MaxStaleness digests the region-wide oldest-unacked watermark as
+// ticked by a wall-clock sampler while the workload and drain ran; Peak
+// is the largest single commit lag the region ever acknowledged.
+type StalenessBlock struct {
+	CommitLag       obs.Quantiles `json:"commit_lag"`
+	MaxStaleness    obs.Quantiles `json:"max_staleness"`
+	PeakCommitLagNS int64         `json:"peak_commit_lag_ns"`
 }
 
 // CommitReport is the machine-readable result (BENCH_commit.json).
@@ -85,6 +100,37 @@ func runCommitVariant(cfg Config, clients int, mutate func(*core.RegionConfig), 
 		return CommitVariant{}, err
 	}
 	region := e.regions[len(e.regions)-1]
+
+	// Sample the region's staleness watermark on the wall clock for the
+	// whole run (workload + drain). The sampler reads atomics/short locks
+	// only and never touches virtual time, so VirtualOPS is unaffected.
+	var samplerStop chan struct{}
+	var samplerDone chan struct{}
+	stopSampler := func() {
+		if samplerStop != nil {
+			close(samplerStop)
+			<-samplerDone
+			samplerStop = nil
+		}
+	}
+	defer stopSampler()
+	if o != nil {
+		samplerStop = make(chan struct{})
+		samplerDone = make(chan struct{})
+		go func() {
+			defer close(samplerDone)
+			tick := time.NewTicker(time.Millisecond)
+			defer tick.Stop()
+			for {
+				select {
+				case <-samplerStop:
+					return
+				case <-tick.C:
+					o.Hist(obs.HistMaxStaleness).RecordN(region.MaxStaleness())
+				}
+			}
+		}()
+	}
 
 	runner := workload.NewRunner(cls)
 	payload := make([]byte, 256)
@@ -139,7 +185,14 @@ func runCommitVariant(cfg Config, clients int, mutate func(*core.RegionConfig), 
 		v.VirtualOPS = float64(res.Ops) / vclock.Duration(elapsed).Seconds()
 	}
 	if o != nil {
-		v.StageLatency = o.HistQuantiles()
+		stopSampler()
+		q := o.HistQuantiles()
+		v.StageLatency = q
+		v.Staleness = &StalenessBlock{
+			CommitLag:       q[obs.HistCommitLag],
+			MaxStaleness:    q[obs.HistMaxStaleness],
+			PeakCommitLagNS: region.MaxCommitLag(),
+		}
 	}
 	return v, nil
 }
@@ -209,5 +262,10 @@ func RunCommit(cfg Config) (*CommitReport, []*Figure, error) {
 		batched.BatchedOps, batched.BatchRPCs)
 	f.Note("virtual throughput incl. drain: %.0f -> %.0f ops/s (%.2fx)",
 		legacy.VirtualOPS, batched.VirtualOPS, rep.ThroughputGain)
+	if legacy.Staleness != nil && batched.Staleness != nil {
+		f.Note("peak commit lag (wall): legacy %v, batched %v",
+			time.Duration(legacy.Staleness.PeakCommitLagNS),
+			time.Duration(batched.Staleness.PeakCommitLagNS))
+	}
 	return rep, []*Figure{f}, nil
 }

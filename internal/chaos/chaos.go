@@ -23,6 +23,7 @@ import (
 	"sync"
 	"time"
 
+	"pacon/internal/audit"
 	"pacon/internal/core"
 	"pacon/internal/dfs"
 	"pacon/internal/fsapi"
@@ -119,6 +120,12 @@ type Result struct {
 	// slowest traced ops. Filled only when the schedule violated — it is
 	// the first thing to read when triaging a failing seed.
 	StageSummary string
+	// Audit is the post-drain divergence-audit report: every committed
+	// cache entry compared against the DFS through the production read
+	// paths. On a drained region anything but 100% match is a violation,
+	// which makes the auditor a second, independent convergence oracle
+	// (it would catch a verifyConverged bug as readily as a core one).
+	Audit audit.Report
 }
 
 // injector decides, per backend mutation, whether to fail or stall it.
@@ -665,12 +672,29 @@ func Run(cfg Config) (Result, error) {
 	}
 	h.verifyConverged(workers, drainAt)
 
+	// Independent oracle: audit every committed cache entry against the
+	// DFS through the production read paths. The region is quiesced, so
+	// stale-pending is as much a violation as divergent — nothing may be
+	// in flight after a drain.
+	var auditRep audit.Report
+	if auditCl, aerr := region.NewClient(nodes[0]); aerr != nil {
+		h.violate("audit client: %v", aerr)
+	} else if rep, _, aerr := audit.Run(auditCl, drainAt, audit.Config{}); aerr != nil {
+		h.violate("audit run: %v", aerr)
+	} else {
+		auditRep = rep
+		if rep.Divergent > 0 || rep.StalePending > 0 {
+			h.violate("post-drain audit not clean: %s", rep)
+		}
+	}
+
 	injected, stalls := inj.counts()
 	res := Result{
 		ClientOps: cfg.Clients * cfg.Ops,
 		Injected:  injected,
 		Stalls:    stalls,
 		Stats:     region.Stats(),
+		Audit:     auditRep,
 	}
 	if dump, derr := region.DumpCache(); derr == nil {
 		res.CacheEntries = len(dump)

@@ -154,7 +154,7 @@ func TestDropOpKeepsNewerIncarnation(t *testing.T) {
 	defer e.region.SetDeleteHook(nil)
 
 	now := vclock.Time(0)
-	e.region.dropOp(Op{Kind: OpCreate, Path: "/w/phantom", Seq: 1}, &now, mc, nil)
+	e.region.dropOp(Op{Kind: OpCreate, Path: "/w/phantom", Seq: 1}, &now, mc, nil, dropReasonRetryBudget)
 
 	ent, ok := findEntry(t, e.region, "/w/phantom")
 	if !ok {
@@ -165,7 +165,7 @@ func TestDropOpKeepsNewerIncarnation(t *testing.T) {
 	}
 	// Without a racing write, the phantom is cleaned as before.
 	e.region.SetDeleteHook(nil)
-	e.region.dropOp(Op{Kind: OpCreate, Path: "/w/phantom", Seq: 2}, &now, mc, nil)
+	e.region.dropOp(Op{Kind: OpCreate, Path: "/w/phantom", Seq: 2}, &now, mc, nil, dropReasonRetryBudget)
 	if _, ok := findEntry(t, e.region, "/w/phantom"); ok {
 		t.Fatal("abandoned create's entry not cleaned")
 	}
@@ -330,9 +330,9 @@ func TestEvictRoundRobinAdvancesByName(t *testing.T) {
 // that ever parked over the life of the commit loop.
 func TestPendingSetReleasesZeroCountPaths(t *testing.T) {
 	var p pendingSet
-	p.add(Op{Path: "/w/a"})
-	p.add(Op{Path: "/w/a"})
-	p.add(Op{Path: "/w/b"})
+	p.add(Op{Path: "/w/a"}, "test")
+	p.add(Op{Path: "/w/a"}, "test")
+	p.add(Op{Path: "/w/b"}, "test")
 	p.release("/w/a")
 	if !p.blocks("/w/a") {
 		t.Fatal("one reference remains — /w/a must still block")

@@ -163,12 +163,17 @@ func (r *Region) SimulateNodeFailure(node string) int {
 	}
 	lost := 0
 	for {
-		_, barrier, _, ok := q.TryPop()
+		op, barrier, _, ok := q.TryPop()
 		if !ok {
 			break
 		}
 		if !barrier {
 			lost++
+			// The popped op will never reach a commit-loop terminal:
+			// release its path-tracker and lag-tracker entries here, or
+			// scoped barriers would keep waiting on the dead node's paths
+			// and the staleness watermark would grow forever.
+			r.opTerminal(op)
 		}
 	}
 	if srv, ok := r.servers[node]; ok {

@@ -118,10 +118,14 @@ func (c *Client) pushOpFlagged(at vclock.Time, kind OpKind, p string, st fsapi.S
 	// Track the path before the push: a scoped barrier that snapshots
 	// the tracker between the two sees the op it might have to wait
 	// for; the reverse order would let a marker slip ahead of an
-	// already-queued, still-untracked op.
+	// already-queued, still-untracked op. The lag tracker follows the
+	// same contract for the same reason — a commit process could reach
+	// the op's terminal before a post-push add, leaking the timestamp.
 	c.region.trackers[c.node].add(p)
+	c.region.lagAdd(op)
 	if err := c.region.queues[c.node].Push(op); err != nil {
 		c.region.trackers[c.node].remove(p)
+		c.region.lagRemove(op)
 		return at, err
 	}
 	traceOp(c.ring, op, obs.StageEnqueue, "")
@@ -643,6 +647,20 @@ func (c *Client) statBatchCached(at vclock.Time, paths []string) ([]fsapi.StatRe
 		at = c.warmEntries(at, entries, gen)
 	}
 	return out, at
+}
+
+// StatBackend bulk-reads authoritative per-path stats straight from the
+// DFS backend, bypassing the distributed cache entirely. The divergence
+// auditor uses it as the ground-truth side of a cache↔DFS comparison;
+// it is statBatchFresh exported, so the authority read is the same code
+// the production miss path trusts. A per-path error (e.g. ErrNotExist)
+// lands in that entry's Err.
+func (c *Client) StatBackend(at vclock.Time, paths []string) ([]fsapi.StatResult, vclock.Time) {
+	clean := make([]string, len(paths))
+	for i, p := range paths {
+		clean[i] = namespace.Clean(p)
+	}
+	return c.statBatchFresh(at, clean)
 }
 
 // statBatchFresh bulk-loads authoritative stats: the backend's

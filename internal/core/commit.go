@@ -31,7 +31,10 @@ type pendingSet struct {
 	ring   *obs.Ring
 }
 
-func (p *pendingSet) add(op Op) {
+// add parks an op. why labels the park terminal-stage event so traces
+// distinguish an op held for per-path ordering from one that actually
+// failed and awaits resubmission.
+func (p *pendingSet) add(op Op, why string) {
 	if p.paths == nil {
 		p.paths = make(map[string]int)
 	}
@@ -39,7 +42,7 @@ func (p *pendingSet) add(op Op) {
 	p.paths[op.Path]++
 	if p.region != nil {
 		p.region.parked.Add(1)
-		traceOp(p.ring, op, obs.StagePark, "")
+		traceOp(p.ring, op, obs.StagePark, why)
 	}
 }
 
@@ -141,7 +144,8 @@ func (r *Region) applyOps(ops []Op, now *vclock.Time, backend Backend, cache *me
 			case inWave[op.Path]:
 				rest = append(rest, op)
 			case pending.blocks(op.Path):
-				pending.add(op) // preserve per-path order behind the parked op
+				// Preserve per-path order behind the parked op.
+				pending.add(op, "behind parked same-path op")
 			default:
 				inWave[op.Path] = true
 				wave = append(wave, op)
@@ -189,7 +193,7 @@ func (r *Region) applyWave(wave []Op, now *vclock.Time, backend Backend, cache *
 	}
 	for _, op := range single {
 		if r.applyOp(op, now, backend, cache, pending.ring) {
-			pending.add(op)
+			pending.add(op, "resubmittable failure")
 		}
 	}
 }
@@ -236,7 +240,7 @@ func (r *Region) applyBatchRPC(ops []Op, now *vclock.Time, backend Backend, cach
 		// singleton application which re-runs each op with full logic.
 		for _, op := range ops {
 			if r.applyOp(op, now, backend, cache, pending.ring) {
-				pending.add(op)
+				pending.add(op, "resubmittable failure")
 			}
 		}
 		return
@@ -252,7 +256,7 @@ func (r *Region) applyBatchRPC(ops []Op, now *vclock.Time, backend Backend, cach
 			retry = r.finishRemoveResult(op, errs[i], now, cache, pending.ring)
 		}
 		if retry {
-			pending.add(op)
+			pending.add(op, "resubmittable failure")
 		}
 	}
 }
@@ -277,7 +281,7 @@ func (r *Region) retryPendingOnce(pending *pendingSet, now *vclock.Time, backend
 			if counted {
 				p.attempts++
 				if p.attempts >= r.cfg.CommitRetryLimit {
-					r.dropOp(p.op, now, cache, pending.ring)
+					r.dropOp(p.op, now, cache, pending.ring, dropReasonRetryBudget)
 					pending.release(p.op.Path)
 					continue
 				}
@@ -426,7 +430,7 @@ func (r *Region) finishCreate(op Op, inline []byte, err error, now *vclock.Time,
 				if est.IsDir() != st.IsDir() {
 					// A different kind of object holds the name; the
 					// creation can never apply.
-					r.dropOp(op, now, cache, ring)
+					r.dropOp(op, now, cache, ring, dropReasonKindConflict)
 					return false
 				}
 				r.backendRPCs.Add(1)
@@ -447,7 +451,7 @@ func (r *Region) finishCreate(op Op, inline []byte, err error, now *vclock.Time,
 		// Parent not committed yet (possibly queued on another node).
 		return true
 	default:
-		r.dropOp(op, now, cache, ring)
+		r.dropOp(op, now, cache, ring, dropReasonBackendError)
 		return false
 	}
 }
@@ -478,7 +482,7 @@ func (r *Region) finishRemoveResult(op Op, err error, now *vclock.Time, cache *m
 		}
 		return true
 	default:
-		r.dropOp(op, now, cache, ring)
+		r.dropOp(op, now, cache, ring, dropReasonBackendError)
 		return false
 	}
 }
@@ -498,7 +502,7 @@ func (r *Region) finishSetStat(op Op, err error, now *vclock.Time, cache *memcac
 		}
 		return true // create still in flight
 	default:
-		r.dropOp(op, now, cache, ring)
+		r.dropOp(op, now, cache, ring, dropReasonBackendError)
 		return false
 	}
 }
@@ -574,11 +578,22 @@ func (r *Region) deleteIf(cache *memcache.Client, now *vclock.Time, path string,
 // the primary copy of metadata that will never reach the DFS (e.g. a
 // create accepted in the closing instants of an rmdir window whose
 // parent is gone): delete it — guarded by seq, so a newer incarnation
-// survives — rather than leave a permanently dirty phantom.
-func (r *Region) dropOp(op Op, now *vclock.Time, cache *memcache.Client, ring *obs.Ring) {
+// survives — rather than leave a permanently dirty phantom. reason (one
+// of the dropReason* constants) labels the per-reason counter and the
+// drop trace event: dropped ops never record a commit lag, so the
+// reasons are what keeps the histogram's silence interpretable.
+func (r *Region) dropOp(op Op, now *vclock.Time, cache *memcache.Client, ring *obs.Ring, reason string) {
 	r.dropped.Add(1)
+	switch reason {
+	case dropReasonRetryBudget:
+		r.droppedRetry.Add(1)
+	case dropReasonKindConflict:
+		r.droppedConflict.Add(1)
+	default:
+		r.droppedBackend.Add(1)
+	}
 	r.opTerminal(op)
-	traceOp(ring, op, obs.StageDrop, "retry budget exhausted or unapplicable")
+	traceOp(ring, op, obs.StageDrop, reason)
 	switch op.Kind {
 	case OpCreate, OpMkdir:
 		r.deleteIf(cache, now, op.Path, memcache.CondSeq, op.Seq)

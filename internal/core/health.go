@@ -1,0 +1,163 @@
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// HealthStatus is a region's typed health verdict.
+type HealthStatus int
+
+const (
+	// HealthOK: commit pipeline current, no divergence on record.
+	HealthOK HealthStatus = iota
+	// HealthDegraded: the pipeline is falling behind (staleness past the
+	// degraded threshold, or ops parked awaiting resubmission) but still
+	// making progress.
+	HealthDegraded
+	// HealthStalled: the inconsistency window is no longer bounded in
+	// practice — staleness past the stalled threshold — or the auditor
+	// found cache↔DFS divergence, which asynchronous commit can never
+	// repair on its own.
+	HealthStalled
+)
+
+func (s HealthStatus) String() string {
+	switch s {
+	case HealthOK:
+		return "ok"
+	case HealthDegraded:
+		return "degraded"
+	case HealthStalled:
+		return "stalled"
+	}
+	return fmt.Sprintf("HealthStatus(%d)", int(s))
+}
+
+// MarshalText makes the status render as its name in JSON health
+// documents (the /healthz endpoint).
+func (s HealthStatus) MarshalText() ([]byte, error) { return []byte(s.String()), nil }
+
+// HealthThresholds sets the wall-clock staleness levels (ns) at which a
+// region degrades and stalls. The zero value selects the defaults.
+type HealthThresholds struct {
+	DegradedNS int64 // default 5s
+	StalledNS  int64 // default 60s
+}
+
+func (t HealthThresholds) withDefaults() HealthThresholds {
+	if t.DegradedNS <= 0 {
+		t.DegradedNS = int64(5 * time.Second)
+	}
+	if t.StalledNS <= 0 {
+		t.StalledNS = int64(60 * time.Second)
+	}
+	return t
+}
+
+// AuditVerdict is the summary a divergence-audit run records with the
+// region (the audit package computes it; core only stores the latest so
+// Health can fold it in without an import cycle).
+type AuditVerdict struct {
+	Wall         int64 `json:"wall_ns"` // unix ns when the audit finished
+	Sampled      int   `json:"sampled"`
+	Matched      int   `json:"matched"`
+	StalePending int   `json:"stale_pending"`
+	Divergent    int   `json:"divergent"`
+}
+
+// RecordAudit stores the latest divergence-audit verdict.
+func (r *Region) RecordAudit(v AuditVerdict) {
+	r.auditMu.Lock()
+	r.lastAudit = &v
+	r.auditMu.Unlock()
+}
+
+// LastAudit returns the most recent audit verdict, if any.
+func (r *Region) LastAudit() (AuditVerdict, bool) {
+	r.auditMu.Lock()
+	defer r.auditMu.Unlock()
+	if r.lastAudit == nil {
+		return AuditVerdict{}, false
+	}
+	return *r.lastAudit, true
+}
+
+// Health is a region health snapshot: the consistency-lag watermarks,
+// pipeline pressure, cache bookkeeping and the last audit verdict,
+// folded into one typed status. All fields are JSON-stable — the
+// /healthz endpoint serializes this struct as-is.
+type Health struct {
+	Status HealthStatus `json:"status"`
+	// Reasons states, in plain words, every condition that pushed the
+	// status past ok (empty when ok).
+	Reasons []string `json:"reasons,omitempty"`
+
+	MaxStalenessNS int64 `json:"max_staleness_ns"` // oldest unacked op age
+	MaxCommitLagNS int64 `json:"max_commit_lag_ns"`
+	QueueHeadAgeNS int64 `json:"queue_head_age_ns"`
+	QueueDepth     int   `json:"queue_depth"`
+	ParkedOps      int64 `json:"parked_ops"`
+	DirtyKeys      int64 `json:"dirty_keys"`
+	RemovedKeys    int64 `json:"removed_keys"`
+
+	DroppedOps      int64            `json:"dropped_ops"`
+	DroppedByReason map[string]int64 `json:"dropped_by_reason,omitempty"`
+
+	LastAudit *AuditVerdict `json:"last_audit,omitempty"`
+}
+
+// Health evaluates the region against thr (zero value = defaults).
+//
+// Status rules, current conditions only (cumulative counters like
+// dropped ops are reported as data, not status — a drop a week ago is
+// not a present emergency):
+//   - divergent keys in the last audit        → stalled
+//   - max staleness ≥ stalled threshold       → stalled
+//   - max staleness ≥ degraded threshold      → degraded
+//   - parked (failed, retrying) ops           → degraded
+//
+// With observability disabled the staleness watermark reads 0 and only
+// the audit/parked rules can fire.
+func (r *Region) Health(thr HealthThresholds) Health {
+	thr = thr.withDefaults()
+	dirty, removed := r.headerCounts()
+	h := Health{
+		MaxStalenessNS: r.MaxStaleness(),
+		MaxCommitLagNS: r.MaxCommitLag(),
+		QueueHeadAgeNS: r.QueueHeadAge(),
+		QueueDepth:     r.QueueDepth(),
+		ParkedOps:      r.parked.Load(),
+		DirtyKeys:      dirty,
+		RemovedKeys:    removed,
+		DroppedOps:     r.dropped.Load(),
+	}
+	if d := r.DroppedByReason(); d[dropReasonRetryBudget]+d[dropReasonKindConflict]+d[dropReasonBackendError] > 0 {
+		h.DroppedByReason = d
+	}
+	if v, ok := r.LastAudit(); ok {
+		h.LastAudit = &v
+	}
+
+	worsen := func(to HealthStatus, why string) {
+		if to > h.Status {
+			h.Status = to
+		}
+		h.Reasons = append(h.Reasons, why)
+	}
+	if h.LastAudit != nil && h.LastAudit.Divergent > 0 {
+		worsen(HealthStalled, fmt.Sprintf("last audit found %d divergent key(s)", h.LastAudit.Divergent))
+	}
+	switch {
+	case h.MaxStalenessNS >= thr.StalledNS:
+		worsen(HealthStalled, fmt.Sprintf("oldest unacked op is %s old (stalled ≥ %s)",
+			time.Duration(h.MaxStalenessNS), time.Duration(thr.StalledNS)))
+	case h.MaxStalenessNS >= thr.DegradedNS:
+		worsen(HealthDegraded, fmt.Sprintf("oldest unacked op is %s old (degraded ≥ %s)",
+			time.Duration(h.MaxStalenessNS), time.Duration(thr.DegradedNS)))
+	}
+	if h.ParkedOps > 0 {
+		worsen(HealthDegraded, fmt.Sprintf("%d op(s) parked awaiting resubmission", h.ParkedOps))
+	}
+	return h
+}

@@ -182,6 +182,11 @@ type Region struct {
 	// queues with nothing pending under the dependent op's subtree.
 	trackers map[string]*pathTracker
 
+	// lags holds, per node, the wall-clock enqueue timestamps of the
+	// same not-yet-terminal ops (entries exist only when observability
+	// stamped Op.EnqWall) — the consistency-lag watermarks read them.
+	lags map[string]*lagTracker
+
 	seq     atomic.Uint64
 	ckptSeq atomic.Uint64
 
@@ -224,6 +229,17 @@ type Region struct {
 	coalesced, cacheRPCs, backendRPCs                 atomic.Int64
 	batchRPCs, batchedOps                             atomic.Int64
 	barriersScoped, barriersFull, cacheWarms          atomic.Int64
+
+	// droppedRetry/droppedConflict/droppedBackend break dropped down by
+	// terminal reason (see the dropReason* constants); maxLagNS is the
+	// peak enqueue→durable latency any committed op has seen.
+	droppedRetry, droppedConflict, droppedBackend atomic.Int64
+	maxLagNS                                      atomic.Int64
+
+	// lastAudit is the most recent divergence-audit verdict recorded via
+	// RecordAudit; Health folds it in.
+	auditMu   sync.Mutex
+	lastAudit *AuditVerdict
 
 	// obs is the observability registry (nil = disabled); parked counts
 	// ops resident in the commit processes' pending sets.
@@ -276,13 +292,15 @@ func (t *pathTracker) hasUnder(scope string) bool {
 	return false
 }
 
-// opTerminal releases an op's path-tracker reference. Every op that
-// entered a queue reaches exactly one terminal: committed, discarded,
-// dropped, or absorbed into a coalesced survivor.
+// opTerminal releases an op's path-tracker reference and its
+// consistency-lag entry. Every op that entered a queue reaches exactly
+// one terminal: committed, discarded, dropped, or absorbed into a
+// coalesced survivor.
 func (r *Region) opTerminal(op Op) {
 	if t := r.trackers[op.Node]; t != nil {
 		t.remove(op.Path)
 	}
+	r.lagRemove(op)
 }
 
 // remoteRegion is a merged peer's shareable view (§III.D.4: basic info —
@@ -314,6 +332,7 @@ func NewRegion(cfg RegionConfig, deps Deps) (*Region, error) {
 		queues:   make(map[string]*mq.Queue[Op]),
 		barrier:  mq.NewBarrier(len(cfg.Nodes)),
 		trackers: make(map[string]*pathTracker),
+		lags:     make(map[string]*lagTracker),
 		removing: make(map[string]int),
 		spill:    make(map[string][]byte),
 	}
@@ -330,7 +349,11 @@ func NewRegion(cfg RegionConfig, deps Deps) (*Region, error) {
 		r.cacheAddrs = append(r.cacheAddrs, addr)
 		r.ring.Add(addr)
 		r.queues[node] = mq.NewQueue[Op]()
+		// Queue-head wall stamping rides the observability switch: one
+		// clock read per push when on, one branch when off.
+		r.queues[node].TrackWall(deps.Obs != nil)
 		r.trackers[node] = &pathTracker{}
+		r.lags[node] = &lagTracker{}
 	}
 
 	// Verify the workspace and seed its metadata into the cache.
@@ -385,9 +408,21 @@ func (r *Region) registerMetrics() {
 	o.RegisterCounter("barrier_scoped", r.barriersScoped.Load)
 	o.RegisterCounter("barrier_full", r.barriersFull.Load)
 	o.RegisterCounter("cache_warm", r.cacheWarms.Load)
+	o.RegisterCounter("ops_dropped_"+dropReasonRetryBudget, r.droppedRetry.Load)
+	o.RegisterCounter("ops_dropped_"+dropReasonKindConflict, r.droppedConflict.Load)
+	o.RegisterCounter("ops_dropped_"+dropReasonBackendError, r.droppedBackend.Load)
 
 	o.RegisterGauge("queue_depth", func() int64 { return int64(r.QueueDepth()) })
 	o.RegisterGauge("parked_ops", r.parked.Load)
+	o.RegisterGauge("max_staleness_ns", r.MaxStaleness)
+	o.RegisterGauge("max_commit_lag_ns", r.maxLagNS.Load)
+	o.RegisterGauge("queue_head_age_ns", r.QueueHeadAge)
+	for _, node := range r.cfg.Nodes {
+		node := node
+		o.RegisterGauge("queue_oldest_unacked_ns_"+node, func() int64 {
+			return r.OldestUnacked(node)
+		})
+	}
 	o.RegisterGauge("spill_pending", func() int64 { return int64(r.SpillCount()) })
 	o.RegisterGauge("cache_items", func() int64 { return r.CacheStats().Items })
 	o.RegisterGauge("cache_used_bytes", func() int64 { return r.CacheStats().UsedBytes })

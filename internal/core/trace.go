@@ -48,7 +48,9 @@ func (r *Region) opCommitted(ring *obs.Ring, op Op) {
 	}
 	traceOp(ring, op, obs.StageApply, "")
 	if op.EnqWall != 0 {
-		r.obs.Hist(obs.HistCommitLag).RecordN(time.Now().UnixNano() - op.EnqWall)
+		lag := time.Now().UnixNano() - op.EnqWall
+		r.obs.Hist(obs.HistCommitLag).RecordN(lag)
+		r.noteCommitLag(lag)
 	}
 }
 

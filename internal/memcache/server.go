@@ -531,6 +531,43 @@ func (s *Server) HeaderCounts() (dirty, removed int64) {
 	return dirty, removed
 }
 
+// KeyValue is one key with a copied value, as returned by CommittedItems.
+type KeyValue struct {
+	Key   string
+	Value []byte
+}
+
+// CommittedItems returns up to limit resident entries whose value header
+// carries neither the dirty nor the removed flag — entries the region
+// believes are durably backed on the DFS. The divergence auditor samples
+// these server-side (HeaderCounts-style per-shard iteration under the
+// shard lock, header parse only; values are copied just for the selected
+// keys) so the audit set never includes in-flight writes by
+// construction. limit < 0 means no limit. Diagnostic only; charges no
+// virtual time.
+func (s *Server) CommittedItems(limit int) []KeyValue {
+	var out []KeyValue
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for k, si := range sh.items {
+			if limit >= 0 && len(out) >= limit {
+				break
+			}
+			flags, _, ok := parseValueHeader(si.item.Value)
+			if !ok || flags&(hdrDirty|hdrRemoved) != 0 {
+				continue
+			}
+			out = append(out, KeyValue{Key: k, Value: append([]byte(nil), si.item.Value...)})
+		}
+		sh.mu.Unlock()
+		if limit >= 0 && len(out) >= limit {
+			return out
+		}
+	}
+	return out
+}
+
 // Resource exposes the service resource for utilization reporting.
 func (s *Server) Resource() *vclock.Resource { return s.res }
 

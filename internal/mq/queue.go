@@ -8,6 +8,7 @@ package mq
 
 import (
 	"sync"
+	"time"
 
 	"pacon/internal/fsapi"
 )
@@ -27,6 +28,12 @@ type Queue[T any] struct {
 	items  []queueItem[T]
 	closed bool
 
+	// trackWall, when enabled, stamps every item with its wall-clock
+	// push time so OldestWall can report head-of-queue residency age
+	// (the consistency-lag gauges). Off by default: the disabled path
+	// costs one branch per push and never reads the clock.
+	trackWall bool
+
 	pushed  int64
 	popped  int64
 	maxSeen int
@@ -35,6 +42,7 @@ type Queue[T any] struct {
 type queueItem[T any] struct {
 	barrier bool
 	epoch   uint64
+	wall    int64 // unix ns at push; 0 unless trackWall
 	v       T
 }
 
@@ -53,7 +61,11 @@ func (q *Queue[T]) Push(v T) error {
 	if q.closed {
 		return fsapi.ErrClosed
 	}
-	q.items = append(q.items, queueItem[T]{v: v})
+	it := queueItem[T]{v: v}
+	if q.trackWall {
+		it.wall = time.Now().UnixNano()
+	}
+	q.items = append(q.items, it)
 	q.pushed++
 	if len(q.items) > q.maxSeen {
 		q.maxSeen = len(q.items)
@@ -69,9 +81,35 @@ func (q *Queue[T]) PushBarrier(epoch uint64) error {
 	if q.closed {
 		return fsapi.ErrClosed
 	}
-	q.items = append(q.items, queueItem[T]{barrier: true, epoch: epoch})
+	it := queueItem[T]{barrier: true, epoch: epoch}
+	if q.trackWall {
+		it.wall = time.Now().UnixNano()
+	}
+	q.items = append(q.items, it)
 	q.cond.Signal()
 	return nil
+}
+
+// TrackWall enables (or disables) wall-clock push timestamps. The region
+// turns it on when observability is attached; it costs one clock read
+// per push when enabled and one branch when not.
+func (q *Queue[T]) TrackWall(on bool) {
+	q.mu.Lock()
+	q.trackWall = on
+	q.mu.Unlock()
+}
+
+// OldestWall returns the head item's wall-clock push time (unix ns).
+// ok=false means the queue is empty or wall tracking is off. The head is
+// the message the subscriber will dequeue next, so now-OldestWall bounds
+// how long the oldest still-queued message has been waiting.
+func (q *Queue[T]) OldestWall() (wall int64, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.items) == 0 || q.items[0].wall == 0 {
+		return 0, false
+	}
+	return q.items[0].wall, true
 }
 
 // Pop blocks for the next message. ok=false means the queue was closed

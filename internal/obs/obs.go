@@ -38,6 +38,12 @@ const (
 	// size distribution, not a latency; it sizes the listings the read
 	// path's cache warming fans out over.
 	HistReaddirEntries = "readdir_entries"
+	// HistMaxStaleness is the sampled region-wide consistency-lag
+	// watermark (age of the oldest unacknowledged op, including parked
+	// and retrying ones). Fed by samplers — the bench harness ticks it —
+	// not by the pipeline itself, which exports the live value as the
+	// max_staleness_ns gauge.
+	HistMaxStaleness = "max_staleness"
 )
 
 // DefaultSlowSpan is the slow-op log threshold until overridden.

@@ -6,6 +6,7 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"sync"
 )
 
 // metricName sanitizes a registry name into a Prometheus metric name and
@@ -88,12 +89,25 @@ func (o *Obs) Handler() http.Handler {
 	})
 }
 
+// expvarMu serializes PublishExpvar: expvar.Publish panics on duplicate
+// names, and a bare Get probe is check-then-act — two goroutines
+// publishing the same name (e.g. two regions restarting concurrently
+// after checkpoint/restore) could both pass the probe and one would
+// panic. The process-wide mutex makes probe+publish atomic.
+var expvarMu sync.Mutex
+
 // PublishExpvar publishes the registry under one expvar name rendering
-// counters, gauges, and histogram quantile digests as JSON.
-// expvar.Publish panics on duplicate names, so re-publishing (tests,
-// multiple regions) is guarded by a Get probe.
+// counters, gauges, and histogram quantile digests as JSON. Idempotent
+// and safe to call concurrently: the first publish of a name wins and
+// later calls are no-ops (the published closure reads o live, so
+// re-registering readers on o — a region restart — needs no re-publish).
 func (o *Obs) PublishExpvar(name string) {
-	if o == nil || expvar.Get(name) != nil {
+	if o == nil {
+		return
+	}
+	expvarMu.Lock()
+	defer expvarMu.Unlock()
+	if expvar.Get(name) != nil {
 		return
 	}
 	expvar.Publish(name, expvar.Func(func() any {

@@ -72,6 +72,19 @@ type (
 	// SpecialPerm overrides the normal permission for a path or subtree.
 	SpecialPerm = core.SpecialPerm
 
+	// Health is a region's aggregated health snapshot: consistency-lag
+	// watermarks, queue state, drop counters, and the last audit verdict
+	// folded into a typed status.
+	Health = core.Health
+	// HealthStatus is the typed verdict: ok, degraded, or stalled.
+	HealthStatus = core.HealthStatus
+	// HealthThresholds sets the staleness levels at which a region
+	// reads degraded or stalled (zero values select the defaults).
+	HealthThresholds = core.HealthThresholds
+	// AuditVerdict is the summary a divergence audit leaves with the
+	// region (see internal/audit for the auditor itself).
+	AuditVerdict = core.AuditVerdict
+
 	// Obs is an observability sink: op tracing, latency histograms,
 	// counters/gauges, and a Prometheus-text /metrics handler. Attach
 	// one via Deps.Obs (or SimulationConfig.Obs); nil disables all
@@ -95,6 +108,16 @@ type (
 const (
 	TypeFile = fsapi.TypeFile
 	TypeDir  = fsapi.TypeDir
+)
+
+// Health statuses, worst to best: a region is stalled when an audit
+// found divergence or the staleness watermark blew the stalled
+// threshold; degraded on parked ops or a watermark past the degraded
+// threshold; ok otherwise.
+const (
+	HealthOK       = core.HealthOK
+	HealthDegraded = core.HealthDegraded
+	HealthStalled  = core.HealthStalled
 )
 
 // Sentinel errors, re-exported for errors.Is.
