@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check audit-check race-chaos bench-read clean
+.PHONY: build test check audit-check race-chaos bench-read bench-scale alloc-gate clean
 
 build:
 	$(GO) build ./...
@@ -30,6 +30,23 @@ audit-check: build
 # multi-key reads + scoped barriers vs the per-key/full-drain baseline.
 bench-read:
 	$(GO) run ./cmd/paconbench -readjson BENCH_read.json
+
+# bench-scale regenerates the client-scalability report
+# (BENCH_scale.json): virtual throughput at 160 → 1M simulated clients
+# multiplexed onto at most 64 shard goroutines.
+bench-scale:
+	$(GO) run ./cmd/paconbench -scalejson BENCH_scale.json
+
+# alloc-gate pins the create hot path's allocation count. The
+# pre-pooling baseline was 31 allocs/op; pooled codec + inline hashing +
+# buffer reuse brought it to 7, and the gate fails if it regresses past
+# 16 — halfway back to the baseline.
+alloc-gate:
+	@out=$$($(GO) test -run '^$$' -bench 'BenchmarkClientCreate$$' -benchtime 2000x -benchmem ./internal/core/); \
+	echo "$$out"; \
+	allocs=$$(echo "$$out" | awk '/^BenchmarkClientCreate/ {print $$(NF-1)}'); \
+	echo "create path: $$allocs allocs/op (gate: <= 16)"; \
+	test "$$allocs" -le 16
 
 # race-chaos runs only the chaos convergence schedules under -race.
 race-chaos:

@@ -36,6 +36,7 @@ func main() {
 		cjson  = flag.String("commitjson", "", "run the commit experiment and write its JSON report to this path")
 		rjson  = flag.String("readjson", "", "run the read experiment and write its JSON report to this path")
 		ajson  = flag.String("auditjson", "", "run the divergence-audit experiment and write its JSON report to this path")
+		sjson  = flag.String("scalejson", "", "run the scale experiment and write its JSON report to this path")
 		debug  = flag.String("debug", "", "serve /debug/vars and /debug/pprof on this address while experiments run")
 	)
 	flag.Parse()
@@ -84,6 +85,30 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s\n", *cjson)
+		if !*all && *fig == "" && *rjson == "" && *ajson == "" && *sjson == "" {
+			return
+		}
+	}
+
+	if *sjson != "" {
+		rep, figs, err := bench.RunScale(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paconbench: scale: %v\n", err)
+			os.Exit(1)
+		}
+		for _, f := range figs {
+			fmt.Println(f.String())
+		}
+		data, err := rep.JSON()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*sjson, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *sjson)
 		if !*all && *fig == "" && *rjson == "" && *ajson == "" {
 			return
 		}

@@ -43,6 +43,12 @@ type Config struct {
 	// MADbenchProcsPerNode and MADbenchFileMB size Fig 12.
 	MADbenchProcsPerNode int
 	MADbenchFileMB       int
+	// ScaleClients are the simulated-client counts the scale experiment
+	// sweeps (default 160, 10k, 100k, 1M). ScaleOpsBudget is the total
+	// operation budget per point, split evenly across the simulated
+	// clients (default 2²⁰).
+	ScaleClients   []int
+	ScaleOpsBudget int
 }
 
 // Default returns the paper-scale configuration (runs in minutes).
@@ -54,6 +60,8 @@ func Default() Config {
 		ItemsPerClient:       100,
 		MADbenchProcsPerNode: 16,
 		MADbenchFileMB:       4,
+		ScaleClients:         []int{160, 10_000, 100_000, 1_000_000},
+		ScaleOpsBudget:       1 << 20,
 	}
 }
 
@@ -66,6 +74,8 @@ func Quick() Config {
 		ItemsPerClient:       30,
 		MADbenchProcsPerNode: 4,
 		MADbenchFileMB:       1,
+		ScaleClients:         []int{160, 10_000},
+		ScaleOpsBudget:       100_000,
 	}
 }
 

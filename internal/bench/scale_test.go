@@ -1,0 +1,48 @@
+package bench
+
+import "testing"
+
+// Smoke-run the scale experiment at tiny scale: the multiplexing
+// bookkeeping (ops split across simulated clients, create/stat mix,
+// shard cap) must hold at both the goroutine-per-client and the
+// multiplexed end.
+func TestRunScaleTiny(t *testing.T) {
+	cfg := tiny()
+	cfg.ScaleClients = []int{16, 500}
+	cfg.ScaleOpsBudget = 2000
+	rep, figs, err := RunScale(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Points) != 2 || len(figs) != 1 {
+		t.Fatalf("points=%d figs=%d", len(rep.Points), len(figs))
+	}
+	for _, pt := range rep.Points {
+		if pt.Shards > maxShardGoroutines || pt.Shards > pt.Clients {
+			t.Fatalf("%d clients on %d shards", pt.Clients, pt.Shards)
+		}
+		wantOps := int64(pt.Clients * pt.OpsPerClient)
+		if pt.Ops != wantOps {
+			t.Fatalf("%d clients: ops=%d, want %d", pt.Clients, pt.Ops, wantOps)
+		}
+		if pt.Creates+pt.StatOps != pt.Ops {
+			t.Fatalf("mix %d+%d != %d", pt.Creates, pt.StatOps, pt.Ops)
+		}
+		if pt.Creates == 0 || pt.StatOps == 0 {
+			t.Fatalf("degenerate mix: creates=%d stats=%d", pt.Creates, pt.StatOps)
+		}
+		if pt.VirtualOPS <= 0 {
+			t.Fatalf("%d clients: VirtualOPS=%v", pt.Clients, pt.VirtualOPS)
+		}
+	}
+	// 500 clients over a 2000-op budget: 4 ops each; 16 clients get 125.
+	if got := rep.Points[0].OpsPerClient; got != 125 {
+		t.Fatalf("16-client ops/client = %d, want 125", got)
+	}
+	if got := rep.Points[1].OpsPerClient; got != 4 {
+		t.Fatalf("500-client ops/client = %d, want 4", got)
+	}
+	if rep.PeakVirtualOPS <= 0 {
+		t.Fatal("no peak throughput")
+	}
+}

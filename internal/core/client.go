@@ -11,6 +11,7 @@ import (
 	"pacon/internal/obs"
 	"pacon/internal/rpc"
 	"pacon/internal/vclock"
+	"pacon/internal/wire"
 )
 
 // Client is one application process's handle on a consistent region. It
@@ -288,8 +289,14 @@ func (c *Client) insert(at vclock.Time, kind OpKind, p string, st fsapi.Stat) (v
 	seq := r.seq.Add(1)
 	v := cacheVal{dirty: true, seq: seq, stat: st}
 	afterRm := false
+	// v is loop-invariant: encode it once into a pooled buffer shared by
+	// every Add/CAS attempt (the cache client copies the value into its
+	// request frame before returning).
+	enc := wire.GetEncoder()
+	v.encodeTo(enc)
+	defer wire.PutEncoder(enc)
 	for {
-		_, done, err := c.cache.Add(at, p, v.encode(), 0)
+		_, done, err := c.cache.Add(at, p, enc.Bytes(), 0)
 		at = done
 		if err == nil {
 			break
@@ -321,7 +328,7 @@ func (c *Client) insert(at vclock.Time, kind OpKind, p string, st fsapi.Stat) (v
 			return at, fsapi.WrapPath(op, p, fsapi.ErrExist)
 		}
 		afterRm = true // replacing a removed marker: a remove is queued
-		_, done, cerr := c.cache.CAS(at, p, v.encode(), 0, item.CAS)
+		_, done, cerr := c.cache.CAS(at, p, enc.Bytes(), 0, item.CAS)
 		at = done
 		if cerr == nil {
 			break
@@ -789,7 +796,10 @@ func (c *Client) Remove(at vclock.Time, p string) (vclock.Time, error) {
 				return at, fsapi.WrapPath("rm", p, fsapi.ErrIsDir)
 			}
 			v.removed, v.dirty, v.seq = true, true, seq
-			_, done, cerr := c.cache.CAS(at, p, v.encode(), 0, item.CAS)
+			enc := wire.GetEncoder()
+			v.encodeTo(enc)
+			_, done, cerr := c.cache.CAS(at, p, enc.Bytes(), 0, item.CAS)
+			wire.PutEncoder(enc)
 			at = done
 			if cerr == nil {
 				return c.pushOp(at, OpRemove, p, fsapi.Stat{}, seq)
@@ -809,7 +819,10 @@ func (c *Client) Remove(at vclock.Time, p string) (vclock.Time, error) {
 				return at, fsapi.WrapPath("rm", p, fsapi.ErrIsDir)
 			}
 			v := cacheVal{removed: true, dirty: true, seq: seq, stat: st}
-			_, done, aerr := c.cache.Add(at, p, v.encode(), 0)
+			enc := wire.GetEncoder()
+			v.encodeTo(enc)
+			_, done, aerr := c.cache.Add(at, p, enc.Bytes(), 0)
+			wire.PutEncoder(enc)
 			at = done
 			if aerr == nil {
 				return c.pushOp(at, OpRemove, p, fsapi.Stat{}, seq)

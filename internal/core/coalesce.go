@@ -45,12 +45,24 @@ package core
 // absorbed side is identified structurally (the merged op keeps prev's
 // kind when a setstat folded into a create, and next's kind otherwise)
 // so the hook fires even when tracing is off and every span is zero.
-func coalesceOps(ops []Op, onMerge func(survivor, absorbed Op)) ([]Op, int64) {
+//
+// The result is built in place (out reuses ops' backing array — the
+// write index never passes the read index, and each range element is
+// copied out before the slot can be overwritten), and scratch, when
+// non-nil, is a caller-owned per-path index map reused across batches so
+// a long-running commit loop allocates nothing per dequeue. Pass nil to
+// allocate internally.
+func coalesceOps(ops []Op, scratch map[string]int, onMerge func(survivor, absorbed Op)) ([]Op, int64) {
 	if len(ops) < 2 {
 		return ops, 0
 	}
-	out := make([]Op, 0, len(ops))
-	last := make(map[string]int, len(ops))
+	last := scratch
+	if last == nil {
+		last = make(map[string]int, len(ops))
+	} else {
+		clear(last)
+	}
+	out := ops[:0]
 	var merged int64
 	for _, op := range ops {
 		if i, ok := last[op.Path]; ok {

@@ -93,7 +93,7 @@ func TestCoalesceChainCollapsesToOne(t *testing.T) {
 		{Kind: OpSetStat, Path: "/w/a", Stat: fsapi.Stat{Size: 5}, Seq: 2, Time: 3},
 		{Kind: OpSetStat, Path: "/w/a", Stat: fsapi.Stat{Size: 7}, Seq: 3, Time: 4},
 	}
-	out, merged := coalesceOps(ops, nil)
+	out, merged := coalesceOps(ops, nil, nil)
 	if merged != 2 || len(out) != 2 {
 		t.Fatalf("got %d ops, %d merged: %+v", len(out), merged, out)
 	}
@@ -111,7 +111,7 @@ func TestCoalesceCreateSetStatRemoveIsNetAbsent(t *testing.T) {
 		{Kind: OpSetStat, Path: "/w/a", Seq: 2, Time: 2},
 		{Kind: OpRemove, Path: "/w/a", Seq: 3, Time: 3},
 	}
-	out, merged := coalesceOps(ops, nil)
+	out, merged := coalesceOps(ops, nil, nil)
 	if merged != 2 || len(out) != 1 || out[0].Kind != OpRemove || !out[0].NetAbsent {
 		t.Fatalf("create+setstat+remove = %+v (merged %d), want one net-absence remove", out, merged)
 	}
@@ -123,7 +123,7 @@ func TestCoalesceRemoveCreateStaysTwo(t *testing.T) {
 		{Kind: OpCreate, Path: "/w/a", Seq: 2, Time: 2, AfterRm: true},
 		{Kind: OpSetStat, Path: "/w/a", Stat: fsapi.Stat{Size: 3}, Seq: 3, Time: 3},
 	}
-	out, merged := coalesceOps(ops, nil)
+	out, merged := coalesceOps(ops, nil, nil)
 	if merged != 1 || len(out) != 2 {
 		t.Fatalf("got %+v (merged %d), want remove then create", out, merged)
 	}
@@ -134,7 +134,7 @@ func TestCoalesceRemoveCreateStaysTwo(t *testing.T) {
 
 func TestCoalesceSingletonUntouched(t *testing.T) {
 	ops := []Op{{Kind: OpCreate, Path: "/w/a", Seq: 1}}
-	out, merged := coalesceOps(ops, nil)
+	out, merged := coalesceOps(ops, nil, nil)
 	if merged != 0 || len(out) != 1 {
 		t.Fatalf("singleton batch changed: %+v, %d", out, merged)
 	}

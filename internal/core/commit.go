@@ -85,6 +85,12 @@ func (r *Region) commitLoop(node string, backend Backend) {
 	ring := r.obsRing(node)
 	var now vclock.Time
 	pending := pendingSet{region: r, ring: ring}
+	coalesceScratch := make(map[string]int, r.cfg.CommitBatchSize)
+	// batchBuf is the dequeue buffer, reused across PopBatchInto calls:
+	// everything downstream (coalescing, wave construction, parking)
+	// copies the Op values it keeps, so nothing references the buffer by
+	// the time the loop re-enters.
+	var batchBuf []Op
 
 	// onMerge retires the absorbed op: its path-tracker reference is
 	// released (the survivor carries the path to its own terminal) and,
@@ -99,7 +105,10 @@ func (r *Region) commitLoop(node string, backend Backend) {
 	}
 
 	for {
-		ops, isBarrier, epoch, ok := q.PopBatch(r.cfg.CommitBatchSize)
+		ops, isBarrier, epoch, ok := q.PopBatchInto(batchBuf, r.cfg.CommitBatchSize)
+		if ops != nil {
+			batchBuf = ops
+		}
 		if !ok {
 			// Queue closed: push out whatever can still commit.
 			r.drainPending(&pending, &now, backend, cache)
@@ -120,7 +129,7 @@ func (r *Region) commitLoop(node string, backend Backend) {
 		r.observeDequeue(ring, ops)
 		if !r.cfg.DisableCoalesce {
 			var merged int64
-			ops, merged = coalesceOps(ops, onMerge)
+			ops, merged = coalesceOps(ops, coalesceScratch, onMerge)
 			r.coalesced.Add(merged)
 		}
 		r.applyOps(ops, &now, backend, cache, &pending)
@@ -136,9 +145,10 @@ func (r *Region) commitLoop(node string, backend Backend) {
 // next wave, and parks if its predecessor parked), and a wave's
 // independent-path ops ship in one apply_batch round trip.
 func (r *Region) applyOps(ops []Op, now *vclock.Time, backend Backend, cache *memcache.Client, pending *pendingSet) {
+	inWave := make(map[string]bool, len(ops))
 	for len(ops) > 0 {
 		var wave, rest []Op
-		inWave := make(map[string]bool, len(ops))
+		clear(inWave)
 		for _, op := range ops {
 			switch {
 			case inWave[op.Path]:

@@ -102,8 +102,12 @@ type cacheVal struct {
 	stat fsapi.Stat
 }
 
-func (v cacheVal) encode() []byte {
-	e := wire.NewEncoder(80 + len(v.stat.Inline))
+// encodeTo appends v's wire form to e — the pooled-encoder form of
+// encode for hot paths. The caller owns e and must not recycle it until
+// the cache RPC consuming e.Bytes() has returned; cache clients copy the
+// value into their own request frame synchronously, so bracketing the
+// call with wire.GetEncoder/PutEncoder is safe.
+func (v cacheVal) encodeTo(e *wire.Encoder) {
 	var flags byte
 	if v.dirty {
 		flags |= 1
@@ -117,11 +121,18 @@ func (v cacheVal) encode() []byte {
 	e.Byte(flags)
 	e.Uvarint(v.seq)
 	fsapi.EncodeStat(e, v.stat)
+}
+
+func (v cacheVal) encode() []byte {
+	e := wire.NewEncoder(80 + len(v.stat.Inline))
+	v.encodeTo(e)
 	return e.Bytes()
 }
 
 func decodeCacheVal(b []byte) (cacheVal, error) {
-	d := wire.NewDecoder(b)
+	// The decoder is poolable: every field either copies out (String,
+	// Blob — DecodeStat's Inline is a Blob) or is a scalar.
+	d := wire.GetDecoder(b)
 	flags := d.Byte()
 	v := cacheVal{
 		dirty:   flags&1 != 0,
@@ -130,7 +141,9 @@ func decodeCacheVal(b []byte) (cacheVal, error) {
 		seq:     d.Uvarint(),
 	}
 	v.stat = fsapi.DecodeStat(d)
-	if err := d.Finish(); err != nil {
+	err := d.Finish()
+	wire.PutDecoder(d)
+	if err != nil {
 		return cacheVal{}, err
 	}
 	return v, nil

@@ -172,27 +172,33 @@ func (c *Client) lookupRPC(at vclock.Time, p string) (fsapi.Stat, vclock.Time, e
 // RPC per uncached component and checking traversal (exec) permission —
 // the layer-by-layer path traversal Pacon's batch permissions avoid.
 func (c *Client) resolveAncestors(at vclock.Time, p string) (vclock.Time, error) {
-	for _, anc := range namespace.Ancestors(p) {
+	var rerr error
+	namespace.VisitAncestors(p, func(anc string) bool {
 		if st, ok := c.cacheGet(anc, at); ok {
 			if !st.IsDir() {
-				return at, fsapi.WrapPath("traverse", anc, fsapi.ErrNotDir)
+				rerr = fsapi.WrapPath("traverse", anc, fsapi.ErrNotDir)
+				return false
 			}
-			continue
+			return true
 		}
 		st, done, err := c.lookupRPC(at, anc)
 		at = done
 		if err != nil {
-			return at, err
+			rerr = err
+			return false
 		}
 		if !st.IsDir() {
-			return at, fsapi.WrapPath("traverse", anc, fsapi.ErrNotDir)
+			rerr = fsapi.WrapPath("traverse", anc, fsapi.ErrNotDir)
+			return false
 		}
 		if !st.Mode.Allows(c.cfg.Cred.ClassFor(st.UID, st.GID), fsapi.WantExec) {
-			return at, fsapi.WrapPath("traverse", anc, fsapi.ErrPermission)
+			rerr = fsapi.WrapPath("traverse", anc, fsapi.ErrPermission)
+			return false
 		}
 		c.cachePut(anc, st, at)
-	}
-	return at, nil
+		return true
+	})
+	return at, rerr
 }
 
 // mutateBody builds the standard mutation request frame in a pooled

@@ -8,7 +8,6 @@ package dht
 
 import (
 	"fmt"
-	"hash/fnv"
 	"sort"
 	"sync"
 )
@@ -50,10 +49,21 @@ func NewWithMembers(vnodes int, members ...string) *Ring {
 	return r
 }
 
+// FNV-1a 64, inlined: hash/fnv hides its state behind an interface,
+// which heap-allocates per call — and hashKey runs once per key on every
+// Lookup/GroupByOwner, i.e. at least once per cache RPC.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
 func hashKey(s string) uint64 {
-	h := fnv.New64a()
-	h.Write([]byte(s))
-	return mix64(h.Sum64())
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	return mix64(h)
 }
 
 // mix64 is the splitmix64 finalizer; FNV alone clusters badly on short

@@ -49,9 +49,11 @@ func (c *Client) Get(at vclock.Time, key string) (Item, vclock.Time, error) {
 	if err != nil {
 		return Item{}, done, err
 	}
-	d := wire.NewDecoder(resp)
+	d := wire.GetDecoder(resp)
 	item := Item{CAS: d.Uint64(), Flags: d.Uint32(), Value: d.Blob()}
-	if derr := d.Finish(); derr != nil {
+	derr := d.Finish()
+	wire.PutDecoder(d)
+	if derr != nil {
 		return Item{}, done, derr
 	}
 	return item, done, nil
@@ -120,7 +122,7 @@ func (c *Client) GetMulti(at vclock.Time, keys []string) ([]MultiResult, vclock.
 			wire.PutEncoder(e)
 			times[bi] = done
 			if err == nil {
-				d := wire.NewDecoder(resp)
+				d := wire.GetDecoder(resp)
 				if n := d.Uvarint(); n != uint64(len(b.keys)) {
 					err = fmt.Errorf("memcache: get_multi returned %d results for %d keys", n, len(b.keys))
 				} else {
@@ -134,6 +136,7 @@ func (c *Client) GetMulti(at vclock.Time, keys []string) ([]MultiResult, vclock.
 					}
 					err = d.Finish()
 				}
+				wire.PutDecoder(d)
 			}
 			if err != nil {
 				for _, i := range b.idx {
@@ -183,7 +186,7 @@ func (c *Client) AddMulti(at vclock.Time, entries []AddEntry) ([]AddResult, vclo
 			wire.PutEncoder(e)
 			times[bi] = done
 			if err == nil {
-				d := wire.NewDecoder(resp)
+				d := wire.GetDecoder(resp)
 				if n := d.Uvarint(); n != uint64(len(b.idx)) {
 					err = fmt.Errorf("memcache: add_multi returned %d results for %d entries", n, len(b.idx))
 				} else {
@@ -194,6 +197,7 @@ func (c *Client) AddMulti(at vclock.Time, entries []AddEntry) ([]AddResult, vclo
 					}
 					err = d.Finish()
 				}
+				wire.PutDecoder(d)
 			}
 			if err != nil {
 				for _, i := range b.idx {
@@ -221,9 +225,11 @@ func (c *Client) storeOp(method string, at vclock.Time, key string, value []byte
 	if err != nil {
 		return 0, done, err
 	}
-	d := wire.NewDecoder(resp)
+	d := wire.GetDecoder(resp)
 	cas := d.Uint64()
-	if derr := d.Finish(); derr != nil {
+	derr := d.Finish()
+	wire.PutDecoder(d)
+	if derr != nil {
 		return 0, done, derr
 	}
 	return cas, done, nil
@@ -277,9 +283,11 @@ func (c *Client) ClearDirty(at vclock.Time, key string, seq uint64) (bool, vcloc
 	if err != nil {
 		return false, done, err
 	}
-	d := wire.NewDecoder(resp)
+	d := wire.GetDecoder(resp)
 	cleared := d.Bool()
-	if derr := d.Finish(); derr != nil {
+	derr := d.Finish()
+	wire.PutDecoder(d)
+	if derr != nil {
 		return false, done, derr
 	}
 	return cleared, done, nil
@@ -299,9 +307,11 @@ func (c *Client) DeleteIf(at vclock.Time, key string, cond Cond, seq uint64) (bo
 	if err != nil {
 		return false, done, err
 	}
-	d := wire.NewDecoder(resp)
+	d := wire.GetDecoder(resp)
 	deleted := d.Bool()
-	if derr := d.Finish(); derr != nil {
+	derr := d.Finish()
+	wire.PutDecoder(d)
+	if derr != nil {
 		return false, done, derr
 	}
 	return deleted, done, nil

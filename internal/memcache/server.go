@@ -10,7 +10,6 @@ package memcache
 import (
 	"container/list"
 	"encoding/binary"
-	"hash/fnv"
 	"sync"
 	"sync/atomic"
 
@@ -91,10 +90,34 @@ func NewServer(name string, cfg ServerConfig) *Server {
 	return s
 }
 
+// FNV-1a, inlined: hash/fnv returns its state behind an interface, which
+// heap-allocates on every shardFor — one avoidable allocation per cache
+// op on the hottest server path.
+const (
+	fnvOffset32 = 2166136261
+	fnvPrime32  = 16777619
+)
+
+func fnv1aString(s string) uint32 {
+	h := uint32(fnvOffset32)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= fnvPrime32
+	}
+	return h
+}
+
+func fnv1aBytes(b []byte) uint32 {
+	h := uint32(fnvOffset32)
+	for _, c := range b {
+		h ^= uint32(c)
+		h *= fnvPrime32
+	}
+	return h
+}
+
 func (s *Server) shardFor(key string) *shard {
-	h := fnv.New32a()
-	h.Write([]byte(key))
-	return &s.shards[h.Sum32()%numShards]
+	return &s.shards[fnv1aString(key)%numShards]
 }
 
 func itemBytes(key string, v []byte) int64 { return int64(len(key) + len(v) + 64) }
@@ -122,6 +145,40 @@ func (s *Server) Get(at vclock.Time, key string) (Item, vclock.Time, error) {
 	out := si.item
 	out.Value = append([]byte(nil), si.item.Value...)
 	return out, done, nil
+}
+
+// lookupInto looks up key — raw bytes aliasing the request frame, used
+// only for the shard hash and the map probe, never retained — and on a
+// hit appends CAS, flags and value to e under the shard lock, writing
+// the hit/miss marker byte first when withHit is set. Encoding under the
+// lock is safe because stored value buffers are never mutated in place:
+// store and ClearDirty always install fresh copies. This is the
+// single-copy serving path behind the get/get_multi handlers (value goes
+// straight from the shard into the response frame); hit/miss accounting
+// and the LRU touch match Get.
+func (s *Server) lookupInto(e *wire.Encoder, key []byte, withHit bool) bool {
+	sh := &s.shards[fnv1aBytes(key)%numShards]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	si, ok := sh.items[string(key)]
+	if !ok {
+		s.misses.Add(1)
+		if withHit {
+			e.Bool(false)
+		}
+		return false
+	}
+	s.hits.Add(1)
+	if si.elem != nil {
+		sh.lru.MoveToFront(si.elem)
+	}
+	if withHit {
+		e.Bool(true)
+	}
+	e.Uint64(si.item.CAS)
+	e.Uint32(si.item.Flags)
+	e.Blob(si.item.Value)
+	return true
 }
 
 // GetMultiResult is one per-key result of GetMulti; a miss is Hit ==
@@ -575,54 +632,65 @@ func (s *Server) Resource() *vclock.Resource { return s.res }
 func (s *Server) Service() *rpc.Service {
 	svc := rpc.NewService()
 	svc.Handle("get", func(at vclock.Time, body []byte) (vclock.Time, []byte, error) {
-		d := wire.NewDecoder(body)
-		key := d.String()
-		if err := d.Finish(); err != nil {
+		// The key is read as a BlobView (string and blob share the
+		// uvarint+bytes framing): it aliases the request frame, which
+		// stays valid for the whole handler, and lookupInto never
+		// retains it — so a cache hit costs exactly one value copy,
+		// straight into the response frame.
+		d := wire.GetDecoder(body)
+		key := d.BlobView()
+		err := d.Finish()
+		wire.PutDecoder(d)
+		if err != nil {
 			return at, nil, err
 		}
-		item, done, err := s.Get(at, key)
-		if err != nil {
-			return done, nil, err
+		done := s.acquire(at)
+		e := wire.NewEncoder(96)
+		if !s.lookupInto(e, key, false) {
+			return done, nil, fsapi.ErrNotExist
 		}
-		e := wire.NewEncoder(16 + len(item.Value))
-		e.Uint64(item.CAS)
-		e.Uint32(item.Flags)
-		e.Blob(item.Value)
 		return done, e.Bytes(), nil
 	})
 	svc.Handle("get_multi", func(at vclock.Time, body []byte) (vclock.Time, []byte, error) {
-		d := wire.NewDecoder(body)
-		keys := d.Strings()
-		if err := d.Finish(); err != nil {
-			return at, nil, err
+		d := wire.GetDecoder(body)
+		n := d.Uvarint()
+		if n > uint64(len(body)) {
+			// Each key costs at least its length prefix; a larger count
+			// is corrupt — reject before sizing the response by it.
+			wire.PutDecoder(d)
+			return at, nil, wire.ErrTooLong
 		}
-		results, done := s.GetMulti(at, keys)
-		sz := 16
-		for _, r := range results {
-			sz += 16 + len(r.Item.Value)
-		}
-		e := wire.NewEncoder(sz)
-		e.Uvarint(uint64(len(results)))
-		for _, r := range results {
-			e.Bool(r.Hit)
-			if r.Hit {
-				e.Uint64(r.Item.CAS)
-				e.Uint32(r.Item.Flags)
-				e.Blob(r.Item.Value)
+		done := s.acquire(at)
+		e := wire.NewEncoder(16 + 96*int(n))
+		e.Uvarint(n)
+		for i := uint64(0); i < n && d.Err() == nil; i++ {
+			if key := d.BlobView(); d.Err() == nil {
+				s.lookupInto(e, key, true)
 			}
+		}
+		err := d.Finish()
+		wire.PutDecoder(d)
+		if err != nil {
+			return at, nil, err
 		}
 		return done, e.Bytes(), nil
 	})
 	svc.Handle("add_multi", func(at vclock.Time, body []byte) (vclock.Time, []byte, error) {
-		d := wire.NewDecoder(body)
+		d := wire.GetDecoder(body)
 		n := d.Uvarint()
+		if n > uint64(len(body)) {
+			wire.PutDecoder(d)
+			return at, nil, wire.ErrTooLong
+		}
 		entries := make([]AddEntry, 0, n)
 		for i := uint64(0); i < n && d.Err() == nil; i++ {
 			en := AddEntry{Key: d.String(), Flags: d.Uint32()}
 			en.Value = d.BlobView()
 			entries = append(entries, en)
 		}
-		if err := d.Finish(); err != nil {
+		err := d.Finish()
+		wire.PutDecoder(d)
+		if err != nil {
 			return at, nil, err
 		}
 		results, done := s.AddMulti(at, entries)
@@ -636,12 +704,14 @@ func (s *Server) Service() *rpc.Service {
 	})
 	store := func(mode storeMode) rpc.Handler {
 		return func(at vclock.Time, body []byte) (vclock.Time, []byte, error) {
-			d := wire.NewDecoder(body)
+			d := wire.GetDecoder(body)
 			key := d.String()
 			flags := d.Uint32()
 			expect := d.Uint64()
 			value := d.BlobView()
-			if err := d.Finish(); err != nil {
+			err := d.Finish()
+			wire.PutDecoder(d)
+			if err != nil {
 				return at, nil, err
 			}
 			done := s.acquire(at)
@@ -658,29 +728,35 @@ func (s *Server) Service() *rpc.Service {
 	svc.Handle("add", store(storeAdd))
 	svc.Handle("cas", store(storeCAS))
 	svc.Handle("delete", func(at vclock.Time, body []byte) (vclock.Time, []byte, error) {
-		d := wire.NewDecoder(body)
+		d := wire.GetDecoder(body)
 		key := d.String()
-		if err := d.Finish(); err != nil {
+		err := d.Finish()
+		wire.PutDecoder(d)
+		if err != nil {
 			return at, nil, err
 		}
 		done, err := s.Delete(at, key)
 		return done, nil, err
 	})
 	svc.Handle("delete_cas", func(at vclock.Time, body []byte) (vclock.Time, []byte, error) {
-		d := wire.NewDecoder(body)
+		d := wire.GetDecoder(body)
 		key := d.String()
 		expect := d.Uint64()
-		if err := d.Finish(); err != nil {
+		err := d.Finish()
+		wire.PutDecoder(d)
+		if err != nil {
 			return at, nil, err
 		}
 		done, err := s.DeleteCAS(at, key, expect)
 		return done, nil, err
 	})
 	svc.Handle("clear_dirty", func(at vclock.Time, body []byte) (vclock.Time, []byte, error) {
-		d := wire.NewDecoder(body)
+		d := wire.GetDecoder(body)
 		key := d.String()
 		seq := d.Uvarint()
-		if err := d.Finish(); err != nil {
+		err := d.Finish()
+		wire.PutDecoder(d)
+		if err != nil {
 			return at, nil, err
 		}
 		cleared, done, err := s.ClearDirty(at, key, seq)
@@ -692,11 +768,13 @@ func (s *Server) Service() *rpc.Service {
 		return done, e.Bytes(), nil
 	})
 	svc.Handle("delete_if", func(at vclock.Time, body []byte) (vclock.Time, []byte, error) {
-		d := wire.NewDecoder(body)
+		d := wire.GetDecoder(body)
 		key := d.String()
 		cond := Cond(d.Byte())
 		seq := d.Uvarint()
-		if err := d.Finish(); err != nil {
+		err := d.Finish()
+		wire.PutDecoder(d)
+		if err != nil {
 			return at, nil, err
 		}
 		deleted, done, err := s.DeleteIf(at, key, cond, seq)

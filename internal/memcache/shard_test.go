@@ -1,0 +1,152 @@
+package memcache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"pacon/internal/fsapi"
+)
+
+// TestServerConcurrentShards hammers the sharded store from many
+// goroutines — Set/Get/CAS/Delete over disjoint per-goroutine key
+// ranges — while full-table sweeps (FlushAll, CommittedItems, ForEach,
+// HeaderCounts, Stats) run concurrently. The sweeps lock one shard at a
+// time, never the world, so they must tolerate racing mutations; the
+// per-key operations must stay linearizable per key regardless. Run
+// under -race via make check.
+func TestServerConcurrentShards(t *testing.T) {
+	s := testServer(ServerConfig{})
+	const (
+		workers = 8
+		keys    = 64
+		rounds  = 50
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				for k := 0; k < keys; k++ {
+					key := fmt.Sprintf("/w%d/k%d", w, k)
+					val := fmt.Sprintf("v%d.%d", w, r)
+					cas, _, err := s.Set(0, key, []byte(val), uint32(r))
+					if err != nil {
+						t.Errorf("set %s: %v", key, err)
+						return
+					}
+					item, _, err := s.Get(0, key)
+					// A racing FlushAll may legitimately evict the key
+					// between our Set and Get; absence is fine, a stale
+					// value is not (keys are worker-private, so any
+					// surviving item must be our latest write).
+					if err == nil && item.CAS >= cas && string(item.Value) != val {
+						t.Errorf("get %s: cas %d value %q, want %q", key, item.CAS, item.Value, val)
+						return
+					}
+					if r%8 == 0 {
+						if _, err := s.Delete(0, key); err != nil && !errors.Is(err, fsapi.ErrNotExist) {
+							t.Errorf("delete %s: %v", key, err)
+							return
+						}
+					}
+				}
+			}
+		}(w)
+	}
+	// Sweeper: full-table operations racing the writers.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for r := 0; r < rounds; r++ {
+			_ = s.CommittedItems(32)
+			s.ForEach(func(key string, item Item) {
+				if len(key) == 0 || item.CAS == 0 {
+					t.Errorf("foreach saw key %q cas %d", key, item.CAS)
+				}
+			})
+			_, _ = s.HeaderCounts()
+			_ = s.Stats()
+			if r%16 == 0 {
+				s.FlushAll(0)
+			}
+		}
+	}()
+	wg.Wait()
+}
+
+// TestServerConcurrentDeleteCASNoResurrection races a guarded delete
+// carrying a stale version against a Set that bumps it. Whichever order
+// the shard serializes them in, the new value must survive: either the
+// delete lands first (removing the old version, then Set re-creates) or
+// it lands second and must fail ErrStale. A stale guarded delete
+// removing the newer value would resurrect deleted state on the commit
+// path (the bug class DeleteCAS exists to prevent).
+func TestServerConcurrentDeleteCASNoResurrection(t *testing.T) {
+	s := testServer(ServerConfig{})
+	const rounds = 200
+	for r := 0; r < rounds; r++ {
+		key := fmt.Sprintf("/k%d", r)
+		oldCAS, _, err := s.Set(0, key, []byte("old"), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			if _, _, err := s.Set(0, key, []byte("new"), 0); err != nil {
+				t.Errorf("set new: %v", err)
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			_, err := s.DeleteCAS(0, key, oldCAS)
+			if err != nil && !errors.Is(err, fsapi.ErrStale) && !errors.Is(err, fsapi.ErrNotExist) {
+				t.Errorf("delete_cas: %v", err)
+			}
+		}()
+		wg.Wait()
+		item, _, err := s.Get(0, key)
+		if err != nil || string(item.Value) != "new" {
+			t.Fatalf("round %d: after race value=%q err=%v, want %q", r, item.Value, err, "new")
+		}
+	}
+}
+
+// TestServerGetMultiDuringFlush checks that the batched read path and a
+// concurrent FlushAll interleave without a global pause: get_multi
+// walks shards one at a time, so a flush racing it may hide any subset
+// of the keys but must never corrupt a returned item.
+func TestServerGetMultiDuringFlush(t *testing.T) {
+	s := testServer(ServerConfig{})
+	keys := make([]string, 128)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("/m/k%d", i)
+		if _, _, err := s.Set(0, keys[i], []byte(keys[i]), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			s.FlushAll(0)
+			for _, k := range keys {
+				_, _, _ = s.Set(0, k, []byte(k), 0)
+			}
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		res, _ := s.GetMulti(0, keys)
+		for j, r := range res {
+			if r.Hit && string(r.Item.Value) != keys[j] {
+				t.Fatalf("get_multi[%d] = %q, want %q", j, r.Item.Value, keys[j])
+			}
+		}
+	}
+	wg.Wait()
+}

@@ -8,6 +8,7 @@ package mq
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pacon/internal/fsapi"
@@ -22,21 +23,38 @@ import (
 // node queue are serialized anyway, so a single marker per node carries
 // the same information; the coordinator (Barrier) still counts one
 // arrival per node, which is the paper's multi-node decision rule.
+//
+// The queue is split two-lock, Michael–Scott style: publishers append to
+// the tail under pushMu while the subscriber drains the head under
+// popMu, so a commit process chewing through a large batch never blocks
+// the node's clients from publishing. The subscriber takes both locks
+// (popMu then pushMu — the only lock order in this file) only for the
+// brief tail→head swap when its head buffer runs dry, and the two
+// buffers ping-pong so steady-state operation allocates nothing.
 type Queue[T any] struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	items  []queueItem[T]
-	closed bool
-
-	// trackWall, when enabled, stamps every item with its wall-clock
-	// push time so OldestWall can report head-of-queue residency age
-	// (the consistency-lag gauges). Off by default: the disabled path
-	// costs one branch per push and never reads the clock.
+	// pushMu guards the publish side: tail, closed, trackWall, the
+	// pushed counter and the depth high-water mark. cond (on pushMu)
+	// signals new tail items and close.
+	pushMu    sync.Mutex
+	cond      *sync.Cond
+	tail      []queueItem[T]
+	closed    bool
 	trackWall bool
+	pushed    int64
+	maxSeen   int
 
-	pushed  int64
-	popped  int64
-	maxSeen int
+	// popMu guards the subscribe side: the head buffer and its consume
+	// offset. The subscriber never holds popMu while blocked waiting for
+	// items (see ensureHead), so OldestWall/Len/Stats samplers stay live
+	// while the commit process sleeps on an empty queue.
+	popMu   sync.Mutex
+	head    []queueItem[T]
+	headOff int
+
+	// size and popped are atomic so each side updates them under its own
+	// lock only.
+	size   atomic.Int64
+	popped atomic.Int64
 }
 
 type queueItem[T any] struct {
@@ -49,44 +67,47 @@ type queueItem[T any] struct {
 // NewQueue returns an empty open queue.
 func NewQueue[T any]() *Queue[T] {
 	q := &Queue[T]{}
-	q.cond = sync.NewCond(&q.mu)
+	q.cond = sync.NewCond(&q.pushMu)
 	return q
 }
 
 // Push publishes an operation message. Push on a closed queue returns
 // ErrClosed.
 func (q *Queue[T]) Push(v T) error {
-	q.mu.Lock()
-	defer q.mu.Unlock()
+	q.pushMu.Lock()
 	if q.closed {
+		q.pushMu.Unlock()
 		return fsapi.ErrClosed
 	}
 	it := queueItem[T]{v: v}
 	if q.trackWall {
 		it.wall = time.Now().UnixNano()
 	}
-	q.items = append(q.items, it)
+	q.tail = append(q.tail, it)
 	q.pushed++
-	if len(q.items) > q.maxSeen {
-		q.maxSeen = len(q.items)
+	if n := int(q.size.Add(1)); n > q.maxSeen {
+		q.maxSeen = n
 	}
 	q.cond.Signal()
+	q.pushMu.Unlock()
 	return nil
 }
 
 // PushBarrier publishes a barrier marker for epoch.
 func (q *Queue[T]) PushBarrier(epoch uint64) error {
-	q.mu.Lock()
-	defer q.mu.Unlock()
+	q.pushMu.Lock()
 	if q.closed {
+		q.pushMu.Unlock()
 		return fsapi.ErrClosed
 	}
 	it := queueItem[T]{barrier: true, epoch: epoch}
 	if q.trackWall {
 		it.wall = time.Now().UnixNano()
 	}
-	q.items = append(q.items, it)
+	q.tail = append(q.tail, it)
+	q.size.Add(1)
 	q.cond.Signal()
+	q.pushMu.Unlock()
 	return nil
 }
 
@@ -94,9 +115,9 @@ func (q *Queue[T]) PushBarrier(epoch uint64) error {
 // turns it on when observability is attached; it costs one clock read
 // per push when enabled and one branch when not.
 func (q *Queue[T]) TrackWall(on bool) {
-	q.mu.Lock()
+	q.pushMu.Lock()
 	q.trackWall = on
-	q.mu.Unlock()
+	q.pushMu.Unlock()
 }
 
 // OldestWall returns the head item's wall-clock push time (unix ns).
@@ -104,29 +125,88 @@ func (q *Queue[T]) TrackWall(on bool) {
 // the message the subscriber will dequeue next, so now-OldestWall bounds
 // how long the oldest still-queued message has been waiting.
 func (q *Queue[T]) OldestWall() (wall int64, ok bool) {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	if len(q.items) == 0 || q.items[0].wall == 0 {
+	q.popMu.Lock()
+	defer q.popMu.Unlock()
+	if q.headOff < len(q.head) {
+		w := q.head[q.headOff].wall
+		return w, w != 0
+	}
+	q.pushMu.Lock()
+	defer q.pushMu.Unlock()
+	if len(q.tail) == 0 || q.tail[0].wall == 0 {
 		return 0, false
 	}
-	return q.items[0].wall, true
+	return q.tail[0].wall, true
+}
+
+// refillLocked swaps the published tail into the (drained) head buffer.
+// Caller holds popMu; returns whether the head now has items. The old
+// head buffer becomes the next tail, so the two buffers ping-pong and
+// steady state allocates nothing.
+func (q *Queue[T]) refillLocked() bool {
+	q.pushMu.Lock()
+	if len(q.tail) == 0 {
+		q.pushMu.Unlock()
+		return false
+	}
+	spare := q.head[:0]
+	q.head = q.tail
+	q.tail = spare
+	q.headOff = 0
+	q.pushMu.Unlock()
+	return true
+}
+
+// ensureHead makes head[headOff:] non-empty, blocking until a message
+// arrives or the queue is closed and fully drained (returns false).
+// Caller holds popMu on entry and exit; while blocked, only pushMu is
+// held (and released inside cond.Wait), never popMu.
+func (q *Queue[T]) ensureHead() bool {
+	for {
+		if q.headOff < len(q.head) || q.refillLocked() {
+			return true
+		}
+		q.popMu.Unlock()
+		q.pushMu.Lock()
+		for len(q.tail) == 0 && !q.closed {
+			q.cond.Wait()
+		}
+		drained := q.closed && len(q.tail) == 0
+		q.pushMu.Unlock()
+		q.popMu.Lock()
+		if drained {
+			// Re-check under popMu: a concurrent consumer may have
+			// refilled the head between our unlock and the close.
+			if q.headOff < len(q.head) || q.refillLocked() {
+				return true
+			}
+			return false
+		}
+	}
+}
+
+// takeHeadLocked consumes the head item. Caller holds popMu and has
+// ensured the head is non-empty; the vacated slot is zeroed so the queue
+// does not pin the message's referents until the next buffer swap.
+func (q *Queue[T]) takeHeadLocked() queueItem[T] {
+	it := q.head[q.headOff]
+	q.head[q.headOff] = queueItem[T]{}
+	q.headOff++
+	q.size.Add(-1)
+	q.popped.Add(1)
+	return it
 }
 
 // Pop blocks for the next message. ok=false means the queue was closed
 // and fully drained. barrier=true marks a barrier message whose epoch is
 // returned; v is the zero value then.
 func (q *Queue[T]) Pop() (v T, barrier bool, epoch uint64, ok bool) {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	for len(q.items) == 0 && !q.closed {
-		q.cond.Wait()
-	}
-	if len(q.items) == 0 {
+	q.popMu.Lock()
+	defer q.popMu.Unlock()
+	if !q.ensureHead() {
 		return v, false, 0, false
 	}
-	it := q.items[0]
-	q.items = q.items[1:]
-	q.popped++
+	it := q.takeHeadLocked()
 	return it.v, it.barrier, it.epoch, true
 }
 
@@ -137,63 +217,72 @@ func (q *Queue[T]) Pop() (v T, barrier bool, epoch uint64, ok bool) {
 // barrier epoch — the window inside which the commit process may
 // coalesce same-path operations. ok=false means closed and drained.
 func (q *Queue[T]) PopBatch(max int) (batch []T, barrier bool, epoch uint64, ok bool) {
+	return q.PopBatchInto(nil, max)
+}
+
+// PopBatchInto is PopBatch writing into buf's backing array (buf may be
+// nil). The subscriber owns the returned batch only until its next
+// PopBatchInto call with the same buffer — the commit loop's dequeue
+// path, which copies ops onward before re-entering, so the batch buffer
+// is allocated once for the loop's lifetime.
+func (q *Queue[T]) PopBatchInto(buf []T, max int) (batch []T, barrier bool, epoch uint64, ok bool) {
 	if max < 1 {
 		max = 1
 	}
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	for len(q.items) == 0 && !q.closed {
-		q.cond.Wait()
-	}
-	if len(q.items) == 0 {
+	q.popMu.Lock()
+	defer q.popMu.Unlock()
+	if !q.ensureHead() {
 		return nil, false, 0, false
 	}
-	if q.items[0].barrier {
-		it := q.items[0]
-		q.items = q.items[1:]
-		q.popped++
+	if q.head[q.headOff].barrier {
+		it := q.takeHeadLocked()
 		return nil, true, it.epoch, true
 	}
+	batch = buf[:0]
 	n := 0
-	for n < max && n < len(q.items) && !q.items[n].barrier {
+	for n < max {
+		if q.headOff >= len(q.head) && !q.refillLocked() {
+			break
+		}
+		if q.head[q.headOff].barrier {
+			break
+		}
+		batch = append(batch, q.head[q.headOff].v)
+		q.head[q.headOff] = queueItem[T]{}
+		q.headOff++
 		n++
 	}
-	batch = make([]T, n)
-	for i := 0; i < n; i++ {
-		batch[i] = q.items[i].v
-	}
-	q.items = q.items[n:]
-	q.popped += int64(n)
+	q.size.Add(-int64(n))
+	q.popped.Add(int64(n))
 	return batch, false, 0, true
 }
 
 // TryPop is Pop without blocking; ok=false means empty right now (or
 // closed and drained).
 func (q *Queue[T]) TryPop() (v T, barrier bool, epoch uint64, ok bool) {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	if len(q.items) == 0 {
+	q.popMu.Lock()
+	defer q.popMu.Unlock()
+	if q.headOff >= len(q.head) && !q.refillLocked() {
 		return v, false, 0, false
 	}
-	it := q.items[0]
-	q.items = q.items[1:]
-	q.popped++
+	it := q.takeHeadLocked()
 	return it.v, it.barrier, it.epoch, true
 }
 
 // Len returns the number of queued messages (including barriers).
 func (q *Queue[T]) Len() int {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	return len(q.items)
+	if n := int(q.size.Load()); n > 0 {
+		return n
+	}
+	return 0
 }
 
 // Close wakes the subscriber; queued messages can still be drained.
 func (q *Queue[T]) Close() {
-	q.mu.Lock()
-	defer q.mu.Unlock()
+	q.pushMu.Lock()
 	q.closed = true
 	q.cond.Broadcast()
+	q.pushMu.Unlock()
 }
 
 // QueueStats reports queue pressure for the bench harness.
@@ -204,7 +293,8 @@ type QueueStats struct {
 
 // Stats returns counters.
 func (q *Queue[T]) Stats() QueueStats {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	return QueueStats{Pushed: q.pushed, Popped: q.popped, MaxDepth: q.maxSeen}
+	q.pushMu.Lock()
+	pushed, maxSeen := q.pushed, q.maxSeen
+	q.pushMu.Unlock()
+	return QueueStats{Pushed: pushed, Popped: q.popped.Load(), MaxDepth: maxSeen}
 }

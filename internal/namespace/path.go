@@ -12,7 +12,16 @@ import "strings"
 // (except root), empty and dot segments removed. It is intentionally a
 // small subset of path.Clean — ".." is treated as a literal name, since
 // no system in this repository generates it.
+//
+// Already-clean paths — the overwhelmingly common case, since every
+// layer cleans on entry and then passes cleaned paths down — return the
+// input unchanged without allocating: Clean sits on every op's hot path
+// and the Split+Builder slow path used to be the single largest
+// allocation site of the whole create chain.
 func Clean(p string) string {
+	if isClean(p) {
+		return p
+	}
 	var b strings.Builder
 	b.Grow(len(p) + 1)
 	for _, seg := range strings.Split(p, "/") {
@@ -26,6 +35,29 @@ func Clean(p string) string {
 		return "/"
 	}
 	return b.String()
+}
+
+// isClean reports whether p is already in canonical form: "/" or a
+// '/'-prefixed path with no empty, "." or trailing segments. One byte
+// scan, zero allocations.
+func isClean(p string) bool {
+	if p == "/" {
+		return true
+	}
+	if len(p) == 0 || p[0] != '/' || p[len(p)-1] == '/' {
+		return false
+	}
+	segStart := 1
+	for i := 1; i <= len(p); i++ {
+		if i == len(p) || p[i] == '/' {
+			seg := p[segStart:i]
+			if len(seg) == 0 || seg == "." {
+				return false
+			}
+			segStart = i + 1
+		}
+	}
+	return true
 }
 
 // Split returns the parent directory and base name of a cleaned path.
@@ -61,8 +93,33 @@ func Components(p string) []string {
 	return strings.Split(p[1:], "/")
 }
 
+// EachComponent calls fn for every segment of p in order, stopping early
+// when fn returns false. It is Components without the slice allocation —
+// the segments are subslices of the cleaned path — for per-op tree walks.
+func EachComponent(p string, fn func(seg string) bool) {
+	p = Clean(p)
+	if p == "/" {
+		return
+	}
+	start := 1
+	for i := 1; i <= len(p); i++ {
+		if i == len(p) || p[i] == '/' {
+			if !fn(p[start:i]) {
+				return
+			}
+			start = i + 1
+		}
+	}
+}
+
 // Depth is the number of components ("/" = 0, "/a/b" = 2).
-func Depth(p string) int { return len(Components(p)) }
+func Depth(p string) int {
+	p = Clean(p)
+	if p == "/" {
+		return 0
+	}
+	return strings.Count(p, "/")
+}
 
 // IsUnder reports whether p equals root or lies in root's subtree.
 func IsUnder(p, root string) bool {
@@ -77,18 +134,37 @@ func IsUnder(p, root string) bool {
 }
 
 // Ancestors lists every proper ancestor of p from "/" down to its
-// parent ("/a/b/c" → ["/", "/a", "/a/b"]).
+// parent ("/a/b/c" → ["/", "/a", "/a/b"]). Each ancestor is a prefix
+// subslice of the cleaned path, so only the slice header is allocated.
 func Ancestors(p string) []string {
-	comps := Components(p)
-	out := make([]string, 0, len(comps))
-	out = append(out, "/")
-	cur := ""
-	for i := 0; i < len(comps)-1; i++ {
-		cur += "/" + comps[i]
-		out = append(out, cur)
-	}
-	if len(comps) == 0 {
+	p = Clean(p)
+	if p == "/" {
 		return nil
 	}
+	out := make([]string, 0, Depth(p))
+	out = append(out, "/")
+	for i := 1; i < len(p); i++ {
+		if p[i] == '/' {
+			out = append(out, p[:i])
+		}
+	}
 	return out
+}
+
+// VisitAncestors calls fn for every proper ancestor of p in Ancestors
+// order, stopping early when fn returns false — the zero-allocation form
+// for per-op traversal loops (every DFS call resolves its ancestors).
+func VisitAncestors(p string, fn func(anc string) bool) {
+	p = Clean(p)
+	if p == "/" {
+		return
+	}
+	if !fn("/") {
+		return
+	}
+	for i := 1; i < len(p); i++ {
+		if p[i] == '/' && !fn(p[:i]) {
+			return
+		}
+	}
 }

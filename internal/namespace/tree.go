@@ -33,15 +33,22 @@ func NewTree(cred fsapi.Cred) *Tree {
 // walk resolves a cleaned path to its node. Caller holds a lock.
 func (t *Tree) walk(p string) (*node, error) {
 	cur := t.root
-	for _, seg := range Components(p) {
+	var werr error
+	EachComponent(p, func(seg string) bool {
 		if cur.children == nil {
-			return nil, fsapi.ErrNotDir
+			werr = fsapi.ErrNotDir
+			return false
 		}
 		next, ok := cur.children[seg]
 		if !ok {
-			return nil, fsapi.ErrNotExist
+			werr = fsapi.ErrNotExist
+			return false
 		}
 		cur = next
+		return true
+	})
+	if werr != nil {
+		return nil, werr
 	}
 	return cur, nil
 }

@@ -178,7 +178,10 @@ func (c *Caller) Pace(p *vclock.Pacer, id int) {
 // time at which the response reaches the caller.
 func (c *Caller) Call(addr, method string, at vclock.Time, body []byte) (vclock.Time, []byte, error) {
 	if c.pacer != nil {
-		c.pacer.Advance(c.pacerID, at)
+		// Batched advancement: the common case takes no lock, so the
+		// pacer is not a global serialization point across the region's
+		// clients (see vclock.Pacer.AdvanceBatched).
+		c.pacer.AdvanceBatched(c.pacerID, at)
 	}
 	c.calls.Add(1)
 	same := c.node == NodeOf(addr)

@@ -97,3 +97,26 @@ func BenchmarkEncoderPooled(b *testing.B) {
 		PutEncoder(e)
 	}
 }
+
+// BenchmarkPooledRoundTrip is the codec's full hot-path shape: build a
+// store body from the pool, then decode it back with a pooled decoder
+// reading views. Run with -benchmem; the expected figure is 0 allocs/op
+// (gated by TestPooledRoundTripZeroAlloc).
+func BenchmarkPooledRoundTrip(b *testing.B) {
+	value := make([]byte, 96)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := GetEncoder()
+		buildStoreBody(e, "/w/some/metadata/path", value)
+		d := GetDecoder(e.Bytes())
+		_ = d.BlobView()
+		_ = d.Uint32()
+		_ = d.Uint64()
+		_ = d.BlobView()
+		if err := d.Finish(); err != nil {
+			b.Fatal(err)
+		}
+		PutDecoder(d)
+		PutEncoder(e)
+	}
+}

@@ -128,6 +128,32 @@ type Decoder struct {
 // NewDecoder wraps a buffer for decoding.
 func NewDecoder(b []byte) *Decoder { return &Decoder{b: b} }
 
+// decoderPool recycles decoders across RPCs, symmetrically with
+// encoderPool: every request is decoded at least once (server side) and
+// most responses once more (client side), so the per-op Decoder
+// allocations otherwise rival the encoder's on the hot path.
+var decoderPool = sync.Pool{New: func() any { return new(Decoder) }}
+
+// GetDecoder returns a pooled decoder wrapping b. Pair with PutDecoder
+// once every value read from it has been consumed or copied.
+func GetDecoder(b []byte) *Decoder {
+	d := decoderPool.Get().(*Decoder)
+	d.Reset(b)
+	return d
+}
+
+// PutDecoder recycles d. The caller must be done with the decoder itself
+// (values read from it are unaffected: String/Blob copy out of the
+// buffer, and BlobView slices alias the input buffer, not the Decoder).
+func PutDecoder(d *Decoder) {
+	d.Reset(nil)
+	decoderPool.Put(d)
+}
+
+// Reset rewinds the decoder onto a new buffer, clearing any sticky
+// error.
+func (d *Decoder) Reset(b []byte) { d.b, d.off, d.err = b, 0, nil }
+
 // Err returns the first decode error, if any.
 func (d *Decoder) Err() error { return d.err }
 
