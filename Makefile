@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check audit-check race-chaos bench-read bench-scale alloc-gate clean
+.PHONY: build test check audit-check race-chaos bench-read bench-scale alloc-gate trace-check clean
 
 build:
 	$(GO) build ./...
@@ -47,6 +47,16 @@ alloc-gate:
 	allocs=$$(echo "$$out" | awk '/^BenchmarkClientCreate/ {print $$(NF-1)}'); \
 	echo "create path: $$allocs allocs/op (gate: <= 16)"; \
 	test "$$allocs" -le 16
+
+# trace-check is the causal-tracing gate: the cross-node trace tests
+# (wire propagation, assembly/ordering, sampling, flight recorder) run
+# against a counted build, then a trimmed scale sweep runs with tracing
+# live at the default 1-in-64 rate and writes BENCH_scale_trace.json —
+# whose per-point "trace" block is the evidence the sampler actually
+# sampled at scale.
+trace-check: build
+	$(GO) test -count=1 -run 'Trace|Span|Sampl|Flight|CritPath' ./internal/obs/ ./internal/rpc/ ./internal/core/ ./internal/chaos/
+	$(GO) run ./cmd/paconbench -quick -scalejson BENCH_scale_trace.json
 
 # race-chaos runs only the chaos convergence schedules under -race.
 race-chaos:

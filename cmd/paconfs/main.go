@@ -15,7 +15,9 @@
 //
 // With -metrics, the shell also serves Prometheus-text metrics at
 // /metrics, region health as JSON at /healthz (503 once stalled),
-// expvar at /debug/vars, and pprof at /debug/pprof/ while it runs.
+// kept trace spans at /debug/trace (?span=N for one cross-node
+// critical path), expvar at /debug/vars, and pprof at /debug/pprof/
+// while it runs.
 package main
 
 import (
@@ -27,6 +29,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"strconv"
 
 	"pacon"
 )
@@ -63,6 +66,37 @@ func main() {
 			enc.SetIndent("", "  ")
 			if err := enc.Encode(h); err != nil {
 				fmt.Fprintln(os.Stderr, "paconfs: healthz:", err)
+			}
+		})
+		// /debug/trace serves the recently kept spans (sampled +
+		// tail-kept anomalies) as JSON; ?span=N narrows to one span's
+		// full cross-node critical path, 404 when nothing is retained.
+		mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			if q := r.URL.Query().Get("span"); q != "" {
+				id, perr := strconv.ParseUint(q, 10, 64)
+				if perr != nil || id == 0 {
+					http.Error(w, "bad span id", http.StatusBadRequest)
+					return
+				}
+				cp, ok := sh.obs.SpanTrace(id)
+				if !ok {
+					http.Error(w, "span not retained", http.StatusNotFound)
+					return
+				}
+				if err := enc.Encode(cp); err != nil {
+					fmt.Fprintln(os.Stderr, "paconfs: trace:", err)
+				}
+				return
+			}
+			out := struct {
+				Stats pacon.TraceStats `json:"stats"`
+				Spans []pacon.CritPath `json:"spans"`
+			}{sh.obs.TraceStats(), sh.obs.RecentSpans(32)}
+			if err := enc.Encode(out); err != nil {
+				fmt.Fprintln(os.Stderr, "paconfs: trace:", err)
 			}
 		})
 		mux.Handle("/debug/vars", expvar.Handler())

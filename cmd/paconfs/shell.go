@@ -75,6 +75,8 @@ const helpText = `commands:
                         (sample at most N keys; default: every key)
   slow [MS] [N]         N slowest traced ops over MS milliseconds
                         (default threshold 20ms; 'slow 0' shows all)
+  trace [SPAN]          recently kept spans, or one span's cross-node
+                        critical path (segments + ordered timeline)
   time                  current virtual time
   checkpoint            snapshot the workspace on the DFS
   restore N             roll back to checkpoint N
@@ -271,6 +273,36 @@ func (s *shell) exec(line string) (out string, quit bool, err error) {
 		for _, sp := range spans {
 			lines = append(lines, sp.String())
 		}
+		return strings.Join(lines, "\n"), false, nil
+
+	case "trace":
+		// trace [SPAN]: without arguments, the recently kept spans
+		// (head-sampled plus tail-kept anomalies), newest first, one
+		// line each; with a span ID, that span's full cross-node
+		// critical path — per-segment wall attribution and the ordered
+		// event timeline across client, cache and DFS nodes.
+		if len(args) > 0 {
+			id, perr := strconv.ParseUint(args[0], 10, 64)
+			if perr != nil || id == 0 {
+				return "", false, fmt.Errorf("trace: bad span id %q", args[0])
+			}
+			cp, ok := s.obs.SpanTrace(id)
+			if !ok {
+				return fmt.Sprintf("span %d: no events retained (overwritten or never traced)", id), false, nil
+			}
+			return cp.String(), false, nil
+		}
+		kept := s.obs.RecentSpans(10)
+		if len(kept) == 0 {
+			ts := s.obs.TraceStats()
+			return fmt.Sprintf("no spans kept yet (head sampling 1-in-%d; anomalies are always kept)", ts.SampleN), false, nil
+		}
+		lines := make([]string, 0, len(kept))
+		for _, cp := range kept {
+			lines = append(lines, fmt.Sprintf("span=%d %-8s %-24s total=%v kept=%s",
+				cp.Span, cp.Op, cp.Path, cp.Total, cp.Kept))
+		}
+		lines = append(lines, "('trace SPAN' for the full cross-node timeline)")
 		return strings.Join(lines, "\n"), false, nil
 
 	case "checkpoint":

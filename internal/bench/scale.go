@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"pacon/internal/obs"
 	"pacon/internal/vclock"
 	"pacon/internal/workload"
 )
@@ -61,6 +62,15 @@ type ScalePoint struct {
 	CacheRPCs   int64   `json:"cache_rpcs"`
 	BackendRPCs int64   `json:"backend_rpcs"`
 	Coalesced   int64   `json:"coalesced"`
+	// StageLatency holds wall-clock {count, p50, p95, p99} per pipeline
+	// stage histogram — including the tracer's critpath_* segment
+	// attributions — so a scale regression points at the stage that
+	// moved, not just the headline number.
+	StageLatency map[string]obs.Quantiles `json:"stage_latency_ns,omitempty"`
+	// Trace reports the causal tracer's sampling behavior at this scale
+	// (head-sample rate, spans sampled, anomalous spans tail-kept):
+	// proof the tracer ran at the default rate during the sweep.
+	Trace *obs.TraceStats `json:"trace,omitempty"`
 }
 
 // ScaleReport is the machine-readable result (BENCH_scale.json).
@@ -98,6 +108,11 @@ func runScalePoint(cfg Config, clients int, warm []string) (ScalePoint, error) {
 	start := time.Now()
 	e := newEnv(cfg, cfg.nodesFor(clients))
 	defer e.close()
+	// The sweep runs with tracing live at the default 1-in-64 head rate:
+	// the point is to measure the service with its observability on, and
+	// to prove the sampler survives a million multiplexed clients.
+	o := obs.New()
+	e.instrument(o)
 	if err := e.provision("/w"); err != nil {
 		return ScalePoint{}, err
 	}
@@ -203,6 +218,9 @@ func runScalePoint(cfg Config, clients int, warm []string) (ScalePoint, error) {
 	if elapsed := done - res.Start; elapsed > 0 {
 		pt.VirtualOPS = float64(res.Ops) / vclock.Duration(elapsed).Seconds()
 	}
+	pt.StageLatency = o.HistQuantiles()
+	ts := o.TraceStats()
+	pt.Trace = &ts
 	return pt, nil
 }
 

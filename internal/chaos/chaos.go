@@ -18,9 +18,11 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"os"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pacon/internal/audit"
@@ -79,6 +81,14 @@ type Config struct {
 	// ClientSideCommitOps forces the legacy Get+CAS cache bookkeeping
 	// loops instead of the server-side conditional ops.
 	ClientSideCommitOps bool
+	// LoseOneCommit deliberately breaks the schedule: the first DFS
+	// create the commit side applies reports success without ever
+	// reaching the DFS. The run must then end with violations — the
+	// knob exists to self-test the failure path end to end (the
+	// convergence oracle, the divergence auditor, and the flight
+	// recorder's dump of the lost op's cross-node span). Forces
+	// CommitBatchSize 1 so the lie lands on the op-at-a-time create.
+	LoseOneCommit bool
 }
 
 func (c Config) withDefaults() Config {
@@ -126,6 +136,12 @@ type Result struct {
 	// which makes the auditor a second, independent convergence oracle
 	// (it would catch a verifyConverged bug as readily as a core one).
 	Audit audit.Report
+	// Flight is the flight-recorder dump (JSON) cut when the schedule
+	// violated: span rings, recent cross-node critical paths, counters
+	// and gauges at the moment of failure. Also written to
+	// $CHAOS_FLIGHT_DIR when set (CI uploads those as artifacts). Empty
+	// on passing schedules.
+	Flight []byte
 }
 
 // injector decides, per backend mutation, whether to fail or stall it.
@@ -187,9 +203,31 @@ func (in *injector) counts() (injected, stalls int) {
 type flakyBackend struct {
 	core.Backend
 	inj *injector
+	// lose, when armed, makes exactly one create lie "committed"
+	// without reaching the DFS — the Config.LoseOneCommit self-test.
+	lose *atomic.Bool
+}
+
+// SetTrace/ClearTrace forward the span tag to the wrapped DFS client:
+// interface embedding only promotes core.Backend's method set, so
+// without these the commit side's traceCarrier assertion would miss and
+// injected-fault schedules would lose their MDS-side span events.
+func (f *flakyBackend) SetTrace(span uint64) {
+	if tc, ok := f.Backend.(interface{ SetTrace(uint64) }); ok {
+		tc.SetTrace(span)
+	}
+}
+
+func (f *flakyBackend) ClearTrace() {
+	if tc, ok := f.Backend.(interface{ ClearTrace() }); ok {
+		tc.ClearTrace()
+	}
 }
 
 func (f *flakyBackend) CreateWithStat(at vclock.Time, p string, st fsapi.Stat) (vclock.Time, error) {
+	if f.lose != nil && f.lose.CompareAndSwap(true, false) {
+		return at, nil // lie: committed nothing (LoseOneCommit self-test)
+	}
 	if f.inj.fail(p) {
 		return at, fsapi.ErrNotExist
 	}
@@ -578,6 +616,11 @@ func (w *worker) doomedOp(opIndex int) {
 // error joins every violation found (nil = the schedule converged).
 func Run(cfg Config) (Result, error) {
 	cfg = cfg.withDefaults()
+	var lose atomic.Bool
+	if cfg.LoseOneCommit {
+		lose.Store(true)
+		cfg.CommitBatchSize = 1
+	}
 	bus := rpc.NewBus()
 	model := vclock.Default()
 	cluster := dfs.NewCluster(bus, model, rootCred, "storage0", []string{"storage1", "storage2"})
@@ -600,6 +643,12 @@ func Run(cfg Config) (Result, error) {
 	// violation list.
 	o := obs.New()
 	bus.SetObserver(o)
+	if dir := os.Getenv("CHAOS_FLIGHT_DIR"); dir != "" {
+		// Best-effort, like the dump writes themselves: CI points this
+		// at a workspace path that may not exist yet.
+		_ = os.MkdirAll(dir, 0o755)
+		o.SetFlightDir(dir)
+	}
 	nodes := make([]string, cfg.Nodes)
 	for i := range nodes {
 		nodes[i] = fmt.Sprintf("node%d", i)
@@ -613,7 +662,10 @@ func Run(cfg Config) (Result, error) {
 		CommitBatchSize:     cfg.CommitBatchSize,
 		DisableCoalesce:     cfg.DisableCoalesce,
 		ClientSideCommitOps: cfg.ClientSideCommitOps,
-		Model:               model,
+		// Sample every span: a failing seed's flight dump must contain
+		// the violating op's cross-node timeline, not a 1/64 lottery.
+		TraceSampleN: 1,
+		Model:        model,
 	}, core.Deps{
 		Bus: bus,
 		Obs: o,
@@ -621,6 +673,7 @@ func Run(cfg Config) (Result, error) {
 			return &flakyBackend{
 				Backend: cluster.NewClient(node, appCred, 4096, vclock.Duration(time.Hour)),
 				inj:     inj,
+				lose:    &lose,
 			}
 		},
 	})
@@ -709,6 +762,12 @@ func Run(cfg Config) (Result, error) {
 			}
 		}
 		res.StageSummary = sb.String()
+		// The audit's own divergence trigger may have cut a dump moments
+		// ago (the recorder rate-limits); fall back to it rather than
+		// returning a failing seed with no black box.
+		if res.Flight = o.TriggerFlight("chaos_violation"); res.Flight == nil {
+			res.Flight = o.LastFlight()
+		}
 	}
 	return res, errors.Join(h.viol...)
 }

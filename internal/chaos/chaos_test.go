@@ -1,8 +1,13 @@
 package chaos
 
 import (
+	"encoding/json"
 	"fmt"
+	"path/filepath"
+	"strings"
 	"testing"
+
+	"pacon/internal/obs"
 )
 
 // configFor derives a varied deployment from a schedule index: region
@@ -91,5 +96,69 @@ func TestChaosReportsInjection(t *testing.T) {
 	}
 	if res.Stats.Retries == 0 {
 		t.Fatal("injected failures produced no resubmissions")
+	}
+}
+
+// TestChaosLostCommitFlightRecorder runs the deliberately failing
+// schedule: one commit is silently lost, so the run must end in
+// violations AND carry a flight-recorder dump whose ring evidence
+// includes the lost op's cross-node span (client-side stage events plus
+// cache-server handler events — chaos samples every span).
+func TestChaosLostCommitFlightRecorder(t *testing.T) {
+	dir := t.TempDir()
+	t.Setenv("CHAOS_FLIGHT_DIR", dir)
+	res, err := Run(Config{Seed: 3, FaultRate: -1, StallEveryN: 1 << 30, LoseOneCommit: true})
+	if err == nil {
+		t.Fatal("LoseOneCommit schedule converged — the self-test fault was not injected")
+	}
+	if len(res.Flight) == 0 {
+		t.Fatal("failing schedule produced no flight dump")
+	}
+	var dump obs.FlightDump
+	if jerr := json.Unmarshal(res.Flight, &dump); jerr != nil {
+		t.Fatalf("flight dump is not valid JSON: %v", jerr)
+	}
+	if dump.Reason == "" {
+		t.Fatal("flight dump has no trigger reason")
+	}
+
+	// Cross-node span evidence: find any span with events from both a
+	// client node and a service address (cache server "<node>/pacon-*"
+	// or the MDS). Chaos runs with TraceSampleN 1, so every op's RPCs
+	// were tagged.
+	byNode := map[uint64]map[string]bool{}
+	for _, ev := range dump.Events {
+		if ev.Span == 0 {
+			continue
+		}
+		if byNode[ev.Span] == nil {
+			byNode[ev.Span] = map[string]bool{}
+		}
+		byNode[ev.Span][ev.Node] = true
+	}
+	crossNode := false
+	for _, nodes := range byNode {
+		var client, server bool
+		for n := range nodes {
+			if strings.Contains(n, "/") {
+				server = true
+			} else {
+				client = true
+			}
+		}
+		if client && server {
+			crossNode = true
+			break
+		}
+	}
+	if !crossNode {
+		t.Fatalf("no span in the dump has cross-node events (%d events, %d spans)",
+			len(dump.Events), len(byNode))
+	}
+
+	// The dump was also written as a file for CI artifact upload.
+	matches, _ := filepath.Glob(filepath.Join(dir, "pacon-flight-*.json"))
+	if len(matches) == 0 {
+		t.Fatal("CHAOS_FLIGHT_DIR set but no dump file written")
 	}
 }

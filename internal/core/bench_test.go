@@ -7,6 +7,7 @@ import (
 
 	"pacon/internal/dfs"
 	"pacon/internal/fsapi"
+	"pacon/internal/obs"
 	"pacon/internal/rpc"
 	"pacon/internal/vclock"
 )
@@ -25,10 +26,16 @@ func benchEnv(b *testing.B, nodes int) (*Region, *Client) {
 	for i := range names {
 		names[i] = fmt.Sprintf("node%d", i)
 	}
+	// Observability (with tracing at its default 1-in-64 head sampling)
+	// stays attached: the alloc gate measures the op cost users actually
+	// pay, and unsampled ops must stay allocation-free by design.
+	o := obs.New()
+	bus.SetObserver(o)
 	region, err := NewRegion(RegionConfig{
 		Name: "bench", Workspace: "/w", Nodes: names, Cred: appCred, Model: model,
 	}, Deps{
 		Bus: bus,
+		Obs: o,
 		NewBackend: func(node string) Backend {
 			return cluster.NewClient(node, appCred, 4096, time.Hour)
 		},

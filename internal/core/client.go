@@ -41,6 +41,15 @@ type Client struct {
 
 	// remoteCaches lazily built per merged peer ring.
 	remoteCaches map[string]*memcache.Client
+
+	// curSpan/curSampled are the active client op's trace state, set by
+	// traceBegin at the public entry points. A Client already serves
+	// one call at a time (parentMemo), so plain fields suffice;
+	// spanPushed records that the span was handed to the commit queue,
+	// which then owns its finalization.
+	curSpan    uint64
+	curSampled bool
+	spanPushed bool
 }
 
 // NewClient builds a client bound to one of the region's nodes.
@@ -78,6 +87,67 @@ func (c *Client) opEnd(start int64) {
 	}
 }
 
+// traceBegin opens the op's trace at a public entry point: every op
+// gets a span ID (as before), and the tail sampler decides whether this
+// one is assembled end to end. Sampled ops tag the client's cache and
+// backend callers with the span's trace context, so the servers they
+// talk to record their side into the same span. Returns the span for
+// the matching traceEnd, or 0 when disabled or nested (an op calling
+// another op, e.g. Rmdir→Stat, keeps the outer trace).
+func (c *Client) traceBegin(op, path string) uint64 {
+	o := c.region.obs
+	if o == nil || c.curSpan != 0 {
+		return 0
+	}
+	span := o.Trace.NewSpan()
+	c.curSpan = span
+	c.curSampled = o.SampleNext()
+	c.spanPushed = false
+	if c.curSampled {
+		o.BeginSpan(span)
+		o.RecordSpanEvent(c.ring, obs.Event{
+			Span: span, Stage: obs.StageClientStart,
+			Op: op, Path: path, Wall: time.Now().UnixNano(),
+		})
+		c.caller.SetTrace(span)
+		if tc, ok := c.backend.(traceCarrier); ok {
+			tc.SetTrace(span)
+		}
+	}
+	return span
+}
+
+// traceEnd closes the client side of the op's trace. Spans that never
+// entered the commit queue (sync ops, failed calls) finalize here;
+// enqueued spans finalize at their commit terminal.
+func (c *Client) traceEnd(span uint64) {
+	if span == 0 || span != c.curSpan {
+		return
+	}
+	if c.curSampled {
+		c.caller.ClearTrace()
+		if tc, ok := c.backend.(traceCarrier); ok {
+			tc.ClearTrace()
+		}
+		if !c.spanPushed {
+			c.region.obs.FinalizeSpan(span)
+		}
+	}
+	c.curSpan, c.curSampled, c.spanPushed = 0, false, false
+}
+
+// traceStage records a client-side stage event (e.g. the barrier
+// return) on the active sampled span.
+func (c *Client) traceStage(stage obs.Stage, op, path, note string) {
+	if !c.curSampled {
+		return
+	}
+	c.region.obs.RecordSpanEvent(c.ring, obs.Event{
+		Span: c.curSpan, Stage: stage,
+		Op: op, Path: path, Wall: time.Now().UnixNano(), Note: note,
+	})
+}
+
 // Pace attaches a virtual-time pacer to the client's cache RPCs and, if
 // the backend supports it, its DFS RPCs.
 func (c *Client) Pace(p *vclock.Pacer, id int) {
@@ -111,9 +181,16 @@ func (c *Client) pushOp(at vclock.Time, kind OpKind, p string, st fsapi.Stat, se
 func (c *Client) pushOpFlagged(at vclock.Time, kind OpKind, p string, st fsapi.Stat, seq uint64, afterRm bool) (vclock.Time, error) {
 	op := Op{Kind: kind, Path: p, Stat: st, Time: at, Seq: seq, Node: c.node, AfterRm: afterRm}
 	if o := c.region.obs; o != nil {
-		// The span is born here: it follows the op through dequeue,
-		// coalescing, parking and apply on whatever node commits it.
-		op.Span = o.Trace.NewSpan()
+		// The op carries the span traceBegin opened at the client entry
+		// point (so the cache RPCs issued before the push already
+		// belong to it); pushes outside a traced entry point still get
+		// their own span. It follows the op through dequeue, coalescing,
+		// parking and apply on whatever node commits it.
+		op.Span = c.curSpan
+		op.Sampled = c.curSampled
+		if op.Span == 0 {
+			op.Span = o.Trace.NewSpan()
+		}
 		op.EnqWall = time.Now().UnixNano()
 	}
 	// Track the path before the push: a scoped barrier that snapshots
@@ -129,7 +206,10 @@ func (c *Client) pushOpFlagged(at vclock.Time, kind OpKind, p string, st fsapi.S
 		c.region.lagRemove(op)
 		return at, err
 	}
-	traceOp(c.ring, op, obs.StageEnqueue, "")
+	if op.Span != 0 && op.Span == c.curSpan {
+		c.spanPushed = true
+	}
+	c.region.traceOp(c.ring, op, obs.StageEnqueue, "")
 	return at.Add(c.region.cfg.Model.QueuePushCost), nil
 }
 
@@ -385,6 +465,7 @@ func (c *Client) commitSyncInsert(at vclock.Time, p string, st fsapi.Stat, seq u
 func (c *Client) Mkdir(at vclock.Time, p string, mode fsapi.Mode) (vclock.Time, error) {
 	defer c.opEnd(c.opStart())
 	p = namespace.Clean(p)
+	defer c.traceEnd(c.traceBegin("mkdir", p))
 	if !c.inWorkspace(p) {
 		if _, merged := c.region.mergedFor(p); merged {
 			return at, fsapi.WrapPath("mkdir", p, fsapi.ErrReadOnly)
@@ -398,6 +479,7 @@ func (c *Client) Mkdir(at vclock.Time, p string, mode fsapi.Mode) (vclock.Time, 
 func (c *Client) Create(at vclock.Time, p string, mode fsapi.Mode) (vclock.Time, error) {
 	defer c.opEnd(c.opStart())
 	p = namespace.Clean(p)
+	defer c.traceEnd(c.traceBegin("create", p))
 	if !c.inWorkspace(p) {
 		if _, merged := c.region.mergedFor(p); merged {
 			return at, fsapi.WrapPath("create", p, fsapi.ErrReadOnly)
@@ -412,6 +494,7 @@ func (c *Client) Create(at vclock.Time, p string, mode fsapi.Mode) (vclock.Time,
 func (c *Client) Stat(at vclock.Time, p string) (fsapi.Stat, vclock.Time, error) {
 	defer c.opEnd(c.opStart())
 	p = namespace.Clean(p)
+	defer c.traceEnd(c.traceBegin("stat", p))
 	at = c.overhead(at)
 	if !c.inWorkspace(p) {
 		if m, ok := c.region.mergedFor(p); ok {
@@ -767,6 +850,7 @@ func (c *Client) CacheRPCs() int64 { return c.cache.Calls() }
 func (c *Client) Remove(at vclock.Time, p string) (vclock.Time, error) {
 	defer c.opEnd(c.opStart())
 	p = namespace.Clean(p)
+	defer c.traceEnd(c.traceBegin("rm", p))
 	at = c.overhead(at)
 	r := c.region
 	if !c.inWorkspace(p) {
@@ -843,6 +927,7 @@ func (c *Client) Remove(at vclock.Time, p string) (vclock.Time, error) {
 func (c *Client) Rmdir(at vclock.Time, p string) (vclock.Time, error) {
 	defer c.opEnd(c.opStart())
 	p = namespace.Clean(p)
+	defer c.traceEnd(c.traceBegin("rmdir", p))
 	at = c.overhead(at)
 	r := c.region
 	if !c.inWorkspace(p) {
@@ -883,6 +968,7 @@ func (c *Client) Rmdir(at vclock.Time, p string) (vclock.Time, error) {
 		return at, err
 	}
 	at = drain
+	c.traceStage(obs.StageBarrier, "rmdir", p, "")
 	removed, done, rerr := c.backend.RmTree(at, p)
 	at = done
 	// Drop the subtree's dentries on every backend in the region, not
@@ -937,6 +1023,7 @@ func (c *Client) Rmdir(at vclock.Time, p string) (vclock.Time, error) {
 func (c *Client) Readdir(at vclock.Time, p string) ([]fsapi.DirEntry, vclock.Time, error) {
 	defer c.opEnd(c.opStart())
 	p = namespace.Clean(p)
+	defer c.traceEnd(c.traceBegin("readdir", p))
 	at = c.overhead(at)
 	r := c.region
 	if !c.inWorkspace(p) {
@@ -955,6 +1042,7 @@ func (c *Client) Readdir(at vclock.Time, p string) ([]fsapi.DirEntry, vclock.Tim
 		return nil, at, err
 	}
 	at = drain
+	c.traceStage(obs.StageBarrier, "readdir", p, "")
 	ents, done, rerr := c.backend.Readdir(at, p)
 	at = done
 	r.barrier.Release(epoch, at)
@@ -988,6 +1076,7 @@ func (c *Client) Readdir(at vclock.Time, p string) ([]fsapi.DirEntry, vclock.Tim
 func (c *Client) Rename(at vclock.Time, src, dst string) (vclock.Time, error) {
 	defer c.opEnd(c.opStart())
 	src, dst = namespace.Clean(src), namespace.Clean(dst)
+	defer c.traceEnd(c.traceBegin("rename", src))
 	at = c.overhead(at)
 	r := c.region
 	if !c.inWorkspace(src) || !c.inWorkspace(dst) {
@@ -1022,6 +1111,7 @@ func (c *Client) Rename(at vclock.Time, src, dst string) (vclock.Time, error) {
 		return at, err
 	}
 	at = drain
+	c.traceStage(obs.StageBarrier, "rename", src, "")
 	done, rerr := c.backend.Rename(at, src, dst)
 	at = done
 	if rerr == nil {

@@ -35,6 +35,9 @@ type pendingSet struct {
 // distinguish an op held for per-path ordering from one that actually
 // failed and awaits resubmission.
 func (p *pendingSet) add(op Op, why string) {
+	// Parked ops are always tail-kept by the sampler at their terminal;
+	// the flag rides the stored copy through retries.
+	op.Parked = true
 	if p.paths == nil {
 		p.paths = make(map[string]int)
 	}
@@ -42,7 +45,7 @@ func (p *pendingSet) add(op Op, why string) {
 	p.paths[op.Path]++
 	if p.region != nil {
 		p.region.parked.Add(1)
-		traceOp(p.ring, op, obs.StagePark, why)
+		p.region.traceOp(p.ring, op, obs.StagePark, why)
 	}
 }
 
@@ -99,9 +102,11 @@ func (r *Region) commitLoop(node string, backend Backend) {
 	onMerge := func(survivor, absorbed Op) {
 		r.opTerminal(absorbed)
 		if ring != nil {
-			traceOp(ring, absorbed, obs.StageCoalesce,
+			r.traceOp(ring, absorbed, obs.StageCoalesce,
 				fmt.Sprintf("into span %d", survivor.Span))
 		}
+		// The absorbed span ends here: its effect rides the survivor.
+		r.spanDone(absorbed, false)
 	}
 
 	for {
@@ -211,6 +216,17 @@ func (r *Region) applyWave(wave []Op, now *vclock.Time, backend Backend, cache *
 // applyBatchRPC ships a wave's batchable ops in one backend round trip
 // and finishes each per its own result.
 func (r *Region) applyBatchRPC(ops []Op, now *vclock.Time, backend Backend, cache *memcache.Client, pending *pendingSet) {
+	// The first sampled op's span tags the whole batch round trip — a
+	// batch is one wire-level apply, so its server events belong to one
+	// representative span.
+	for _, op := range ops {
+		if op.Sampled {
+			if untag := r.commitTrace(op, backend, cache); untag != nil {
+				defer untag()
+			}
+			break
+		}
+	}
 	t := *now
 	bops := make([]fsapi.BatchOp, len(ops))
 	inlines := make([][]byte, len(ops))
@@ -286,7 +302,7 @@ func (r *Region) retryPendingOnce(pending *pendingSet, now *vclock.Time, backend
 			continue
 		}
 		r.retries.Add(1)
-		traceOp(pending.ring, p.op, obs.StageRetry, "")
+		r.traceOp(pending.ring, p.op, obs.StageRetry, "")
 		if retry := r.applyOp(p.op, now, backend, cache, pending.ring); retry {
 			if counted {
 				p.attempts++
@@ -302,7 +318,7 @@ func (r *Region) retryPendingOnce(pending *pendingSet, now *vclock.Time, backend
 			blocked[p.op.Path] = true
 			kept = append(kept, p)
 		} else {
-			traceOp(pending.ring, p.op, obs.StageUnpark, "")
+			r.traceOp(pending.ring, p.op, obs.StageUnpark, "")
 			pending.release(p.op.Path)
 		}
 	}
@@ -348,6 +364,9 @@ func (r *Region) drainPending(pending *pendingSet, now *vclock.Time, backend Bac
 // applyOp applies one operation; it returns true if the op failed in a
 // resubmittable way. ring may be nil (observability disabled, tests).
 func (r *Region) applyOp(op Op, now *vclock.Time, backend Backend, cache *memcache.Client, ring *obs.Ring) bool {
+	if untag := r.commitTrace(op, backend, cache); untag != nil {
+		defer untag()
+	}
 	t := vclock.Max(*now, op.Time)
 	switch op.Kind {
 	case OpCreate, OpMkdir:
@@ -603,7 +622,8 @@ func (r *Region) dropOp(op Op, now *vclock.Time, cache *memcache.Client, ring *o
 		r.droppedBackend.Add(1)
 	}
 	r.opTerminal(op)
-	traceOp(ring, op, obs.StageDrop, reason)
+	r.traceOp(ring, op, obs.StageDrop, reason)
+	r.spanDone(op, true)
 	switch op.Kind {
 	case OpCreate, OpMkdir:
 		r.deleteIf(cache, now, op.Path, memcache.CondSeq, op.Seq)

@@ -66,11 +66,17 @@ type AuditVerdict struct {
 	Divergent    int   `json:"divergent"`
 }
 
-// RecordAudit stores the latest divergence-audit verdict.
+// RecordAudit stores the latest divergence-audit verdict. Divergence is
+// the one condition asynchronous commit can never repair on its own, so
+// it fires the flight recorder immediately — by the next poll the
+// recent-span and ring evidence may already be overwritten.
 func (r *Region) RecordAudit(v AuditVerdict) {
 	r.auditMu.Lock()
 	r.lastAudit = &v
 	r.auditMu.Unlock()
+	if v.Divergent > 0 && r.obs != nil {
+		r.obs.TriggerFlight("audit_divergence")
+	}
 }
 
 // LastAudit returns the most recent audit verdict, if any.
@@ -158,6 +164,13 @@ func (r *Region) Health(thr HealthThresholds) Health {
 	}
 	if h.ParkedOps > 0 {
 		worsen(HealthDegraded, fmt.Sprintf("%d op(s) parked awaiting resubmission", h.ParkedOps))
+	}
+
+	// Flight-record worsening transitions: whoever polls Health (the
+	// /healthz endpoint, the chaos harness, a test) gets the dump cut at
+	// the moment the region first left its previous, better state.
+	if prev := HealthStatus(r.healthPrev.Swap(int32(h.Status))); h.Status > prev && r.obs != nil {
+		r.obs.TriggerFlight("health_" + h.Status.String())
 	}
 	return h
 }

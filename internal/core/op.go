@@ -82,6 +82,16 @@ type Op struct {
 	// virtual: the span crosses goroutines whose virtual clocks advance
 	// independently. 0 when observability is disabled.
 	EnqWall int64
+	// Sampled marks a span the obs tail sampler is assembling: its
+	// stage events also feed the active-span buffer, the commit side
+	// tags its RPCs with the span's trace context, and the terminal
+	// finalizes the cross-node timeline. Unsampled ops skip all of that
+	// (they can still be tail-kept at the terminal if they turn out
+	// slow, failed, or parked).
+	Sampled bool
+	// Parked records that the op was ever parked in the pending set —
+	// the tail sampler always keeps such spans.
+	Parked bool
 }
 
 // cacheVal is the distributed cache's value layout: the primary copy of

@@ -104,6 +104,13 @@ type RegionConfig struct {
 	// per level) instead of the batch permission match — the
 	// layer-by-layer checking the paper's §III.C replaces.
 	HierarchicalPermCheck bool
+
+	// TraceSampleN sets the head-sampling rate of the causal tracer:
+	// 1-in-N client ops get a fully assembled cross-node span. 0 keeps
+	// the Obs registry's current rate (default 1/64), negative disables
+	// sampling entirely (tail-keeping of anomalous spans still works).
+	// Only consulted when Deps.Obs is non-nil.
+	TraceSampleN int
 }
 
 func (c RegionConfig) withDefaults() RegionConfig {
@@ -246,6 +253,11 @@ type Region struct {
 	obs    *obs.Obs
 	parked atomic.Int64
 
+	// healthPrev remembers the last Health() status so a worsening
+	// transition (ok → degraded/stalled) can trigger the flight
+	// recorder exactly once per transition.
+	healthPrev atomic.Int32
+
 	wg     sync.WaitGroup
 	closed atomic.Bool
 }
@@ -335,6 +347,9 @@ func NewRegion(cfg RegionConfig, deps Deps) (*Region, error) {
 		lags:     make(map[string]*lagTracker),
 		removing: make(map[string]int),
 		spill:    make(map[string][]byte),
+	}
+	if deps.Obs != nil && cfg.TraceSampleN != 0 {
+		deps.Obs.SetSampleN(cfg.TraceSampleN)
 	}
 	for _, node := range cfg.Nodes {
 		addr := node + "/pacon-" + cfg.Name

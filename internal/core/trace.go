@@ -3,6 +3,7 @@ package core
 import (
 	"time"
 
+	"pacon/internal/memcache"
 	"pacon/internal/obs"
 )
 
@@ -22,19 +23,74 @@ func (r *Region) obsRing(node string) *obs.Ring {
 	return r.obs.Trace.Ring(node)
 }
 
-// traceOp records one stage event for a traced op.
-func traceOp(ring *obs.Ring, op Op, stage obs.Stage, note string) {
+// traceOp records one stage event for a traced op. Sampled ops feed the
+// active-span assembler too (obs.RecordSpanEvent) so their cross-node
+// timeline can be finalized without scanning every ring; unsampled ops
+// take the original zero-alloc ring-only path.
+func (r *Region) traceOp(ring *obs.Ring, op Op, stage obs.Stage, note string) {
 	if ring == nil || op.Span == 0 {
 		return
 	}
-	ring.Record(obs.Event{
+	ev := obs.Event{
 		Span:  op.Span,
 		Stage: stage,
 		Op:    op.Kind.String(),
 		Path:  op.Path,
 		Wall:  time.Now().UnixNano(),
 		Note:  note,
-	})
+	}
+	if op.Sampled {
+		r.obs.RecordSpanEvent(ring, ev)
+		return
+	}
+	ring.Record(ev)
+}
+
+// spanDone closes out an op's span at its terminal: sampled spans are
+// assembled and attributed, anomalous unsampled spans (failed, parked,
+// or with commit lag past the slow threshold) are tail-kept. Must run
+// *after* the terminal stage event so the assembled timeline includes
+// it.
+func (r *Region) spanDone(op Op, failed bool) {
+	if r.obs == nil || op.Span == 0 {
+		return
+	}
+	var lag time.Duration
+	if op.EnqWall != 0 {
+		lag = time.Duration(time.Now().UnixNano() - op.EnqWall)
+	}
+	r.obs.SpanDone(op.Span, op.Sampled, op.Kind.String(), op.Path, lag, failed, op.Parked)
+}
+
+// traceCarrier is the optional capability of tagging outgoing RPCs with
+// a span's trace context. memcache.Client and dfs.Client implement it
+// over their rpc.Caller; wrapper backends (e.g. fault injectors) must
+// forward it explicitly — interface embedding does not promote it.
+type traceCarrier interface {
+	SetTrace(span uint64)
+	ClearTrace()
+}
+
+// commitTrace tags the commit loop's cache and backend callers with a
+// sampled op's span, so the server-side events of the apply's RPCs
+// (DFS create/apply_batch, cache clear_dirty/delete_if) land in the
+// originating client op's span. Returns the untag closure, or nil for
+// unsampled ops (the common case — no allocation).
+func (r *Region) commitTrace(op Op, backend Backend, cache *memcache.Client) func() {
+	if !op.Sampled || op.Span == 0 {
+		return nil
+	}
+	cache.SetTrace(op.Span)
+	tc, ok := backend.(traceCarrier)
+	if ok {
+		tc.SetTrace(op.Span)
+	}
+	return func() {
+		cache.ClearTrace()
+		if ok {
+			tc.ClearTrace()
+		}
+	}
 }
 
 // opCommitted accounts a durably applied op: the committed counter, the
@@ -46,19 +102,21 @@ func (r *Region) opCommitted(ring *obs.Ring, op Op) {
 	if r.obs == nil {
 		return
 	}
-	traceOp(ring, op, obs.StageApply, "")
+	r.traceOp(ring, op, obs.StageApply, "")
 	if op.EnqWall != 0 {
 		lag := time.Now().UnixNano() - op.EnqWall
 		r.obs.Hist(obs.HistCommitLag).RecordN(lag)
 		r.noteCommitLag(lag)
 	}
+	r.spanDone(op, false)
 }
 
 // opDiscarded accounts an op dropped under an active rmdir (§III.D.1).
 func (r *Region) opDiscarded(ring *obs.Ring, op Op) {
 	r.discarded.Add(1)
 	r.opTerminal(op)
-	traceOp(ring, op, obs.StageDiscard, "under active rmdir")
+	r.traceOp(ring, op, obs.StageDiscard, "under active rmdir")
+	r.spanDone(op, false)
 }
 
 // observeDequeue records the dequeue stage and queue-residency samples
@@ -70,7 +128,7 @@ func (r *Region) observeDequeue(ring *obs.Ring, ops []Op) {
 	wall := time.Now().UnixNano()
 	h := r.obs.Hist(obs.HistQueueWait)
 	for _, op := range ops {
-		traceOp(ring, op, obs.StageDequeue, "")
+		r.traceOp(ring, op, obs.StageDequeue, "")
 		if op.EnqWall != 0 {
 			h.RecordN(wall - op.EnqWall)
 		}

@@ -1,0 +1,270 @@
+package core
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pacon/internal/fsapi"
+	"pacon/internal/obs"
+	"pacon/internal/vclock"
+)
+
+// TestCreateCriticalPath drives one sampled create through the full
+// pipeline with server-side tracing wired (bus observer set) and checks
+// the assembled cross-node critical path: the kept span's segment
+// attribution must sum to the span total (the acceptance bound is 5%;
+// the charge-every-gap construction makes it exact), and the timeline
+// must carry events from more than one node — the client node plus the
+// cache servers and/or the MDS the commit touched.
+func TestCreateCriticalPath(t *testing.T) {
+	o := obs.New()
+	e := newEnvDeps(t, 2, func(cfg *RegionConfig) {
+		cfg.TraceSampleN = 1 // sample every op: the test needs this span
+	}, func(d *Deps) { d.Obs = o })
+	e.bus.SetObserver(o)
+	c := e.client(t, "node0")
+
+	at, err := c.Create(0, "/w/traced", 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.region.Drain(at); err != nil {
+		t.Fatal(err)
+	}
+
+	var cp obs.CritPath
+	found := false
+	for _, kept := range o.RecentSpans(0) {
+		if kept.Op == "create" && kept.Path == "/w/traced" {
+			cp, found = kept, true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("no kept span for the create; kept=%+v", o.RecentSpans(0))
+	}
+	if cp.Kept != obs.KeptSampled {
+		t.Fatalf("span kept=%q, want %q", cp.Kept, obs.KeptSampled)
+	}
+	if len(cp.Events) < 3 {
+		t.Fatalf("span has %d events, want the full lifecycle: %+v", len(cp.Events), cp.Events)
+	}
+
+	// Segment attribution sums to the total within 5% (exactly, here).
+	var sum time.Duration
+	for _, s := range cp.Segments {
+		sum += s.D
+	}
+	if cp.Total <= 0 {
+		t.Fatalf("span total = %v, want > 0", cp.Total)
+	}
+	diff := sum - cp.Total
+	if diff < 0 {
+		diff = -diff
+	}
+	if float64(diff) > 0.05*float64(cp.Total) {
+		t.Fatalf("segments sum %v vs total %v: off by more than 5%%", sum, cp.Total)
+	}
+
+	// Cross-node evidence: the client's ring plus at least one service
+	// address (cache server or MDS) contributed events to the span.
+	nodes := map[string]bool{}
+	for _, ev := range cp.Events {
+		nodes[ev.Node] = true
+	}
+	if len(nodes) < 2 {
+		t.Fatalf("span events all from one node %v; want cross-node timeline: %+v", nodes, cp.Events)
+	}
+	if !nodes["node0"] {
+		t.Fatalf("client node's events missing from span: %v", nodes)
+	}
+	server := false
+	for n := range nodes {
+		if strings.Contains(n, "/") {
+			server = true
+		}
+	}
+	if !server {
+		t.Fatalf("no server-side (cache/MDS) events in span: %v", nodes)
+	}
+
+	// The lifecycle segments the commit pipeline charges must be
+	// present: queue residency and the DFS apply.
+	segs := map[string]time.Duration{}
+	for _, s := range cp.Segments {
+		segs[s.Name] = s.D
+	}
+	if _, ok := segs[obs.SegQueueWait]; !ok {
+		t.Fatalf("no queue_wait attribution: %+v", cp.Segments)
+	}
+	if _, ok := segs[obs.SegDFSApply]; !ok {
+		t.Fatalf("no dfs_apply attribution: %+v", cp.Segments)
+	}
+}
+
+// failCreateBackend fails every DFS create while armed, with the
+// resubmittable error the commit process parks on.
+type failCreateBackend struct {
+	Backend
+	armed atomic.Bool
+}
+
+func (f *failCreateBackend) CreateWithStat(at vclock.Time, p string, st fsapi.Stat) (vclock.Time, error) {
+	if f.armed.Load() {
+		return at, fsapi.ErrNotExist
+	}
+	return f.Backend.CreateWithStat(at, p, st)
+}
+
+func (f *failCreateBackend) ApplyBatch(at vclock.Time, ops []fsapi.BatchOp) ([]error, vclock.Time, error) {
+	if f.armed.Load() {
+		errs := make([]error, len(ops))
+		for i := range errs {
+			errs[i] = fsapi.ErrNotExist
+		}
+		return errs, at, nil
+	}
+	return f.Backend.(interface {
+		ApplyBatch(vclock.Time, []fsapi.BatchOp) ([]error, vclock.Time, error)
+	}).ApplyBatch(at, ops)
+}
+
+// SetTrace/ClearTrace forward to the wrapped DFS client so the span tag
+// survives the wrapper (interface embedding does not promote them).
+func (f *failCreateBackend) SetTrace(span uint64) {
+	if tc, ok := f.Backend.(interface{ SetTrace(uint64) }); ok {
+		tc.SetTrace(span)
+	}
+}
+
+func (f *failCreateBackend) ClearTrace() {
+	if tc, ok := f.Backend.(interface{ ClearTrace() }); ok {
+		tc.ClearTrace()
+	}
+}
+
+// TestStalledHealthFlightDump forces a region into the stalled state (a
+// DFS backend that fails every create keeps the op unacked while
+// wall-clock staleness blows a 1ns threshold) and checks the worsening
+// health transition fires the flight recorder, with the stuck op's
+// cross-node span evidence inside the dump.
+func TestStalledHealthFlightDump(t *testing.T) {
+	o := obs.New()
+	var (
+		backendsMu sync.Mutex
+		backends   []*failCreateBackend
+	)
+	e := newEnvDeps(t, 1, func(cfg *RegionConfig) {
+		cfg.TraceSampleN = 1
+	}, func(d *Deps) {
+		d.Obs = o
+		inner := d.NewBackend
+		d.NewBackend = func(node string) Backend {
+			// Called from region init, commit goroutines and clients
+			// alike — the bookkeeping needs its own lock.
+			fb := &failCreateBackend{Backend: inner(node)}
+			fb.armed.Store(true)
+			backendsMu.Lock()
+			backends = append(backends, fb)
+			backendsMu.Unlock()
+			return fb
+		}
+	})
+	e.bus.SetObserver(o)
+	c := e.client(t, "node0")
+
+	at, err := c.Create(0, "/w/stall", 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The op is enqueued and unackable; with a 1ns stalled threshold the
+	// first health evaluation that sees positive staleness reports
+	// stalled, and the ok→stalled transition cuts the dump.
+	thr := HealthThresholds{DegradedNS: 1, StalledNS: 1}
+	deadline := time.Now().Add(5 * time.Second)
+	var h Health
+	for {
+		h = e.region.Health(thr)
+		if h.Status == HealthStalled && o.LastFlight() != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("region never reported stalled with a flight dump: %+v", h)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	var dump obs.FlightDump
+	if err := json.Unmarshal(o.LastFlight(), &dump); err != nil {
+		t.Fatalf("flight dump is not valid JSON: %v", err)
+	}
+	if dump.Reason != "health_stalled" {
+		t.Fatalf("dump reason = %q, want health_stalled", dump.Reason)
+	}
+
+	// The triggering op's span must be present with cross-node events:
+	// the client node's stage events plus the cache server's handler
+	// events recorded over the bus.
+	var span uint64
+	for _, ev := range dump.Events {
+		if ev.Path == "/w/stall" {
+			span = ev.Span
+			break
+		}
+	}
+	if span == 0 {
+		t.Fatalf("stuck op's events missing from dump (%d events)", len(dump.Events))
+	}
+	nodes := map[string]bool{}
+	for _, ev := range dump.Events {
+		if ev.Span == span {
+			nodes[ev.Node] = true
+		}
+	}
+	if len(nodes) < 2 {
+		t.Fatalf("dump span %d has single-node evidence %v, want cross-node", span, nodes)
+	}
+
+	// Heal the backend and converge so teardown is clean.
+	backendsMu.Lock()
+	for _, fb := range backends {
+		fb.armed.Store(false)
+	}
+	backendsMu.Unlock()
+	if _, err := e.region.Drain(at); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAuditDivergenceFlight: recording a divergent audit verdict must
+// cut a flight dump immediately, without waiting for a health poll.
+func TestAuditDivergenceFlight(t *testing.T) {
+	o := obs.New()
+	e := newEnvDeps(t, 1, nil, func(d *Deps) { d.Obs = o })
+
+	e.region.RecordAudit(AuditVerdict{Sampled: 3, Divergent: 1})
+	b := o.LastFlight()
+	if b == nil {
+		t.Fatal("divergent audit did not trigger the flight recorder")
+	}
+	var dump obs.FlightDump
+	if err := json.Unmarshal(b, &dump); err != nil {
+		t.Fatalf("dump is not valid JSON: %v", err)
+	}
+	if dump.Reason != "audit_divergence" {
+		t.Fatalf("dump reason = %q, want audit_divergence", dump.Reason)
+	}
+
+	// A clean verdict must not fire it (and the rate limiter would
+	// suppress a repeat anyway — check via the counter).
+	before := o.TraceStats().FlightDumps
+	e.region.RecordAudit(AuditVerdict{Sampled: 3, Matched: 3})
+	if got := o.TraceStats().FlightDumps; got != before {
+		t.Fatalf("clean audit changed flight_dumps %d → %d", before, got)
+	}
+}

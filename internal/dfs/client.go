@@ -76,6 +76,13 @@ func (c *Client) Cred() fsapi.Cred { return c.cfg.Cred }
 // vclock.Pacer); id is the client's participant index.
 func (c *Client) Pace(p *vclock.Pacer, id int) { c.caller.Pace(p, id) }
 
+// SetTrace tags subsequent DFS RPCs with the span's trace context so
+// the MDS handler timings land in the originating op's span.
+func (c *Client) SetTrace(span uint64) { c.caller.SetTrace(span) }
+
+// ClearTrace removes the trace context set by SetTrace.
+func (c *Client) ClearTrace() { c.caller.ClearTrace() }
+
 // LookupRPCs returns the number of per-component lookup RPCs issued —
 // the path-traversal overhead metric.
 func (c *Client) LookupRPCs() int64 {

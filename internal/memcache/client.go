@@ -34,6 +34,13 @@ func (c *Client) Owner(key string) string { return c.ring.Lookup(key) }
 // Calls returns the number of RPCs this client has issued.
 func (c *Client) Calls() int64 { return c.caller.Calls() }
 
+// SetTrace tags subsequent cache RPCs with the span's trace context so
+// the cache servers' handler timings land in the originating op's span.
+func (c *Client) SetTrace(span uint64) { c.caller.SetTrace(span) }
+
+// ClearTrace removes the trace context set by SetTrace.
+func (c *Client) ClearTrace() { c.caller.ClearTrace() }
+
 // callKey issues a single-key request (pooled request encoder).
 func (c *Client) callKey(method string, at vclock.Time, key string) (vclock.Time, []byte, error) {
 	e := wire.GetEncoder()

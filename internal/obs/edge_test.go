@@ -97,9 +97,10 @@ func TestQuantileSingleBucket(t *testing.T) {
 }
 
 // TestWritePromGolden pins the full exposition byte-for-byte: one
-// counter, one gauge, samples in commit_lag, and the six other
-// pre-created pipeline histograms rendering at zero count. Any change
-// to ordering, naming, bucket math, or second formatting shows up here.
+// registered counter plus the self-maintained RPC-error/trace counters,
+// one gauge, samples in commit_lag, and the six other pre-created
+// pipeline histograms rendering at zero count. Any change to ordering,
+// naming, bucket math, or second formatting shows up here.
 func TestWritePromGolden(t *testing.T) {
 	o := New()
 	o.RegisterCounter("ops_committed", func() int64 { return 42 })
@@ -108,8 +109,18 @@ func TestWritePromGolden(t *testing.T) {
 	o.Hist(HistCommitLag).RecordN(100)
 	o.Hist(HistCommitLag).RecordN(1_000_000)
 
-	const golden = `# TYPE pacon_ops_committed_total counter
+	const golden = `# TYPE pacon_cache_rpc_errors_total counter
+pacon_cache_rpc_errors_total 0
+# TYPE pacon_dfs_rpc_errors_total counter
+pacon_dfs_rpc_errors_total 0
+# TYPE pacon_flight_dumps_total counter
+pacon_flight_dumps_total 0
+# TYPE pacon_ops_committed_total counter
 pacon_ops_committed_total 42
+# TYPE pacon_spans_sampled_total counter
+pacon_spans_sampled_total 0
+# TYPE pacon_spans_tail_kept_total counter
+pacon_spans_tail_kept_total 0
 # TYPE pacon_queue_depth gauge
 pacon_queue_depth 7
 # TYPE pacon_barrier_wait_seconds histogram

@@ -58,6 +58,32 @@ type Obs struct {
 
 	slowNanos atomic.Int64
 
+	// Tail sampler (sampler.go): 1-in-N head sampling plus keep-at-
+	// terminal for slow/failed/parked ops.
+	sampleN   atomic.Int64
+	sampleSeq atomic.Uint64
+
+	// Self-maintained counters, registered in New().
+	cacheRPCErrs atomic.Int64
+	dfsRPCErrs   atomic.Int64
+	spansSampled atomic.Int64
+	tailKept     atomic.Int64
+
+	// Active sampled-span buffers and the kept-span overwrite ring
+	// (sampler.go).
+	activeMu sync.Mutex
+	active   map[uint64][]Event
+	recentMu sync.Mutex
+	recent   []CritPath
+	recentAt int
+
+	// Flight recorder (flight.go).
+	flightSeq  atomic.Int64
+	flightLast atomic.Int64
+	flightMu   sync.Mutex
+	flightDir  string
+	lastFlight []byte
+
 	mu       sync.Mutex
 	hists    map[string]*Histogram
 	counters map[string]func() int64
@@ -72,6 +98,7 @@ func New() *Obs {
 		gauges:   make(map[string]func() int64),
 	}
 	o.slowNanos.Store(int64(DefaultSlowSpan))
+	o.sampleN.Store(DefaultSampleN)
 	// Pre-create the pipeline histograms so /metrics shows the full
 	// stage inventory from the first scrape.
 	for _, name := range []string{
@@ -80,6 +107,13 @@ func New() *Obs {
 	} {
 		o.hists[name] = NewHistogram()
 	}
+	// Self-maintained counters: failed RPC round trips by service kind,
+	// and the tracing/flight bookkeeping.
+	o.counters["cache_rpc_errors"] = o.cacheRPCErrs.Load
+	o.counters["dfs_rpc_errors"] = o.dfsRPCErrs.Load
+	o.counters["spans_sampled"] = o.spansSampled.Load
+	o.counters["spans_tail_kept"] = o.tailKept.Load
+	o.counters["flight_dumps"] = o.flightSeq.Load
 	return o
 }
 
@@ -111,12 +145,36 @@ func (o *Obs) ObserveRPC(addr, method string, d time.Duration, err error) {
 	}
 	if strings.Contains(addr, "/pacon-") {
 		o.Hist(HistCacheRPC).Record(d)
+		if err != nil {
+			o.cacheRPCErrs.Add(1)
+		}
 	} else {
 		o.Hist(HistDFSRPC).Record(d)
+		if err != nil {
+			o.dfsRPCErrs.Add(1)
+		}
 	}
 	if err != nil {
 		o.Hist("rpc_error").RecordN(int64(d))
 	}
+}
+
+// ObserveServerSpan implements the server-side trace hook (see
+// rpc.SpanObserver): a service that handled an RPC carrying a sampled
+// span's trace context records recv/done events into the *service
+// address's* ring — so the span's assembled timeline shows its
+// cross-node hops — and into the span's active buffer.
+func (o *Obs) ObserveServerSpan(span uint64, hop uint8, addr, method string, start time.Time, d time.Duration, err error) {
+	if o == nil || span == 0 {
+		return
+	}
+	ring := o.Trace.Ring(addr)
+	note := ""
+	if err != nil {
+		note = err.Error()
+	}
+	o.RecordSpanEvent(ring, Event{Span: span, Stage: StageServerRecv, Op: method, Wall: start.UnixNano()})
+	o.RecordSpanEvent(ring, Event{Span: span, Stage: StageServerDone, Op: method, Wall: start.Add(d).UnixNano(), Note: note})
 }
 
 // RegisterCounter registers a monotonically non-decreasing reader (e.g.

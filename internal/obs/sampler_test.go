@@ -1,0 +1,274 @@
+package obs
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestSampleNextRate: head sampling keeps exactly 1 in N, n==1 keeps
+// every op, and SetSampleN's sentinel values (0 = default, negative =
+// disabled) behave as documented.
+func TestSampleNextRate(t *testing.T) {
+	o := New()
+	o.SetSampleN(8)
+	kept := 0
+	for i := 0; i < 80; i++ {
+		if o.SampleNext() {
+			kept++
+		}
+	}
+	if kept != 10 {
+		t.Fatalf("1-in-8 over 80 ops kept %d, want 10", kept)
+	}
+	if got := o.TraceStats().Sampled; got != 10 {
+		t.Fatalf("spans_sampled = %d, want 10", got)
+	}
+
+	o.SetSampleN(1)
+	for i := 0; i < 5; i++ {
+		if !o.SampleNext() {
+			t.Fatal("SampleN(1) must keep every op")
+		}
+	}
+
+	o.SetSampleN(0)
+	if got := o.SampleN(); got != DefaultSampleN {
+		t.Fatalf("SetSampleN(0) → rate %d, want default %d", got, DefaultSampleN)
+	}
+
+	o.SetSampleN(-1)
+	if got := o.SampleN(); got != 0 {
+		t.Fatalf("SetSampleN(-1) → rate %d, want 0 (disabled)", got)
+	}
+	for i := 0; i < 100; i++ {
+		if o.SampleNext() {
+			t.Fatal("disabled sampler must never sample")
+		}
+	}
+}
+
+// TestNilObsTraceSurface: every tracing entry point must be a no-op on a
+// nil *Obs — the disabled-observability configuration calls them all.
+func TestNilObsTraceSurface(t *testing.T) {
+	var o *Obs
+	o.SetSampleN(4)
+	if o.SampleN() != 0 || o.SampleNext() {
+		t.Fatal("nil Obs must report sampling disabled")
+	}
+	o.BeginSpan(1)
+	o.RecordSpanEvent(nil, Event{Span: 1})
+	o.FinalizeSpan(1)
+	o.SpanDone(1, true, "create", "/p", time.Second, true, true)
+	if got := o.RecentSpans(0); got != nil {
+		t.Fatalf("nil Obs RecentSpans = %v, want nil", got)
+	}
+	if _, ok := o.SpanTrace(1); ok {
+		t.Fatal("nil Obs SpanTrace must report not found")
+	}
+	if ts := o.TraceStats(); ts != (TraceStats{}) {
+		t.Fatalf("nil Obs TraceStats = %+v, want zero", ts)
+	}
+	o.SetFlightDir(t.TempDir())
+	if b := o.TriggerFlight("x"); b != nil {
+		t.Fatal("nil Obs TriggerFlight must return nil")
+	}
+	if b := o.LastFlight(); b != nil {
+		t.Fatal("nil Obs LastFlight must return nil")
+	}
+}
+
+// TestTwoNodeAssembly builds a sampled span whose events land in two
+// different node rings (a client node and a cache-server address) out of
+// wall order, finalizes it, and checks the assembled critical path:
+// events reordered by wall time, segment attribution summing exactly to
+// the span total, and cross-node provenance preserved.
+func TestTwoNodeAssembly(t *testing.T) {
+	o := New()
+	client := o.Trace.Ring("node0")
+	server := o.Trace.Ring("node1/pacon-test")
+
+	const span = 7
+	base := time.Now().UnixNano()
+	o.BeginSpan(span)
+	// Record deliberately out of order: the server events interleave
+	// with the client's but arrive last (as they would over the wire).
+	o.RecordSpanEvent(client, Event{Span: span, Stage: StageClientStart, Op: "create", Path: "/w/f", Wall: base})
+	o.RecordSpanEvent(client, Event{Span: span, Stage: StageEnqueue, Op: "create", Path: "/w/f", Wall: base + 300})
+	o.RecordSpanEvent(client, Event{Span: span, Stage: StageDequeue, Op: "create", Path: "/w/f", Wall: base + 500})
+	o.RecordSpanEvent(client, Event{Span: span, Stage: StageApply, Op: "create", Path: "/w/f", Wall: base + 900})
+	o.RecordSpanEvent(server, Event{Span: span, Stage: StageServerRecv, Op: "set", Wall: base + 100})
+	o.RecordSpanEvent(server, Event{Span: span, Stage: StageServerDone, Op: "set", Wall: base + 200})
+	o.FinalizeSpan(span)
+
+	kept := o.RecentSpans(0)
+	if len(kept) != 1 {
+		t.Fatalf("kept %d spans, want 1", len(kept))
+	}
+	cp := kept[0]
+	if cp.Span != span || cp.Kept != KeptSampled {
+		t.Fatalf("kept span=%d kept=%q, want %d/%q", cp.Span, cp.Kept, span, KeptSampled)
+	}
+	if cp.Op != "create" || cp.Path != "/w/f" {
+		t.Fatalf("span op/path = %q %q, want create /w/f", cp.Op, cp.Path)
+	}
+	if len(cp.Events) != 6 {
+		t.Fatalf("assembled %d events, want 6", len(cp.Events))
+	}
+	for i := 1; i < len(cp.Events); i++ {
+		if cp.Events[i].Wall < cp.Events[i-1].Wall {
+			t.Fatalf("events not wall-ordered at %d: %d after %d",
+				i, cp.Events[i].Wall, cp.Events[i-1].Wall)
+		}
+	}
+	nodes := map[string]bool{}
+	for _, ev := range cp.Events {
+		nodes[ev.Node] = true
+	}
+	if !nodes["node0"] || !nodes["node1/pacon-test"] {
+		t.Fatalf("cross-node provenance lost: %v", nodes)
+	}
+	if cp.Total != 900*time.Nanosecond {
+		t.Fatalf("span total = %v, want 900ns", cp.Total)
+	}
+	var sum time.Duration
+	for _, s := range cp.Segments {
+		sum += s.D
+	}
+	if sum != cp.Total {
+		t.Fatalf("segments sum %v != total %v", sum, cp.Total)
+	}
+	// The server events must have been charged to cache_rpc (the ring's
+	// node is a cache-service address).
+	found := false
+	for _, s := range cp.Segments {
+		if s.Name == SegCacheRPC && s.D > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no cache_rpc attribution in %+v", cp.Segments)
+	}
+
+	// SpanTrace must find the same finished span by ID.
+	got, ok := o.SpanTrace(span)
+	if !ok || got.Span != span || len(got.Events) != 6 {
+		t.Fatalf("SpanTrace(%d) = %+v ok=%v", span, got, ok)
+	}
+	// Finalizing attributed the segments as critpath_* histograms.
+	if q := o.HistQuantiles(); q["critpath_"+SegCacheRPC].Count == 0 {
+		t.Fatal("critpath_cache_rpc histogram not recorded")
+	}
+}
+
+// TestTailKeepAnomalies: unsampled spans are kept at their terminal when
+// failed, parked, or slow — and not otherwise.
+func TestTailKeepAnomalies(t *testing.T) {
+	o := New()
+	o.SetSlowThreshold(time.Millisecond)
+
+	o.SpanDone(1, false, "create", "/a", time.Microsecond, false, false) // healthy: dropped
+	o.SpanDone(2, false, "create", "/b", time.Microsecond, true, false)  // failed
+	o.SpanDone(3, false, "mkdir", "/c", time.Microsecond, false, true)   // parked
+	o.SpanDone(4, false, "rm", "/d", 2*time.Millisecond, false, false)   // slow
+
+	kept := o.RecentSpans(0)
+	if len(kept) != 3 {
+		t.Fatalf("tail-kept %d spans, want 3: %+v", len(kept), kept)
+	}
+	// Newest first.
+	if kept[0].Span != 4 || kept[1].Span != 3 || kept[2].Span != 2 {
+		t.Fatalf("kept order = %d,%d,%d, want 4,3,2", kept[0].Span, kept[1].Span, kept[2].Span)
+	}
+	for _, cp := range kept {
+		if cp.Kept != KeptTail {
+			t.Fatalf("span %d kept=%q, want %q", cp.Span, cp.Kept, KeptTail)
+		}
+	}
+	if got := o.TraceStats().TailKept; got != 3 {
+		t.Fatalf("spans_tail_kept = %d, want 3", got)
+	}
+}
+
+// TestFlightRecorder: a trigger produces parseable JSON carrying the
+// rings' events and kept spans, writes the file when a directory is
+// configured, counts in TraceStats, and rate-limits repeat triggers.
+func TestFlightRecorder(t *testing.T) {
+	o := New()
+	dir := t.TempDir()
+	o.SetFlightDir(dir)
+
+	ring := o.Trace.Ring("node0")
+	o.BeginSpan(9)
+	o.RecordSpanEvent(ring, Event{Span: 9, Stage: StageEnqueue, Op: "create", Path: "/w/x", Wall: 100})
+	o.RecordSpanEvent(ring, Event{Span: 9, Stage: StageApply, Op: "create", Path: "/w/x", Wall: 400})
+	o.FinalizeSpan(9)
+
+	b := o.TriggerFlight("unit test!")
+	if b == nil {
+		t.Fatal("first trigger returned nil")
+	}
+	var dump FlightDump
+	if err := json.Unmarshal(b, &dump); err != nil {
+		t.Fatalf("dump is not valid JSON: %v", err)
+	}
+	if dump.Reason != "unit test!" {
+		t.Fatalf("dump reason = %q", dump.Reason)
+	}
+	if len(dump.RecentSpans) != 1 || dump.RecentSpans[0].Span != 9 {
+		t.Fatalf("dump recent spans = %+v, want span 9", dump.RecentSpans)
+	}
+	if len(dump.Events) != 2 {
+		t.Fatalf("dump carries %d ring events, want 2", len(dump.Events))
+	}
+	if string(o.LastFlight()) != string(b) {
+		t.Fatal("LastFlight differs from trigger return")
+	}
+
+	// File written with the sanitized reason.
+	matches, _ := filepath.Glob(filepath.Join(dir, "pacon-flight-*.json"))
+	if len(matches) != 1 {
+		t.Fatalf("flight dir holds %v, want one dump", matches)
+	}
+	if base := filepath.Base(matches[0]); !strings.Contains(base, "unit_test_") {
+		t.Fatalf("dump file name %q not sanitized as expected", base)
+	}
+	onDisk, err := os.ReadFile(matches[0])
+	if err != nil || string(onDisk) != string(b) {
+		t.Fatalf("on-disk dump mismatch (err=%v)", err)
+	}
+
+	// Rate limit: an immediate second trigger is suppressed.
+	if b2 := o.TriggerFlight("again"); b2 != nil {
+		t.Fatal("second trigger within the interval must be suppressed")
+	}
+	if got := o.TraceStats().FlightDumps; got != 1 {
+		t.Fatalf("flight_dumps = %d, want 1", got)
+	}
+}
+
+// TestUnsampledHooksZeroAlloc pins the disabled/unsampled tracing hot
+// path at zero allocations: the head-sampling decision, the ring-only
+// stage record, and the healthy-op terminal must all stay free, or the
+// tracer would tax every op to pay for the 1-in-N it assembles.
+func TestUnsampledHooksZeroAlloc(t *testing.T) {
+	o := New()
+	o.SetSampleN(1 << 30) // head sampling on, but never hits during the run
+	ring := o.Trace.Ring("node0")
+	ev := Event{Span: 5, Stage: StageEnqueue, Op: "create", Path: "/w/x", Wall: 1}
+
+	if n := testing.AllocsPerRun(1000, func() { o.SampleNext() }); n != 0 {
+		t.Fatalf("SampleNext allocates %v/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { ring.Record(ev) }); n != 0 {
+		t.Fatalf("Ring.Record allocates %v/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		o.SpanDone(5, false, "create", "/w/x", time.Microsecond, false, false)
+	}); n != 0 {
+		t.Fatalf("unsampled SpanDone allocates %v/op, want 0", n)
+	}
+}

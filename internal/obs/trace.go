@@ -26,18 +26,36 @@ const (
 	StageRetry
 	StageDrop
 	StageDiscard
+	// StageClientStart marks the client entering a traced operation —
+	// the first event of a sampled span, recorded into the client
+	// node's ring.
+	StageClientStart
+	// StageBarrier marks a synchronous op returning from its barrier
+	// wait (readdir/rmdir/rename).
+	StageBarrier
+	// StageServerRecv / StageServerDone bracket a service handling an
+	// RPC that carried this span's trace context across the wire. They
+	// are recorded into the *service address's* ring (e.g.
+	// "node1/pacon-app1", "storage0/mds"), so a span's event list shows
+	// its cross-node hops.
+	StageServerRecv
+	StageServerDone
 )
 
 var stageNames = [...]string{
-	StageEnqueue:  "enqueue",
-	StageDequeue:  "dequeue",
-	StageCoalesce: "coalesce",
-	StagePark:     "park",
-	StageUnpark:   "unpark",
-	StageApply:    "apply",
-	StageRetry:    "retry",
-	StageDrop:     "drop",
-	StageDiscard:  "discard",
+	StageEnqueue:     "enqueue",
+	StageDequeue:     "dequeue",
+	StageCoalesce:    "coalesce",
+	StagePark:        "park",
+	StageUnpark:      "unpark",
+	StageApply:       "apply",
+	StageRetry:       "retry",
+	StageDrop:        "drop",
+	StageDiscard:     "discard",
+	StageClientStart: "start",
+	StageBarrier:     "barrier",
+	StageServerRecv:  "srv_recv",
+	StageServerDone:  "srv_done",
 }
 
 // String implements fmt.Stringer.
@@ -48,17 +66,34 @@ func (s Stage) String() string {
 	return fmt.Sprintf("stage(%d)", uint8(s))
 }
 
+// MarshalText renders the stage name into flight-recorder JSON dumps.
+func (s Stage) MarshalText() ([]byte, error) {
+	return []byte(s.String()), nil
+}
+
+// UnmarshalText restores a stage from its name (dump post-processing).
+func (s *Stage) UnmarshalText(b []byte) error {
+	name := string(b)
+	for i, n := range stageNames {
+		if n == name {
+			*s = Stage(i)
+			return nil
+		}
+	}
+	return fmt.Errorf("obs: unknown stage %q", name)
+}
+
 // Event is one timestamped span event. Wall is wall-clock unix
 // nanoseconds — spans cross goroutines (client → commit process), and
 // wall time is the only clock shared monotonically between them.
 type Event struct {
-	Span  uint64
-	Stage Stage
-	Node  string // filled by the recording ring
-	Op    string
-	Path  string
-	Wall  int64
-	Note  string
+	Span  uint64 `json:"span"`
+	Stage Stage  `json:"stage"`
+	Node  string `json:"node"` // filled by the recording ring
+	Op    string `json:"op,omitempty"`
+	Path  string `json:"path,omitempty"`
+	Wall  int64  `json:"wall_ns"`
+	Note  string `json:"note,omitempty"`
 }
 
 // String renders one dump line.

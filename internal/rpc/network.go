@@ -34,6 +34,7 @@ type TCPNetwork struct {
 
 	mu      sync.Mutex
 	servers map[string]*TCPServer
+	obs     RPCObserver
 }
 
 // NewTCPNetwork returns an empty TCP-backed network.
@@ -58,6 +59,9 @@ func (n *TCPNetwork) Register(addr string, svc *Service) {
 		old.Close()
 	}
 	n.servers[addr] = srv
+	if so, ok := n.obs.(SpanObserver); ok {
+		srv.SetTraceSink(addr, so)
+	}
 	n.mu.Unlock()
 	n.transport.AddRoute(addr, srv.Addr())
 }
@@ -74,14 +78,28 @@ func (n *TCPNetwork) Unregister(addr string) {
 }
 
 // SetObserver installs the per-round-trip instrumentation hook on the
-// underlying TCP transport.
+// underlying TCP transport and — when the observer also implements
+// SpanObserver — as every server's trace sink, so sampled spans get
+// their server-side events recorded under the serving logical address.
 func (n *TCPNetwork) SetObserver(o RPCObserver) {
 	n.transport.SetObserver(o)
+	so, _ := o.(SpanObserver)
+	n.mu.Lock()
+	n.obs = o
+	for addr, srv := range n.servers {
+		srv.SetTraceSink(addr, so)
+	}
+	n.mu.Unlock()
 }
 
 // Invoke implements Transport.
 func (n *TCPNetwork) Invoke(addr, method string, at vclock.Time, body []byte) (vclock.Time, []byte, error) {
 	return n.transport.Invoke(addr, method, at, body)
+}
+
+// InvokeTrace implements TraceInvoker.
+func (n *TCPNetwork) InvokeTrace(addr, method string, at vclock.Time, tc TraceContext, body []byte) (vclock.Time, []byte, error) {
+	return n.transport.InvokeTrace(addr, method, at, tc, body)
 }
 
 // Close shuts every listener and pooled connection down.

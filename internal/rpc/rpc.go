@@ -120,6 +120,34 @@ func (b *Bus) Invoke(addr, method string, at vclock.Time, body []byte) (vclock.T
 	return svc.dispatch(method, at, body)
 }
 
+// InvokeTrace implements TraceInvoker: like Invoke, but a sampled trace
+// context additionally reports the dispatch window to the installed
+// observer's SpanObserver side, recording the server's part of the span.
+func (b *Bus) InvokeTrace(addr, method string, at vclock.Time, tc TraceContext, body []byte) (vclock.Time, []byte, error) {
+	b.mu.RLock()
+	svc := b.services[addr]
+	b.mu.RUnlock()
+	if svc == nil {
+		return at, nil, fmt.Errorf("rpc: no service at %q: %w", addr, fsapi.ErrClosed)
+	}
+	b.calls.Add(1)
+	b.bytes.Add(int64(len(body)))
+	p := b.obs.Load()
+	if p == nil {
+		return svc.dispatch(method, at, body)
+	}
+	start := time.Now()
+	done, resp, err := svc.dispatch(method, at, body)
+	d := time.Since(start)
+	(*p).ObserveRPC(addr, method, d, err)
+	if tc.Span != 0 && tc.Sampled {
+		if so, ok := (*p).(SpanObserver); ok {
+			so.ObserveServerSpan(tc.Span, tc.Hops, addr, method, start, d, err)
+		}
+	}
+	return done, resp, err
+}
+
 // Calls returns the number of invocations served.
 func (b *Bus) Calls() int64 { return b.calls.Load() }
 
@@ -141,18 +169,25 @@ func NodeOf(addr string) string {
 // over Bus and TCP.
 type Caller struct {
 	transport Transport
-	model     vclock.LatencyModel
-	node      string
+	// traceInv is the transport's TraceInvoker view, asserted once at
+	// construction (nil when the transport cannot carry trace contexts).
+	traceInv TraceInvoker
+	model    vclock.LatencyModel
+	node     string
 
 	pacer   *vclock.Pacer
 	pacerID int
 
 	calls atomic.Int64
+	// trace is the packed TraceContext tagging outgoing calls
+	// (0 = untraced; see trace.go).
+	trace atomic.Uint64
 }
 
 // NewCaller builds a caller for a client running on `node`.
 func NewCaller(t Transport, model vclock.LatencyModel, node string) *Caller {
-	return &Caller{transport: t, model: model, node: node}
+	ti, _ := t.(TraceInvoker)
+	return &Caller{transport: t, traceInv: ti, model: model, node: node}
 }
 
 // Node returns the caller's node id.
@@ -186,7 +221,16 @@ func (c *Caller) Call(addr, method string, at vclock.Time, body []byte) (vclock.
 	c.calls.Add(1)
 	same := c.node == NodeOf(addr)
 	sendAt := at.Add(c.model.OneWay(same) + c.model.Transfer(len(body)))
-	done, resp, err := c.transport.Invoke(addr, method, sendAt, body)
+	var done vclock.Time
+	var resp []byte
+	var err error
+	if tv := c.trace.Load(); tv != 0 && c.traceInv != nil {
+		tc := unpackTrace(tv)
+		tc.Hops++
+		done, resp, err = c.traceInv.InvokeTrace(addr, method, sendAt, tc, body)
+	} else {
+		done, resp, err = c.transport.Invoke(addr, method, sendAt, body)
+	}
 	if done < sendAt {
 		done = sendAt
 	}

@@ -22,19 +22,42 @@ const maxFrame = 16 << 20
 // TCPServer serves one Service mux over a real TCP listener using
 // length-prefixed binary frames. Frame layout (request):
 //
-//	u32 length | method string | i64 at | blob body
+//	u32 length | method string | i64 at | uvarint trace | blob body
 //
-// and (response):
+// (trace is the packed TraceContext, 0 = untraced) and (response):
 //
 //	u32 length | i64 done | u8 errcode | detail string | blob body
 type TCPServer struct {
 	ln  net.Listener
 	svc *Service
 
+	// sink, when set, receives the server half of sampled spans whose
+	// trace context arrived in the frame (see SetTraceSink).
+	sink atomic.Pointer[tcpSink]
+
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
 	closed bool
 	wg     sync.WaitGroup
+}
+
+// tcpSink pairs the span observer with the server's logical address —
+// the listener only knows its host:port, but span events must carry
+// the deployment-level service address ("node3/pacon-app1").
+type tcpSink struct {
+	addr string
+	obs  SpanObserver
+}
+
+// SetTraceSink installs the server-side span recorder and tells the
+// server which logical address it serves. Safe to call concurrently
+// with in-flight requests.
+func (s *TCPServer) SetTraceSink(addr string, o SpanObserver) {
+	if o == nil {
+		s.sink.Store(nil)
+		return
+	}
+	s.sink.Store(&tcpSink{addr: addr, obs: o})
 }
 
 // ServeTCP starts a server for svc on hostport ("127.0.0.1:0" to pick a
@@ -108,11 +131,21 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 		d := wire.NewDecoder(frame)
 		method := d.String()
 		at := vclock.Time(d.Int64())
+		tc := unpackTrace(d.Uvarint())
 		body := d.BlobView()
 		if d.Err() != nil {
 			return
 		}
+		var start time.Time
+		sink := s.sink.Load()
+		traced := sink != nil && tc.Span != 0 && tc.Sampled
+		if traced {
+			start = time.Now()
+		}
 		done, resp, herr := s.svc.dispatch(method, at, body)
+		if traced {
+			sink.obs.ObserveServerSpan(tc.Span, tc.Hops, sink.addr, method, start, time.Since(start), herr)
+		}
 
 		e := wire.GetEncoder()
 		e.Int64(int64(done))
@@ -200,6 +233,13 @@ func (t *TCPTransport) SetObserver(o RPCObserver) {
 
 // Invoke implements Transport.
 func (t *TCPTransport) Invoke(addr, method string, at vclock.Time, body []byte) (vclock.Time, []byte, error) {
+	return t.InvokeTrace(addr, method, at, TraceContext{}, body)
+}
+
+// InvokeTrace implements TraceInvoker: the packed trace context rides
+// the request frame; the serving TCPServer extracts it and records the
+// server half of the span through its own sink.
+func (t *TCPTransport) InvokeTrace(addr, method string, at vclock.Time, tc TraceContext, body []byte) (vclock.Time, []byte, error) {
 	var start time.Time
 	obs := t.obs.Load()
 	if obs != nil {
@@ -222,7 +262,7 @@ func (t *TCPTransport) Invoke(addr, method string, at vclock.Time, body []byte) 
 	if err != nil {
 		return at, nil, err
 	}
-	done, resp, rerr, ioErr := c.roundTrip(method, at, body)
+	done, resp, rerr, ioErr := c.roundTrip(method, at, tc, body)
 	if ioErr != nil {
 		c.close()
 		if obs != nil {
@@ -303,10 +343,11 @@ type tcpConn struct {
 
 func (c *tcpConn) close() { c.conn.Close() }
 
-func (c *tcpConn) roundTrip(method string, at vclock.Time, body []byte) (vclock.Time, []byte, error, error) {
+func (c *tcpConn) roundTrip(method string, at vclock.Time, tc TraceContext, body []byte) (vclock.Time, []byte, error, error) {
 	e := wire.GetEncoder()
 	e.String(method)
 	e.Int64(int64(at))
+	e.Uvarint(tc.pack())
 	e.Blob(body)
 	err := writeFrame(c.bw, e.Bytes())
 	wire.PutEncoder(e) // frame written to the socket buffer — safe to recycle

@@ -1,0 +1,134 @@
+package rpc
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"pacon/internal/vclock"
+)
+
+// TestTraceContextPackRoundtrip: the packed uvarint form must carry the
+// span, sampled bit and hop counter losslessly, and an untraced context
+// must pack to 0 (one wire byte).
+func TestTraceContextPackRoundtrip(t *testing.T) {
+	cases := []TraceContext{
+		{},
+		{Span: 1, Sampled: true},
+		{Span: 1<<55 - 1, Sampled: true, Hops: 255},
+		{Span: 42, Sampled: false, Hops: 3},
+	}
+	for _, tc := range cases {
+		got := unpackTrace(tc.pack())
+		if got != tc {
+			t.Fatalf("roundtrip %+v → %+v", tc, got)
+		}
+	}
+	if (TraceContext{}).pack() != 0 {
+		t.Fatal("untraced context must pack to 0")
+	}
+}
+
+// spanRecorder records ObserveServerSpan callbacks.
+type spanRecorder struct {
+	mu    sync.Mutex
+	spans []uint64
+	hops  []uint8
+	addrs []string
+	errs  int
+}
+
+func (r *spanRecorder) ObserveRPC(addr, method string, d time.Duration, err error) {}
+
+func (r *spanRecorder) ObserveServerSpan(span uint64, hop uint8, addr, method string, start time.Time, d time.Duration, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.spans = append(r.spans, span)
+	r.hops = append(r.hops, hop)
+	r.addrs = append(r.addrs, addr)
+	if err != nil {
+		r.errs++
+	}
+}
+
+// TestBusTracePropagation: a caller with a span set must deliver the
+// trace context to the bus observer's server-span hook, with the hop
+// counter incremented per forward; clearing the span stops it; an
+// unsampled caller never fires the hook.
+func TestBusTracePropagation(t *testing.T) {
+	bus := NewBus()
+	svc := NewService()
+	svc.Handle("ping", func(at vclock.Time, body []byte) (vclock.Time, []byte, error) {
+		return at, []byte("pong"), nil
+	})
+	bus.Register("n1/pacon-r", svc)
+
+	rec := &spanRecorder{}
+	bus.SetObserver(rec)
+
+	c := NewCaller(bus, vclock.LatencyModel{}, "n0")
+	c.SetTrace(99)
+	if _, _, err := c.Call("n1/pacon-r", "ping", 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Call("n1/pacon-r", "ping", 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	c.ClearTrace()
+	if _, _, err := c.Call("n1/pacon-r", "ping", 0, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	if len(rec.spans) != 2 {
+		t.Fatalf("server-span hook fired %d times, want 2 (cleared caller must not trace)", len(rec.spans))
+	}
+	for i, sp := range rec.spans {
+		if sp != 99 {
+			t.Fatalf("call %d delivered span %d, want 99", i, sp)
+		}
+		if rec.hops[i] != 1 {
+			t.Fatalf("call %d hop = %d, want 1 (incremented once en route)", i, rec.hops[i])
+		}
+		if rec.addrs[i] != "n1/pacon-r" {
+			t.Fatalf("call %d addr = %q", i, rec.addrs[i])
+		}
+	}
+}
+
+// TestTCPTracePropagation: the trace context must survive the TCP frame
+// encoding — a caller over a real socket delivers the same span and hop
+// count to the server-side sink as the in-process bus does.
+func TestTCPTracePropagation(t *testing.T) {
+	net := NewTCPNetwork()
+	defer net.Close()
+	svc := NewService()
+	svc.Handle("ping", func(at vclock.Time, body []byte) (vclock.Time, []byte, error) {
+		return at, []byte("pong"), nil
+	})
+	net.Register("n1/mds", svc)
+
+	rec := &spanRecorder{}
+	net.SetObserver(rec)
+
+	c := NewCaller(net, vclock.LatencyModel{}, "n0")
+	c.SetTrace(12345)
+	if _, _, err := c.Call("n1/mds", "ping", 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	c.ClearTrace()
+	if _, _, err := c.Call("n1/mds", "ping", 0, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	if len(rec.spans) != 1 {
+		t.Fatalf("server-span hook fired %d times, want 1", len(rec.spans))
+	}
+	if rec.spans[0] != 12345 || rec.hops[0] != 1 || rec.addrs[0] != "n1/mds" {
+		t.Fatalf("got span=%d hop=%d addr=%q, want 12345/1/n1/mds",
+			rec.spans[0], rec.hops[0], rec.addrs[0])
+	}
+}

@@ -94,6 +94,19 @@ type (
 	SpanSummary = obs.SpanSummary
 	// Quantiles is a histogram digest (count, p50/p95/p99 in ns).
 	Quantiles = obs.Quantiles
+	// CritPath is one kept span's cross-node critical path: wall time
+	// attributed to named pipeline segments plus the ordered event
+	// timeline across client, cache-server and DFS nodes.
+	CritPath = obs.CritPath
+	// Segment is one named slice of a critical path (e.g. cache_rpc,
+	// queue_wait, dfs_apply) and the wall time charged to it.
+	Segment = obs.Segment
+	// TraceStats reports the causal tracer's sampling counters: head
+	// rate, spans sampled, anomalous spans tail-kept, flight dumps.
+	TraceStats = obs.TraceStats
+	// FlightDump is the anomaly flight recorder's snapshot shape (the
+	// JSON written on health/audit/chaos triggers).
+	FlightDump = obs.FlightDump
 
 	// Time is a virtual timestamp (nanoseconds since run start).
 	Time = vclock.Time
