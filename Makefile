@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check audit-check race-chaos bench-read bench-scale alloc-gate trace-check clean
+.PHONY: build test check audit-check race-chaos bench-read bench-scale bench-shards alloc-gate trace-check clean
 
 build:
 	$(GO) build ./...
@@ -14,7 +14,7 @@ test: build
 check: build
 	$(GO) vet ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/audit/ ./internal/chaos/ ./internal/core/ ./internal/memcache/ ./internal/mq/ ./internal/obs/ ./internal/rpc/
+	$(GO) test -race ./internal/audit/ ./internal/chaos/ ./internal/core/ ./internal/dfs/ ./internal/memcache/ ./internal/mq/ ./internal/obs/ ./internal/rpc/
 	$(GO) test -run '^$$' -bench 'ReaddirBarrier' -benchtime 1x ./internal/core/
 
 # audit-check is the divergence gate: the chaos suite runs with the
@@ -37,6 +37,13 @@ bench-read:
 bench-scale:
 	$(GO) run ./cmd/paconbench -scalejson BENCH_scale.json
 
+# bench-shards runs a trimmed MDS shard sweep (1/2/4 shards, commit
+# wave at quick scale) and writes the standalone BENCH_shards.json
+# artifact; the full 1/2/4/8 sweep rides inside bench-read/bench-scale
+# and the commit report.
+bench-shards:
+	$(GO) run ./cmd/paconbench -quick -shardsjson BENCH_shards.json
+
 # alloc-gate pins the create hot path's allocation count. The
 # pre-pooling baseline was 31 allocs/op; pooled codec + inline hashing +
 # buffer reuse brought it to 7, and the gate fails if it regresses past
@@ -46,6 +53,11 @@ alloc-gate:
 	echo "$$out"; \
 	allocs=$$(echo "$$out" | awk '/^BenchmarkClientCreate/ {print $$(NF-1)}'); \
 	echo "create path: $$allocs allocs/op (gate: <= 16)"; \
+	test "$$allocs" -le 16
+	@out=$$($(GO) test -run '^$$' -bench 'BenchmarkClientCreateSharded$$' -benchtime 2000x -benchmem ./internal/core/); \
+	echo "$$out"; \
+	allocs=$$(echo "$$out" | awk '/^BenchmarkClientCreateSharded/ {print $$(NF-1)}'); \
+	echo "create path (4-shard router): $$allocs allocs/op (gate: <= 16)"; \
 	test "$$allocs" -le 16
 
 # trace-check is the causal-tracing gate: the cross-node trace tests

@@ -37,6 +37,7 @@ func main() {
 		rjson  = flag.String("readjson", "", "run the read experiment and write its JSON report to this path")
 		ajson  = flag.String("auditjson", "", "run the divergence-audit experiment and write its JSON report to this path")
 		sjson  = flag.String("scalejson", "", "run the scale experiment and write its JSON report to this path")
+		shjson = flag.String("shardsjson", "", "run the MDS shard sweep and write its JSON report to this path")
 		debug  = flag.String("debug", "", "serve /debug/vars and /debug/pprof on this address while experiments run")
 	)
 	flag.Parse()
@@ -85,7 +86,7 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s\n", *cjson)
-		if !*all && *fig == "" && *rjson == "" && *ajson == "" && *sjson == "" {
+		if !*all && *fig == "" && *rjson == "" && *ajson == "" && *sjson == "" && *shjson == "" {
 			return
 		}
 	}
@@ -109,7 +110,7 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s\n", *sjson)
-		if !*all && *fig == "" && *rjson == "" && *ajson == "" {
+		if !*all && *fig == "" && *rjson == "" && *ajson == "" && *shjson == "" {
 			return
 		}
 	}
@@ -134,7 +135,7 @@ func main() {
 		for _, f := range figs {
 			fmt.Println(f.String())
 		}
-		if !*all && *fig == "" && *rjson == "" {
+		if !*all && *fig == "" && *rjson == "" && *shjson == "" {
 			return
 		}
 	}
@@ -158,6 +159,30 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s\n", *rjson)
+		if !*all && *fig == "" && *shjson == "" {
+			return
+		}
+	}
+
+	if *shjson != "" {
+		rep, figs, err := bench.RunShardSweep(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paconbench: shards: %v\n", err)
+			os.Exit(1)
+		}
+		for _, f := range figs {
+			fmt.Println(f.String())
+		}
+		data, err := rep.JSON()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*shjson, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *shjson)
 		if !*all && *fig == "" {
 			return
 		}

@@ -37,12 +37,13 @@ import (
 func main() {
 	var (
 		nodes   = flag.Int("nodes", 4, "client nodes in the region")
+		shards  = flag.Int("shards", 1, "MDS shard count (>1 partitions the metadata service by subtree)")
 		ws      = flag.String("ws", "/w", "workspace (consistent region root)")
 		metrics = flag.String("metrics", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. 127.0.0.1:9090)")
 	)
 	flag.Parse()
 
-	sh, err := newShell(*nodes, *ws)
+	sh, err := newShell(*nodes, *shards, *ws)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "paconfs:", err)
 		os.Exit(1)

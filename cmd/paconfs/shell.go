@@ -10,6 +10,7 @@ import (
 	"pacon"
 	"pacon/internal/audit"
 	"pacon/internal/namespace"
+	"pacon/internal/vclock"
 )
 
 // shell interprets file-system commands against one consistent region.
@@ -24,9 +25,14 @@ type shell struct {
 	ckpts  []uint64
 }
 
-func newShell(nodes int, ws string) (*shell, error) {
+func newShell(nodes, shards int, ws string) (*shell, error) {
 	o := pacon.NewObs()
-	sim := pacon.NewSimulation(pacon.SimulationConfig{ClientNodes: nodes, Obs: o})
+	sim := pacon.NewSimulation(pacon.SimulationConfig{
+		ClientNodes: nodes,
+		Obs:         o,
+		ShardCount:  shards,
+		SpreadRoots: []string{ws},
+	})
 	sim.MustMkdirAll(ws, 0o777)
 	region, err := sim.NewRegion(pacon.RegionConfig{
 		Name:      "shell",
@@ -70,6 +76,7 @@ const helpText = `commands:
   rmdir PATH            remove a directory recursively (sync + barrier)
   drain                 force all queued commits to the DFS
   stats                 region + cache + queue + latency statistics
+  shards                per-MDS-shard op counts and utilization
   health                region health: status, staleness, queue state
   audit [N]             compare committed cache entries against the DFS
                         (sample at most N keys; default: every key)
@@ -203,6 +210,26 @@ func (s *shell) exec(line string) (out string, quit bool, err error) {
 			out += "\n" + sum
 		}
 		return out, false, nil
+	case "shards":
+		cluster := s.sim.DFS()
+		var sb strings.Builder
+		if cluster.Shards != nil {
+			fmt.Fprintf(&sb, "%d metadata shard(s), subtree-partitioned (spread root %s)",
+				len(cluster.MDSes), s.ws)
+		} else {
+			fmt.Fprintf(&sb, "%d metadata server(s), shared namespace", len(cluster.MDSes))
+		}
+		for i, m := range cluster.MDSes {
+			st := m.Stats()
+			res := m.Resource()
+			util := 0.0
+			if s.now > 0 {
+				util = res.Utilization(vclock.Duration(s.now))
+			}
+			fmt.Fprintf(&sb, "\n  %-16s lookups=%-8d reads=%-8d writes=%-8d busy=%-14v util=%.0f%%",
+				cluster.MDSAddrs[i], st.Lookups, st.Reads, st.Writes, res.BusyTime(), 100*util)
+		}
+		return sb.String(), false, nil
 	case "health":
 		h := s.region.Health(pacon.HealthThresholds{})
 		var sb strings.Builder

@@ -7,7 +7,7 @@ import (
 
 func testShell(t *testing.T) *shell {
 	t.Helper()
-	sh, err := newShell(2, "/w")
+	sh, err := newShell(2, 1, "/w")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,6 +151,37 @@ func TestShellRename(t *testing.T) {
 	}
 	if _, _, err := sh.exec("stat a.dat"); err == nil {
 		t.Fatal("old name must be gone")
+	}
+}
+
+func TestShellShards(t *testing.T) {
+	sh, err := newShell(2, 2, "/w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sh.close)
+	run(t, sh, "create s1.dat")
+	run(t, sh, "create s2.dat")
+	run(t, sh, "drain")
+
+	out := run(t, sh, "shards")
+	if !strings.Contains(out, "2 metadata shard(s)") || !strings.Contains(out, "subtree-partitioned") {
+		t.Fatalf("shards header: %q", out)
+	}
+	if !strings.Contains(out, "mds0") || !strings.Contains(out, "mds1") {
+		t.Fatalf("shards must list every shard: %q", out)
+	}
+	if !strings.Contains(out, "writes=") || !strings.Contains(out, "util=") {
+		t.Fatalf("shards must report op counts and utilization: %q", out)
+	}
+	// The unsharded shell still answers, with the shared-namespace header.
+	sh1 := testShell(t)
+	run(t, sh1, "create f.dat")
+	if out = run(t, sh1, "shards"); !strings.Contains(out, "shared namespace") {
+		t.Fatalf("unsharded shards header: %q", out)
+	}
+	if out = run(t, sh, "help"); !strings.Contains(out, "shards") {
+		t.Fatalf("help missing shards: %q", out)
 	}
 }
 

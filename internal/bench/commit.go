@@ -42,6 +42,9 @@ type CommitVariant struct {
 	// VirtualOPS is client ops per second of virtual time, measured to
 	// the end of the drain (the backup copies all landed).
 	VirtualOPS float64 `json:"virtual_ops_per_sec"`
+	// MDSQueueWaitNSPerOp is the mean virtual queueing delay per op at
+	// the MDS pool — how long metadata requests waited for a worker.
+	MDSQueueWaitNSPerOp float64 `json:"mds_queue_wait_ns_per_op,omitempty"`
 	// StageLatency holds wall-clock {count, p50, p95, p99} per pipeline
 	// stage (client_op, queue_wait, cache_rpc, dfs_rpc, commit_lag, ...)
 	// from the run's observability sink. Wall time is real host time —
@@ -77,6 +80,9 @@ type CommitReport struct {
 	BackendRPCReduction float64 `json:"backend_rpc_reduction"`
 	// ThroughputGain = batched/legacy virtual throughput.
 	ThroughputGain float64 `json:"throughput_gain"`
+	// ShardSweep reruns the batched commit wave at the configured MDS
+	// shard counts (subtree-partitioned metadata service).
+	ShardSweep *ShardSweep `json:"shard_sweep,omitempty"`
 }
 
 // JSON renders the report for BENCH_commit.json.
@@ -84,9 +90,43 @@ func (r *CommitReport) JSON() ([]byte, error) {
 	return json.MarshalIndent(r, "", "  ")
 }
 
+// commitPhase is one client's slice of the commit workload: it runs
+// `items` iterations from `now` and returns the new time and op count.
+type commitPhase func(idx int, fc workload.FileClient, now vclock.Time, items int) (vclock.Time, int64, error)
+
+// defaultCommitPhase is the report's headline workload: create + inline
+// write + every-4th remove. The inline writes ride the singleton commit
+// path by design (data writes are not batchable), so the mix exercises
+// both sides of applyWave.
+func defaultCommitPhase(payload []byte) commitPhase {
+	return func(idx int, fc workload.FileClient, now vclock.Time, items int) (vclock.Time, int64, error) {
+		var ops int64
+		var err error
+		for j := 0; j < items; j++ {
+			p := fmt.Sprintf("/w/c%d-f%d", idx, j)
+			if now, err = fc.Create(now, p, 0o644); err != nil {
+				return now, ops, err
+			}
+			ops++
+			if now, err = fc.WriteAt(now, p, 0, payload); err != nil {
+				return now, ops, err
+			}
+			ops++
+			if j%4 == 0 {
+				if now, err = fc.Remove(now, p); err != nil {
+					return now, ops, err
+				}
+				ops++
+			}
+		}
+		return now, ops, nil
+	}
+}
+
 // runCommitVariant drives the workload against one region configuration
-// and collects the variant's counters.
-func runCommitVariant(cfg Config, clients int, mutate func(*core.RegionConfig), o *obs.Obs) (CommitVariant, error) {
+// and collects the variant's counters. A nil phase runs the default
+// create+write+remove mix.
+func runCommitVariant(cfg Config, clients int, mutate func(*core.RegionConfig), o *obs.Obs, phase commitPhase) (CommitVariant, error) {
 	e := newEnv(cfg, cfg.nodesFor(clients))
 	defer e.close()
 	if o != nil {
@@ -133,30 +173,12 @@ func runCommitVariant(cfg Config, clients int, mutate func(*core.RegionConfig), 
 	}
 
 	runner := workload.NewRunner(cls)
-	payload := make([]byte, 256)
+	if phase == nil {
+		phase = defaultCommitPhase(make([]byte, 256))
+	}
 	items := cfg.ItemsPerClient
 	res, err := runner.RunPhase(func(idx int, cl workload.Client, now vclock.Time) (vclock.Time, int64, error) {
-		fc := cl.(workload.FileClient)
-		var ops int64
-		var err error
-		for j := 0; j < items; j++ {
-			p := fmt.Sprintf("/w/c%d-f%d", idx, j)
-			if now, err = fc.Create(now, p, 0o644); err != nil {
-				return now, ops, err
-			}
-			ops++
-			if now, err = fc.WriteAt(now, p, 0, payload); err != nil {
-				return now, ops, err
-			}
-			ops++
-			if j%4 == 0 {
-				if now, err = fc.Remove(now, p); err != nil {
-					return now, ops, err
-				}
-				ops++
-			}
-		}
-		return now, ops, nil
+		return phase(idx, cl.(workload.FileClient), now, items)
 	})
 	if err != nil {
 		return CommitVariant{}, err
@@ -184,6 +206,7 @@ func runCommitVariant(cfg Config, clients int, mutate func(*core.RegionConfig), 
 	if elapsed := done - res.Start; elapsed > 0 {
 		v.VirtualOPS = float64(res.Ops) / vclock.Duration(elapsed).Seconds()
 	}
+	v.MDSQueueWaitNSPerOp = e.mdsQueueWaitPerOp()
 	if o != nil {
 		stopSampler()
 		q := o.HistQuantiles()
@@ -210,11 +233,11 @@ func RunCommit(cfg Config) (*CommitReport, []*Figure, error) {
 		rc.ClientSideCommitOps = true
 		rc.DisableCoalesce = true
 		rc.CommitBatchSize = 1
-	}, obs.New())
+	}, obs.New(), nil)
 	if err != nil {
 		return nil, nil, fmt.Errorf("commit legacy variant: %w", err)
 	}
-	batched, err := runCommitVariant(cfg, clients, nil, obs.New())
+	batched, err := runCommitVariant(cfg, clients, nil, obs.New(), nil)
 	if err != nil {
 		return nil, nil, fmt.Errorf("commit batched variant: %w", err)
 	}
@@ -266,6 +289,14 @@ func RunCommit(cfg Config) (*CommitReport, []*Figure, error) {
 		f.Note("peak commit lag (wall): legacy %v, batched %v",
 			time.Duration(legacy.Staleness.PeakCommitLagNS),
 			time.Duration(batched.Staleness.PeakCommitLagNS))
+	}
+	if len(cfg.ShardSweep) > 0 {
+		sweep, err := runCommitShardSweep(cfg, cfg.ShardSweep)
+		if err != nil {
+			return nil, nil, fmt.Errorf("commit shard sweep: %w", err)
+		}
+		rep.ShardSweep = sweep
+		annotateSweep(f, sweep)
 	}
 	return rep, []*Figure{f}, nil
 }

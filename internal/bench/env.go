@@ -49,6 +49,14 @@ type Config struct {
 	// clients (default 2²⁰).
 	ScaleClients   []int
 	ScaleOpsBudget int
+	// MDSShards deploys the subtree-partitioned metadata service with
+	// this many MDS shards instead of the single shared-tree MDS
+	// (0 = unsharded; 1 = sharded code path with one shard, the honest
+	// router-overhead baseline). The shard sweep sets this per point.
+	MDSShards int
+	// ShardSweep lists the MDS shard counts the commit/read/scale
+	// reports additionally sweep (empty = no sweep block).
+	ShardSweep []int
 }
 
 // Default returns the paper-scale configuration (runs in minutes).
@@ -62,6 +70,7 @@ func Default() Config {
 		MADbenchFileMB:       4,
 		ScaleClients:         []int{160, 10_000, 100_000, 1_000_000},
 		ScaleOpsBudget:       1 << 20,
+		ShardSweep:           []int{1, 2, 4, 8},
 	}
 }
 
@@ -76,6 +85,7 @@ func Quick() Config {
 		MADbenchFileMB:       1,
 		ScaleClients:         []int{160, 10_000},
 		ScaleOpsBudget:       100_000,
+		ShardSweep:           []int{1, 2, 4},
 	}
 }
 
@@ -114,12 +124,40 @@ func (e *env) instrument(o *obs.Obs) {
 // side (1 MDS + 3 data servers).
 func newEnv(cfg Config, n int) *env {
 	bus := rpc.NewBus()
-	cluster := dfs.NewCluster(bus, cfg.Model, adminCred, "storage0", []string{"s1", "s2", "s3"})
+	var cluster *dfs.Cluster
+	if cfg.MDSShards >= 1 {
+		// Subtree-partitioned MDS pool: /w (every experiment's workspace)
+		// is the spread root, so each client subtree under it hashes to
+		// one shard.
+		cluster = dfs.NewClusterSharded(bus, cfg.Model, adminCred, "storage0", cfg.MDSShards, []string{"/w"}, []string{"s1", "s2", "s3"})
+	} else {
+		cluster = dfs.NewCluster(bus, cfg.Model, adminCred, "storage0", []string{"s1", "s2", "s3"})
+	}
 	nodes := make([]string, n)
 	for i := range nodes {
 		nodes[i] = fmt.Sprintf("node%d", i)
 	}
 	return &env{cfg: cfg, bus: bus, cluster: cluster, nodes: nodes}
+}
+
+// mdsQueueWaitPerOp returns the mean virtual queueing delay per
+// metadata op across the deployment's MDS pool, in nanoseconds: time a
+// request arriving at an MDS spent waiting for a free worker slot.
+// This is virtual-model time (unlike the wall-clock critpath
+// histograms), so it is the number that shows a saturated metadata
+// service — and how sharding relieves it.
+func (e *env) mdsQueueWaitPerOp() float64 {
+	var wait vclock.Duration
+	var ops int64
+	for _, m := range e.cluster.MDSes {
+		res := m.Resource()
+		wait += res.QueueWait()
+		ops += res.Ops()
+	}
+	if ops == 0 {
+		return 0
+	}
+	return float64(wait) / float64(ops)
 }
 
 // close tears down whatever was started.

@@ -51,8 +51,11 @@ type ReadVariant struct {
 	BarrierWaitP99 int64 `json:"barrier_wait_p99_ns"`
 	// VirtualOPS is mix-phase ops (readers + writers) per second of
 	// virtual time.
-	VirtualOPS   float64                  `json:"virtual_ops_per_sec"`
-	StageLatency map[string]obs.Quantiles `json:"stage_latency_ns,omitempty"`
+	VirtualOPS float64 `json:"virtual_ops_per_sec"`
+	// MDSQueueWaitNSPerOp is the mean virtual queueing delay per op at
+	// the MDS pool (time waiting for a free worker slot).
+	MDSQueueWaitNSPerOp float64                  `json:"mds_queue_wait_ns_per_op,omitempty"`
+	StageLatency        map[string]obs.Quantiles `json:"stage_latency_ns,omitempty"`
 }
 
 // ReadReport is the machine-readable result (BENCH_read.json).
@@ -72,6 +75,9 @@ type ReadReport struct {
 	// BarrierP95Cut = batched_full / batched_scoped p95 barrier_wait:
 	// the scoped barrier's isolated win under sibling-writer load.
 	BarrierP95Cut float64 `json:"barrier_p95_cut"`
+	// ShardSweep reruns the batched+scoped mix at the configured MDS
+	// shard counts (subtree-partitioned metadata service).
+	ShardSweep *ShardSweep `json:"shard_sweep,omitempty"`
 }
 
 // JSON renders the report for BENCH_read.json.
@@ -240,6 +246,7 @@ func runReadVariant(cfg Config, clients int, mutate func(*core.RegionConfig), o 
 	if mix.Elapsed > 0 {
 		v.VirtualOPS = float64(mix.Ops) / mix.Elapsed.Seconds()
 	}
+	v.MDSQueueWaitNSPerOp = e.mdsQueueWaitPerOp()
 	if o != nil {
 		q := o.HistQuantiles()
 		v.StageLatency = q
@@ -323,5 +330,13 @@ func RunRead(cfg Config) (*ReadReport, []*Figure, error) {
 		float64(batchedFull.BarrierWaitP95)/1e3, float64(scoped.BarrierWaitP95)/1e3, rep.BarrierP95Cut)
 	f.Note("%d entries warmed into the cache from listings/miss-loads (per-key baseline: %d)",
 		scoped.CacheWarms, perkey.CacheWarms)
+	if len(cfg.ShardSweep) > 0 {
+		sweep, err := runReadShardSweep(cfg, cfg.ShardSweep)
+		if err != nil {
+			return nil, nil, fmt.Errorf("read shard sweep: %w", err)
+		}
+		rep.ShardSweep = sweep
+		annotateSweep(f, sweep)
+	}
 	return rep, []*Figure{f}, nil
 }

@@ -46,9 +46,12 @@ const scaleWarmPaths = 1024
 
 // ScalePoint is one client-count measurement.
 type ScalePoint struct {
-	Clients      int   `json:"clients"`
-	Nodes        int   `json:"nodes"`
-	Shards       int   `json:"shard_goroutines"`
+	Clients int `json:"clients"`
+	Nodes   int `json:"nodes"`
+	Shards  int `json:"shard_goroutines"`
+	// MDSShards is the metadata-service shard count backing the point
+	// (1 = the single shared-tree MDS; >1 = subtree-partitioned pool).
+	MDSShards    int   `json:"mds_shards"`
 	OpsPerClient int   `json:"ops_per_client"`
 	Ops          int64 `json:"ops"`
 	Creates      int64 `json:"creates"`
@@ -56,6 +59,9 @@ type ScalePoint struct {
 	// VirtualOPS is client ops per second of virtual time, measured to
 	// the end of the drain.
 	VirtualOPS float64 `json:"virtual_ops_per_sec"`
+	// MDSQueueWaitNSPerOp is the mean virtual queueing delay per op at
+	// the MDS pool (time waiting for a free worker slot).
+	MDSQueueWaitNSPerOp float64 `json:"mds_queue_wait_ns_per_op,omitempty"`
 	// WallSeconds is real host time for the measured phase plus drain —
 	// what a million simulated clients cost the harness, not the model.
 	WallSeconds float64 `json:"wall_seconds"`
@@ -80,6 +86,9 @@ type ScaleReport struct {
 	WarmPaths      int          `json:"warm_paths"`
 	Points         []ScalePoint `json:"points"`
 	PeakVirtualOPS float64      `json:"peak_virtual_ops_per_sec"`
+	// ShardSweep reruns one scale point at the configured MDS shard
+	// counts (subtree-partitioned metadata service).
+	ShardSweep *ShardSweep `json:"shard_sweep,omitempty"`
 }
 
 // JSON renders the report for BENCH_scale.json.
@@ -202,10 +211,15 @@ func runScalePoint(cfg Config, clients int, warm []string) (ScalePoint, error) {
 	}
 
 	st := region.Stats()
+	mdsShards := cfg.MDSShards
+	if mdsShards < 1 {
+		mdsShards = 1
+	}
 	pt := ScalePoint{
 		Clients:      clients,
 		Nodes:        cfg.nodesFor(clients),
 		Shards:       shards,
+		MDSShards:    mdsShards,
 		OpsPerClient: opsPer,
 		Ops:          res.Ops,
 		Creates:      creates.Load(),
@@ -218,6 +232,7 @@ func runScalePoint(cfg Config, clients int, warm []string) (ScalePoint, error) {
 	if elapsed := done - res.Start; elapsed > 0 {
 		pt.VirtualOPS = float64(res.Ops) / vclock.Duration(elapsed).Seconds()
 	}
+	pt.MDSQueueWaitNSPerOp = e.mdsQueueWaitPerOp()
 	pt.StageLatency = o.HistQuantiles()
 	ts := o.TraceStats()
 	pt.Trace = &ts
@@ -261,6 +276,14 @@ func RunScale(cfg Config) (*ScaleReport, []*Figure, error) {
 		f.Note("%d simulated clients multiplexed onto %d goroutines: %.0f virtual ops/s, %.1fs wall",
 			last.Clients, last.Shards, last.VirtualOPS, last.WallSeconds)
 		f.Note("peak virtual throughput across scales: %.0f ops/s", rep.PeakVirtualOPS)
+	}
+	if len(cfg.ShardSweep) > 0 {
+		sweep, err := runScaleShardSweep(cfg, cfg.ShardSweep, warm)
+		if err != nil {
+			return nil, nil, fmt.Errorf("scale shard sweep: %w", err)
+		}
+		rep.ShardSweep = sweep
+		annotateSweep(f, sweep)
 	}
 	return rep, []*Figure{f}, nil
 }

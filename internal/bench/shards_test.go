@@ -1,0 +1,28 @@
+package bench
+
+import "testing"
+
+// Smoke-run the shard sweep at tiny scale: both points must complete,
+// report throughput, and derive speedups against the 1-shard baseline.
+func TestShardSweepTiny(t *testing.T) {
+	cfg := tiny()
+	cfg.ShardSweep = []int{1, 2}
+	sweep, figs, err := RunShardSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweep.Points) != 2 || len(figs) != 1 {
+		t.Fatalf("points=%d figs=%d", len(sweep.Points), len(figs))
+	}
+	for _, p := range sweep.Points {
+		if p.VirtualOPS <= 0 {
+			t.Fatalf("%d shards: VirtualOPS=%v", p.Shards, p.VirtualOPS)
+		}
+	}
+	if s := sweep.Points[0].Speedup; s != 1.0 {
+		t.Fatalf("1-shard speedup = %v, want 1.0", s)
+	}
+	if sweep.Points[1].Shards != 2 {
+		t.Fatalf("second point shards = %d", sweep.Points[1].Shards)
+	}
+}

@@ -89,6 +89,17 @@ type Config struct {
 	// recorder's dump of the lost op's cross-node span). Forces
 	// CommitBatchSize 1 so the lie lands on the op-at-a-time create.
 	LoseOneCommit bool
+	// Shards > 1 backs the region with a subtree-partitioned MDS pool
+	// ("/w" spread across that many shards) instead of one shared-tree
+	// MDS. All existing zones run unchanged on top.
+	Shards int
+	// KillShard unregisters one busy MDS shard mid-schedule (driven by
+	// the injector's call counter) and recovers it later. While the
+	// shard is down, foreground reads that reach it fail with ErrClosed
+	// (tolerated, state marked unknown) and commit-side batches to it
+	// degrade to the singleton fallback; after recovery the schedule
+	// must still converge and pass the audit gate. Requires Shards > 1.
+	KillShard bool
 }
 
 func (c Config) withDefaults() Config {
@@ -157,6 +168,14 @@ type injector struct {
 	calls      int
 	injected   int
 	stalls     int
+
+	// Shard kill/recover plan (KillShard schedules): the call counter
+	// crossing killAt downs the victim shard, crossing recoverAt brings
+	// it back — commit retries to the dead shard keep the counter
+	// moving, so recovery always lands inside the drain budget.
+	killAt, recoverAt     int
+	killOnce, recoverOnce sync.Once
+	killFn, recoverFn     func()
 }
 
 func newInjector(cfg Config) *injector {
@@ -172,6 +191,7 @@ func newInjector(cfg Config) *injector {
 func (in *injector) fail(path string) bool {
 	in.mu.Lock()
 	in.calls++
+	c := in.calls
 	stall := in.calls%in.stallEvery == 0
 	inject := in.perPath[path] < in.maxPerPath && in.rng.Float64() < in.rate
 	if inject {
@@ -182,10 +202,28 @@ func (in *injector) fail(path string) bool {
 		in.stalls++
 	}
 	in.mu.Unlock()
+	if in.killFn != nil && c >= in.killAt {
+		in.killOnce.Do(in.killFn)
+	}
+	if in.recoverFn != nil && c >= in.recoverAt {
+		in.recoverOnce.Do(in.recoverFn)
+	}
 	if stall {
 		time.Sleep(100 * time.Microsecond) // commit-queue stall
 	}
 	return inject
+}
+
+// forceRecover ends the kill window deterministically: no further kill
+// can fire, and the victim shard is recovered if it is still down. Run
+// calls this after the workload, before the drain — the drain and the
+// convergence oracles must see the full pool.
+func (in *injector) forceRecover() {
+	if in.recoverFn == nil {
+		return
+	}
+	in.killOnce.Do(func() {})
+	in.recoverOnce.Do(in.recoverFn)
 }
 
 func (in *injector) counts() (injected, stalls int) {
@@ -342,6 +380,7 @@ type worker struct {
 	at      vclock.Time
 	model   map[string][]byte // exclusive path -> expected content
 	gone    map[string]bool   // exclusive paths removed and not re-created
+	unknown map[string]bool   // paths whose state a dead-shard error left ambiguous
 	hubSeq  int
 	doomSeq int
 }
@@ -355,6 +394,26 @@ const (
 
 func (w *worker) exclusivePath(j int) string {
 	return fmt.Sprintf("/w/shared/c%d-f%d", w.id, j)
+}
+
+// closedAmbiguous handles a mutation failing because an MDS shard was
+// down (KillShard schedules only): whether the op took effect before the
+// error is unknowable, so the path leaves the model entirely — the
+// convergence oracle skips it in both directions.
+func (w *worker) closedAmbiguous(p string, err error) bool {
+	if !w.h.cfg.KillShard || !errors.Is(err, fsapi.ErrClosed) {
+		return false
+	}
+	w.unknown[p] = true
+	delete(w.model, p)
+	delete(w.gone, p)
+	return true
+}
+
+// shardDown reports a read failing only because its shard was down — a
+// tolerated outcome on KillShard schedules, asserting nothing.
+func (w *worker) shardDown(err error) bool {
+	return w.h.cfg.KillShard && errors.Is(err, fsapi.ErrClosed)
 }
 
 // tolerable reports whether err is nil or one of the accepted sentinels.
@@ -397,10 +456,16 @@ func (w *worker) run() {
 // grow zero-padded to off+len(data), preserve any old tail beyond it.
 func (w *worker) exclusiveOp() {
 	p := w.exclusivePath(w.rng.Intn(filesPerClient))
+	if w.unknown[p] {
+		return // a dead-shard error left this path's state ambiguous
+	}
 	content, exists := w.model[p]
 	if !exists {
 		at, err := w.cl.Create(w.at, p, 0o644)
 		w.at = at
+		if w.closedAmbiguous(p, err) {
+			return
+		}
 		if !tolerable(err, fsapi.ErrOutOfSpace) {
 			w.h.violate("client %d: create %s: %v", w.id, p, err)
 			return
@@ -420,6 +485,9 @@ func (w *worker) exclusiveOp() {
 		}
 		at, err := w.cl.WriteAt(w.at, p, off, data)
 		w.at = at
+		if w.closedAmbiguous(p, err) {
+			return
+		}
 		if !tolerable(err, fsapi.ErrOutOfSpace) {
 			w.h.violate("client %d: write %s: %v", w.id, p, err)
 			return
@@ -430,6 +498,9 @@ func (w *worker) exclusiveOp() {
 	case k < 75: // remove
 		at, err := w.cl.Remove(w.at, p)
 		w.at = at
+		if w.closedAmbiguous(p, err) {
+			return
+		}
 		if err != nil {
 			w.h.violate("client %d: rm %s: %v", w.id, p, err)
 			return
@@ -460,6 +531,9 @@ func (w *worker) verifyExclusive(p string, content []byte) {
 	st, at, err := w.cl.Stat(w.at, p)
 	w.at = at
 	if err != nil {
+		if w.shardDown(err) {
+			return
+		}
 		w.h.violate("client %d: stat %s: %v (model has %d bytes)", w.id, p, err, len(content))
 		return
 	}
@@ -470,6 +544,9 @@ func (w *worker) verifyExclusive(p string, content []byte) {
 	data, at, err := w.cl.ReadAt(w.at, p, 0, len(content)+16)
 	w.at = at
 	if err != nil {
+		if w.shardDown(err) {
+			return
+		}
 		w.h.violate("client %d: read %s: %v", w.id, p, err)
 		return
 	}
@@ -484,6 +561,9 @@ func (w *worker) hotOp() {
 	p := fmt.Sprintf("/w/hot/f%d", w.rng.Intn(hotFiles))
 	at, err := w.cl.Create(w.at, p, 0o644)
 	w.at = at
+	if w.shardDown(err) {
+		return // hot[p] only tracks definite wins; a lost win is a weaker check, not a lie
+	}
 	if !tolerable(err, fsapi.ErrExist, fsapi.ErrOutOfSpace) {
 		w.h.violate("client %d: hot create %s: %v", w.id, p, err)
 		return
@@ -502,6 +582,9 @@ func (w *worker) hubOp() {
 	dir := fmt.Sprintf("/w/hub%d", w.rng.Intn(hubDirs))
 	at, err := w.cl.Mkdir(w.at, dir, 0o755)
 	w.at = at
+	if w.shardDown(err) {
+		return
+	}
 	if !tolerable(err, fsapi.ErrExist, fsapi.ErrOutOfSpace) {
 		w.h.violate("client %d: mkdir %s: %v", w.id, dir, err)
 		return
@@ -513,6 +596,9 @@ func (w *worker) hubOp() {
 	w.hubSeq++
 	at, err = w.cl.Create(w.at, child, 0o644)
 	w.at = at
+	if w.closedAmbiguous(child, err) {
+		return
+	}
 	if !tolerable(err, fsapi.ErrOutOfSpace) {
 		w.h.violate("client %d: hub create %s: %v", w.id, child, err)
 		return
@@ -535,6 +621,9 @@ func (w *worker) peekOp() {
 	p := fmt.Sprintf("/w/shared/c%d-f%d", other, w.rng.Intn(filesPerClient))
 	st, at, err := w.cl.Stat(w.at, p)
 	w.at = at
+	if w.shardDown(err) {
+		return
+	}
 	if !tolerable(err, fsapi.ErrNotExist) {
 		w.h.violate("client %d: peek stat %s: %v", w.id, p, err)
 		return
@@ -542,7 +631,7 @@ func (w *worker) peekOp() {
 	if err == nil && !st.IsDir() {
 		_, at, rerr := w.cl.ReadAt(w.at, p, 0, 64)
 		w.at = at
-		if !tolerable(rerr, fsapi.ErrNotExist) {
+		if !tolerable(rerr, fsapi.ErrNotExist) && !w.shardDown(rerr) {
 			w.h.violate("client %d: peek read %s: %v", w.id, p, rerr)
 		}
 	}
@@ -552,6 +641,9 @@ func (w *worker) verifyReaddir() {
 	ents, at, err := w.cl.Readdir(w.at, "/w/shared")
 	w.at = at
 	if err != nil {
+		if w.shardDown(err) {
+			return
+		}
 		w.h.violate("client %d: readdir /w/shared: %v", w.id, err)
 		return
 	}
@@ -573,6 +665,9 @@ func (w *worker) verifyReaddir() {
 		delete(listed, name)
 	}
 	for name := range listed {
+		if w.unknown["/w/shared/"+name] {
+			continue // dead-shard ambiguity: the file may legitimately exist
+		}
 		w.h.violate("client %d: readdir lists removed/unknown own file %s", w.id, name)
 	}
 }
@@ -590,6 +685,9 @@ func (w *worker) doomedOp(opIndex int) {
 		if !done {
 			at, err := w.cl.Rmdir(w.at, dir)
 			w.at = at
+			if w.shardDown(err) {
+				return // shard down: the rmdir retries on a later roll
+			}
 			if err != nil {
 				w.h.violate("client %d: rmdir %s: %v", w.id, dir, err)
 				return
@@ -607,7 +705,7 @@ func (w *worker) doomedOp(opIndex int) {
 	// the child never enters the model.
 	at, err := w.cl.Create(w.at, child, 0o644)
 	w.at = at
-	if !tolerable(err, fsapi.ErrNotExist, fsapi.ErrOutOfSpace) {
+	if !tolerable(err, fsapi.ErrNotExist, fsapi.ErrOutOfSpace) && !w.shardDown(err) {
 		w.h.violate("client %d: doomed create %s: %v", w.id, child, err)
 	}
 }
@@ -623,7 +721,12 @@ func Run(cfg Config) (Result, error) {
 	}
 	bus := rpc.NewBus()
 	model := vclock.Default()
-	cluster := dfs.NewCluster(bus, model, rootCred, "storage0", []string{"storage1", "storage2"})
+	var cluster *dfs.Cluster
+	if cfg.Shards > 1 {
+		cluster = dfs.NewClusterSharded(bus, model, rootCred, "storage0", cfg.Shards, []string{"/w"}, []string{"storage1", "storage2"})
+	} else {
+		cluster = dfs.NewCluster(bus, model, rootCred, "storage0", []string{"storage1", "storage2"})
+	}
 	admin := cluster.NewClient("admin", rootCred, 0, 0)
 	for _, dir := range []string{"/w", "/w/shared", "/w/hot"} {
 		if _, err := admin.Mkdir(0, dir, 0o777); err != nil {
@@ -637,6 +740,15 @@ func Run(cfg Config) (Result, error) {
 	}
 
 	inj := newInjector(cfg)
+	if cfg.KillShard && cfg.Shards > 1 {
+		// Down the shard owning the busiest zone (/w/shared) mid-run,
+		// recover it once the counter has moved on. Retries to the dead
+		// shard advance the counter, so the window always closes.
+		victim := cluster.Shards.Owner("/w/shared")
+		inj.killAt, inj.recoverAt = 40, 120
+		inj.killFn = func() { cluster.KillShard(victim) }
+		inj.recoverFn = func() { cluster.RecoverShard(victim) }
+	}
 	// Every schedule runs instrumented: the per-stage latency summary is
 	// cheap (wall-clock hooks only, no virtual-time impact) and turns a
 	// failing seed report into a per-stage breakdown instead of a bare
@@ -653,13 +765,21 @@ func Run(cfg Config) (Result, error) {
 	for i := range nodes {
 		nodes[i] = fmt.Sprintf("node%d", i)
 	}
+	// A dead-shard window makes every op targeting it burn resubmissions;
+	// widen the retry budget so the window cannot exhaust it.
+	retryLimit := 0
+	if cfg.KillShard {
+		retryLimit = 512
+	}
 	region, err := core.NewRegion(core.RegionConfig{
 		Name:                "chaos",
 		Workspace:           "/w",
 		Nodes:               nodes,
 		Cred:                appCred,
 		CacheCapacityBytes:  cfg.CacheCapacityBytes,
+		CommitRetryLimit:    retryLimit,
 		CommitBatchSize:     cfg.CommitBatchSize,
+		ShardCount:          cfg.Shards,
 		DisableCoalesce:     cfg.DisableCoalesce,
 		ClientSideCommitOps: cfg.ClientSideCommitOps,
 		// Sample every span: a failing seed's flight dump must contain
@@ -699,12 +819,13 @@ func Run(cfg Config) (Result, error) {
 			return Result{}, cerr
 		}
 		workers[i] = &worker{
-			h:     h,
-			id:    i,
-			cl:    cl,
-			rng:   rand.New(rand.NewSource(cfg.Seed*1009 + int64(i))),
-			model: make(map[string][]byte),
-			gone:  make(map[string]bool),
+			h:       h,
+			id:      i,
+			cl:      cl,
+			rng:     rand.New(rand.NewSource(cfg.Seed*1009 + int64(i))),
+			model:   make(map[string][]byte),
+			gone:    make(map[string]bool),
+			unknown: make(map[string]bool),
 		}
 		wg.Add(1)
 		go func(w *worker) {
@@ -713,6 +834,7 @@ func Run(cfg Config) (Result, error) {
 		}(workers[i])
 	}
 	wg.Wait()
+	inj.forceRecover()
 
 	// Quiesce: every queued op reaches the DFS (or exhausts its budget).
 	var maxAt vclock.Time
@@ -775,7 +897,8 @@ func Run(cfg Config) (Result, error) {
 // verifyConverged runs the post-drain oracle: cache image, DFS state and
 // the workers' models must agree.
 func (h *harness) verifyConverged(workers []*worker, at vclock.Time) {
-	tree := h.cluster.MDS.Tree()
+	// Ground truth comes from the cluster's oracle helpers, which route
+	// each path to its authoritative tree (shard-aware in sharded mode).
 
 	// 1. Cache image: after a drain nothing may be dirty or marked
 	// removed, and every resident entry must be backed by the DFS.
@@ -791,7 +914,7 @@ func (h *harness) verifyConverged(workers []*worker, at vclock.Time) {
 		if ent.Removed {
 			h.violate("cache entry %s still marked removed after drain", ent.Path)
 		}
-		st, lerr := tree.Lookup(ent.Path)
+		st, lerr := h.cluster.OracleLookup(ent.Path)
 		if lerr != nil {
 			h.violate("cache entry %s has no DFS backing (dirty=%v removed=%v seq=%d size=%d): %v",
 				ent.Path, ent.Dirty, ent.Removed, ent.Seq, ent.Stat.Size, lerr)
@@ -823,7 +946,7 @@ func (h *harness) verifyConverged(workers []*worker, at vclock.Time) {
 		sort.Strings(paths)
 		for _, p := range paths {
 			w.verifyExclusive(p, w.model[p])
-			st, lerr := tree.Lookup(p)
+			st, lerr := h.cluster.OracleLookup(p)
 			if lerr != nil {
 				h.violate("model file %s missing on DFS: %v", p, lerr)
 				continue
@@ -840,7 +963,7 @@ func (h *harness) verifyConverged(workers []*worker, at vclock.Time) {
 			}
 		}
 		for p := range w.gone {
-			if tree.Exists(p) {
+			if h.cluster.OracleExists(p) {
 				h.violate("removed file %s survived on DFS", p)
 			}
 			if _, _, serr := w.cl.Stat(at, p); !errors.Is(serr, fsapi.ErrNotExist) {
@@ -851,7 +974,7 @@ func (h *harness) verifyConverged(workers []*worker, at vclock.Time) {
 
 	// 3. Hot zone: every path with a winning create must have committed.
 	for p := range h.hot {
-		if !tree.Exists(p) {
+		if !h.cluster.OracleExists(p) {
 			h.violate("hot create %s never committed", p)
 		}
 	}
@@ -860,7 +983,7 @@ func (h *harness) verifyConverged(workers []*worker, at vclock.Time) {
 	// not in the cache.
 	for k := range h.doomedGone {
 		dir := fmt.Sprintf("/w/doomed%d", k)
-		if tree.Exists(dir) {
+		if h.cluster.OracleExists(dir) {
 			h.violate("rmdir'd dir %s survived on DFS", dir)
 		}
 		for _, ent := range dump {

@@ -99,6 +99,54 @@ func TestChaosReportsInjection(t *testing.T) {
 	}
 }
 
+// TestChaosSharded runs schedules against the subtree-partitioned MDS
+// pool: every existing zone (exclusive, hot, hub, doomed-rmdir) must
+// converge and pass the audit gate exactly as on the shared-tree MDS.
+func TestChaosSharded(t *testing.T) {
+	for _, shards := range []int{2, 4} {
+		shards := shards
+		t.Run(fmt.Sprintf("shards%d", shards), func(t *testing.T) {
+			t.Parallel()
+			cfg := configFor(shards)
+			cfg.Shards = shards
+			cfg.Rmdir = true
+			res, err := Run(cfg)
+			if err != nil {
+				if res.StageSummary != "" {
+					t.Logf("stage latencies:\n%s", res.StageSummary)
+				}
+				t.Fatalf("sharded schedule diverged: %v\nresult: %+v", err, res)
+			}
+			if res.Audit.Divergent > 0 || res.Audit.StalePending > 0 {
+				t.Fatalf("audit gate not clean: %+v", res.Audit)
+			}
+		})
+	}
+}
+
+// TestChaosShardKillRecover downs the shard owning the busiest zone
+// mid-schedule and recovers it: the commit side must ride out the
+// outage (ErrClosed resubmission plus the router's singleton fallback)
+// and the run must still converge with a clean audit.
+func TestChaosShardKillRecover(t *testing.T) {
+	res, err := Run(Config{Seed: 11, Shards: 4, KillShard: true, Clients: 4, Ops: 150})
+	if err != nil {
+		if res.StageSummary != "" {
+			t.Logf("stage latencies:\n%s", res.StageSummary)
+		}
+		t.Fatalf("kill/recover schedule diverged: %v\nresult: %+v", err, res)
+	}
+	if res.Audit.Divergent > 0 || res.Audit.StalePending > 0 {
+		t.Fatalf("audit gate not clean after shard outage: %+v", res.Audit)
+	}
+	if res.Stats.BatchFallbacks == 0 {
+		t.Error("shard outage never drove the batch path to its singleton fallback")
+	}
+	if res.Stats.Retries == 0 {
+		t.Error("shard outage produced no resubmissions")
+	}
+}
+
 // TestChaosLostCommitFlightRecorder runs the deliberately failing
 // schedule: one commit is silently lost, so the run must end in
 // violations AND carry a flight-recorder dump whose ring evidence

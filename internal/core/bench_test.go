@@ -14,10 +14,21 @@ import (
 
 // benchEnv builds a deployment without testing.T plumbing.
 func benchEnv(b *testing.B, nodes int) (*Region, *Client) {
+	return benchEnvShards(b, nodes, 0)
+}
+
+// benchEnvShards is benchEnv over the subtree-partitioned MDS pool
+// (0 = the single shared-tree MDS).
+func benchEnvShards(b *testing.B, nodes, mdsShards int) (*Region, *Client) {
 	b.Helper()
 	bus := rpc.NewBus()
 	model := vclock.Default()
-	cluster := dfs.NewCluster(bus, model, rootCred, "storage0", []string{"s1"})
+	var cluster *dfs.Cluster
+	if mdsShards >= 1 {
+		cluster = dfs.NewClusterSharded(bus, model, rootCred, "storage0", mdsShards, []string{"/w"}, []string{"s1"})
+	} else {
+		cluster = dfs.NewCluster(bus, model, rootCred, "storage0", []string{"s1"})
+	}
 	admin := cluster.NewClient("admin", rootCred, 0, 0)
 	if _, err := admin.Mkdir(0, "/w", 0o777); err != nil {
 		b.Fatal(err)
@@ -56,6 +67,23 @@ func benchEnv(b *testing.B, nodes int) (*Region, *Client) {
 
 func BenchmarkClientCreate(b *testing.B) {
 	_, c := benchEnv(b, 4)
+	now := vclock.Time(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		now, err = c.Create(now, fmt.Sprintf("/w/f%09d", i), 0o644)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkClientCreateSharded is the same hot path with the shard
+// router in front of a 4-shard MDS pool — the alloc gate holds it to
+// the same budget as the single-MDS path (the router's owner hash is
+// inline and allocation-free).
+func BenchmarkClientCreateSharded(b *testing.B) {
+	_, c := benchEnvShards(b, 4, 4)
 	now := vclock.Time(0)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -264,6 +264,7 @@ func (r *Region) applyBatchRPC(ops []Op, now *vclock.Time, backend Backend, cach
 	if err != nil {
 		// Transport-level failure: disposition unknown, fall back to
 		// singleton application which re-runs each op with full logic.
+		r.batchFallbacks.Add(1)
 		for _, op := range ops {
 			if r.applyOp(op, now, backend, cache, pending.ring) {
 				pending.add(op, "resubmittable failure")
@@ -479,6 +480,11 @@ func (r *Region) finishCreate(op Op, inline []byte, err error, now *vclock.Time,
 	case errors.Is(err, fsapi.ErrNotExist):
 		// Parent not committed yet (possibly queued on another node).
 		return true
+	case errors.Is(err, fsapi.ErrClosed), errors.Is(err, fsapi.ErrStale):
+		// Closed: an MDS shard is down — it will come back (or the
+		// router falls back); Stale: a cross-shard protocol holds an
+		// intent over this subtree and will release it. Both transient.
+		return true
 	default:
 		r.dropOp(op, now, cache, ring, dropReasonBackendError)
 		return false
@@ -510,6 +516,8 @@ func (r *Region) finishRemoveResult(op Op, err error, now *vclock.Time, cache *m
 			return false
 		}
 		return true
+	case errors.Is(err, fsapi.ErrClosed), errors.Is(err, fsapi.ErrStale):
+		return true // shard down / intent-blocked: transient
 	default:
 		r.dropOp(op, now, cache, ring, dropReasonBackendError)
 		return false
@@ -530,6 +538,8 @@ func (r *Region) finishSetStat(op Op, err error, now *vclock.Time, cache *memcac
 			return false
 		}
 		return true // create still in flight
+	case errors.Is(err, fsapi.ErrClosed), errors.Is(err, fsapi.ErrStale):
+		return true // shard down / intent-blocked: transient
 	default:
 		r.dropOp(op, now, cache, ring, dropReasonBackendError)
 		return false

@@ -111,6 +111,12 @@ type RegionConfig struct {
 	// sampling entirely (tail-keeping of anomalous spans still works).
 	// Only consulted when Deps.Obs is non-nil.
 	TraceSampleN int
+
+	// ShardCount records how many MDS shards back the region's DFS
+	// (default 1). The shard routing itself lives in the DFS client the
+	// Deps.NewBackend factory builds; the region only reports the count
+	// through its metrics.
+	ShardCount int
 }
 
 func (c RegionConfig) withDefaults() RegionConfig {
@@ -131,6 +137,9 @@ func (c RegionConfig) withDefaults() RegionConfig {
 	}
 	if c.ReadBatchSize < 1 {
 		c.ReadBatchSize = 1
+	}
+	if c.ShardCount < 1 {
+		c.ShardCount = 1
 	}
 	c.Workspace = namespace.Clean(c.Workspace)
 	c.Perm = c.Perm.withDefaults(c.Cred)
@@ -161,11 +170,12 @@ type RegionStats struct {
 	Dropped   int64 // ops abandoned after CommitRetryLimit
 	Evictions int64 // region-level eviction rounds (§III.F)
 
-	Coalesced   int64 // queued ops merged away at dequeue time
-	CacheRPCs   int64 // commit-path cache round trips (bookkeeping traffic)
-	BackendRPCs int64 // commit-path DFS round trips (batch counts as one)
-	BatchRPCs   int64 // apply_batch calls issued
-	BatchedOps  int64 // ops shipped inside apply_batch calls
+	Coalesced      int64 // queued ops merged away at dequeue time
+	CacheRPCs      int64 // commit-path cache round trips (bookkeeping traffic)
+	BackendRPCs    int64 // commit-path DFS round trips (batch counts as one)
+	BatchRPCs      int64 // apply_batch calls issued
+	BatchedOps     int64 // ops shipped inside apply_batch calls
+	BatchFallbacks int64 // batches degraded to singleton ops (transport failure)
 
 	BarriersScoped int64 // sync barriers that skipped at least one queue
 	BarriersFull   int64 // sync barriers that drained every queue
@@ -234,7 +244,7 @@ type Region struct {
 
 	committed, discarded, retries, dropped, evictions atomic.Int64
 	coalesced, cacheRPCs, backendRPCs                 atomic.Int64
-	batchRPCs, batchedOps                             atomic.Int64
+	batchRPCs, batchedOps, batchFallbacks             atomic.Int64
 	barriersScoped, barriersFull, cacheWarms          atomic.Int64
 
 	// droppedRetry/droppedConflict/droppedBackend break dropped down by
@@ -420,6 +430,7 @@ func (r *Region) registerMetrics() {
 	o.RegisterCounter("commit_backend_rpcs", r.backendRPCs.Load)
 	o.RegisterCounter("batch_rpcs", r.batchRPCs.Load)
 	o.RegisterCounter("batched_ops", r.batchedOps.Load)
+	o.RegisterCounter("batch_fallbacks", r.batchFallbacks.Load)
 	o.RegisterCounter("barrier_scoped", r.barriersScoped.Load)
 	o.RegisterCounter("barrier_full", r.barriersFull.Load)
 	o.RegisterCounter("cache_warm", r.cacheWarms.Load)
@@ -427,6 +438,7 @@ func (r *Region) registerMetrics() {
 	o.RegisterCounter("ops_dropped_"+dropReasonKindConflict, r.droppedConflict.Load)
 	o.RegisterCounter("ops_dropped_"+dropReasonBackendError, r.droppedBackend.Load)
 
+	o.RegisterGauge("mds_shards", func() int64 { return int64(r.cfg.ShardCount) })
 	o.RegisterGauge("queue_depth", func() int64 { return int64(r.QueueDepth()) })
 	o.RegisterGauge("parked_ops", r.parked.Load)
 	o.RegisterGauge("max_staleness_ns", r.MaxStaleness)
@@ -524,16 +536,17 @@ func (r *Region) Ring() *dht.Ring { return r.ring }
 // Stats returns commit-module counters.
 func (r *Region) Stats() RegionStats {
 	return RegionStats{
-		Committed:   r.committed.Load(),
-		Discarded:   r.discarded.Load(),
-		Retries:     r.retries.Load(),
-		Dropped:     r.dropped.Load(),
-		Evictions:   r.evictions.Load(),
-		Coalesced:   r.coalesced.Load(),
-		CacheRPCs:   r.cacheRPCs.Load(),
-		BackendRPCs: r.backendRPCs.Load(),
-		BatchRPCs:   r.batchRPCs.Load(),
-		BatchedOps:  r.batchedOps.Load(),
+		Committed:      r.committed.Load(),
+		Discarded:      r.discarded.Load(),
+		Retries:        r.retries.Load(),
+		Dropped:        r.dropped.Load(),
+		Evictions:      r.evictions.Load(),
+		Coalesced:      r.coalesced.Load(),
+		CacheRPCs:      r.cacheRPCs.Load(),
+		BackendRPCs:    r.backendRPCs.Load(),
+		BatchRPCs:      r.batchRPCs.Load(),
+		BatchedOps:     r.batchedOps.Load(),
+		BatchFallbacks: r.batchFallbacks.Load(),
 
 		BarriersScoped: r.barriersScoped.Load(),
 		BarriersFull:   r.barriersFull.Load(),

@@ -21,6 +21,12 @@ type ClientConfig struct {
 	// pool by path hash.
 	MDSAddr  string
 	MDSAddrs []string
+	// Shards, when set, routes metadata operations through a
+	// subtree-partitioned shard pool instead of the shared-tree MDSAddrs
+	// group: each shard owns a disjoint slice of the namespace (see
+	// ShardMap), structural directories are mirrored everywhere, and
+	// cross-shard rename/rmdir run two-phase protocols (router.go).
+	Shards *ShardMap
 	// DataAddrs are the data servers' RPC addresses in stripe order.
 	DataAddrs []string
 	// Cred is the system user the client acts as.
@@ -46,6 +52,12 @@ type Client struct {
 	cfg    ClientConfig
 	caller *rpc.Caller
 
+	// mirrorPick is this client's stable choice among the mirrors of a
+	// structural path (sharded mode): any mirror answers reads, and a
+	// per-client stable pick spreads the load without ping-ponging the
+	// shards' dentry working sets.
+	mirrorPick int
+
 	mu       sync.Mutex
 	dentries map[string]dentry
 
@@ -62,11 +74,17 @@ func NewClient(t rpc.Transport, cfg ClientConfig) *Client {
 	if len(cfg.MDSAddrs) == 0 && cfg.MDSAddr != "" {
 		cfg.MDSAddrs = []string{cfg.MDSAddr}
 	}
-	return &Client{
+	c := &Client{
 		cfg:      cfg,
 		caller:   rpc.NewCaller(t, cfg.Model, cfg.Node),
 		dentries: make(map[string]dentry),
 	}
+	if cfg.Shards != nil && cfg.Shards.N() > 0 {
+		h := fnv.New32a()
+		h.Write([]byte(cfg.Node))
+		c.mirrorPick = int(h.Sum32() % uint32(cfg.Shards.N()))
+	}
+	return c
 }
 
 // Cred returns the client's credential.
@@ -146,8 +164,16 @@ func (c *Client) cacheDropSubtree(root string) {
 }
 
 // mdsFor routes a path's metadata operation to its MDS (single-MDS
-// deployments always return the one server).
+// deployments always return the one server). In sharded mode the shard
+// map owns the routing: structural paths go to this client's stable
+// mirror, everything else to the owning shard.
 func (c *Client) mdsFor(p string) string {
+	if s := c.cfg.Shards; s != nil {
+		if s.Structural(p) {
+			return s.AddrOf(c.mirrorPick)
+		}
+		return s.AddrOf(s.Owner(p))
+	}
 	if len(c.cfg.MDSAddrs) == 1 {
 		return c.cfg.MDSAddrs[0]
 	}
@@ -219,8 +245,12 @@ func (c *Client) mutateBody(p string, st fsapi.Stat) *wire.Encoder {
 	return e
 }
 
-// callMutate issues one mutation RPC with the standard body.
+// callMutate issues one mutation RPC with the standard body. Mutating a
+// structural path in sharded mode fans out to every mirror.
 func (c *Client) callMutate(method string, at vclock.Time, p string, st fsapi.Stat) (vclock.Time, error) {
+	if c.sharded() && c.cfg.Shards.Structural(p) {
+		return c.mutateAllShards(method, at, p, st)
+	}
 	e := c.mutateBody(p, st)
 	done, _, err := c.caller.Call(c.mdsFor(p), method, at, e.Bytes())
 	wire.PutEncoder(e)
@@ -335,12 +365,23 @@ func (c *Client) Remove(at vclock.Time, p string) (vclock.Time, error) {
 	return done, err
 }
 
-// Rmdir removes an empty directory.
+// Rmdir removes an empty directory. In sharded mode a directory that
+// spans shards (mirrored, or holding delegations) removes through the
+// prepare/commit vote so no shard unlinks a mirror the others keep.
 func (c *Client) Rmdir(at vclock.Time, p string) (vclock.Time, error) {
 	p = namespace.Clean(p)
 	at, err := c.resolveAncestors(at, p)
 	if err != nil {
 		return at, err
+	}
+	if c.sharded() {
+		if targets := c.shardTargets(p); len(targets) > 1 {
+			done, err := c.shardedRmdir(at, p, targets)
+			if err == nil {
+				c.cacheDrop(p)
+			}
+			return done, err
+		}
 	}
 	done, err := c.callMutate("rmdir", at, p, fsapi.Stat{})
 	if err == nil {
@@ -355,6 +396,11 @@ func (c *Client) RmTree(at vclock.Time, p string) ([]string, vclock.Time, error)
 	at, err := c.resolveAncestors(at, p)
 	if err != nil {
 		return nil, at, err
+	}
+	if c.sharded() {
+		if targets := c.shardTargets(p); len(targets) > 1 {
+			return c.shardedRmTree(at, p, targets)
+		}
 	}
 	e := wire.GetEncoder()
 	e.String(p)
@@ -389,16 +435,24 @@ func (c *Client) Rename(at vclock.Time, src, dst string) (vclock.Time, error) {
 	if at, err = c.resolveAncestors(at, dst); err != nil {
 		return at, err
 	}
-	e := wire.GetEncoder()
-	e.String(src)
-	e.String(dst)
-	e.Uint32(c.cfg.Cred.UID)
-	e.Uint32(c.cfg.Cred.GID)
-	done, _, err := c.caller.Call(c.mdsFor(src), "rename", at, e.Bytes())
-	wire.PutEncoder(e)
-	at = done
-	if err != nil {
-		return at, err
+	if c.sharded() {
+		done, err := c.shardedRename(at, src, dst)
+		at = done
+		if err != nil {
+			return at, err
+		}
+	} else {
+		e := wire.GetEncoder()
+		e.String(src)
+		e.String(dst)
+		e.Uint32(c.cfg.Cred.UID)
+		e.Uint32(c.cfg.Cred.GID)
+		done, _, err := c.caller.Call(c.mdsFor(src), "rename", at, e.Bytes())
+		wire.PutEncoder(e)
+		at = done
+		if err != nil {
+			return at, err
+		}
 	}
 	c.cacheDropSubtree(src)
 	// Re-home data chunks (they are keyed by path): walk the moved
@@ -482,12 +536,18 @@ func (c *Client) readAtPath(at vclock.Time, p string, size int64) ([]byte, vcloc
 	return out, at, nil
 }
 
-// Readdir lists a directory.
+// Readdir lists a directory. In sharded mode a directory that spans
+// shards merges the per-shard listings.
 func (c *Client) Readdir(at vclock.Time, p string) ([]fsapi.DirEntry, vclock.Time, error) {
 	p = namespace.Clean(p)
 	at, err := c.resolveAncestors(at, p)
 	if err != nil {
 		return nil, at, err
+	}
+	if c.sharded() {
+		if targets := c.shardTargets(p); len(targets) > 1 {
+			return c.shardedReaddir(at, p, targets)
+		}
 	}
 	e := wire.GetEncoder()
 	e.String(p)
@@ -675,10 +735,9 @@ func (c *Client) StatBatch(at vclock.Time, paths []string) ([]fsapi.StatResult, 
 		groups[addr] = append(groups[addr], i)
 	}
 	// One RPC per MDS, all issued at the same virtual instant; the
-	// batch completes when the slowest group does.
-	latest := at
-	for _, addr := range order {
-		idxs := groups[addr]
+	// batch completes when the slowest group does. Multiple groups fan
+	// out concurrently — each fills a disjoint slice of out.
+	statGroup := func(addr string, idxs []int) (vclock.Time, error) {
 		c.mu.Lock()
 		c.lookupRPCs += int64(len(idxs))
 		c.mu.Unlock()
@@ -691,20 +750,19 @@ func (c *Client) StatBatch(at vclock.Time, paths []string) ([]fsapi.StatResult, 
 		done, resp, err := c.caller.Call(addr, "stat_batch", at, e.Bytes())
 		wire.PutEncoder(e)
 		if err != nil {
-			return nil, done, err
+			return done, err
 		}
-		latest = vclock.Max(latest, done)
 		d := wire.NewDecoder(resp)
 		n := d.Uvarint()
 		if n != uint64(len(idxs)) {
-			return nil, latest, fmt.Errorf("dfs: stat_batch returned %d results for %d paths", n, len(idxs))
+			return done, fmt.Errorf("dfs: stat_batch returned %d results for %d paths", n, len(idxs))
 		}
 		for _, i := range idxs {
 			code := d.Byte()
 			if code == fsapi.CodeOK {
 				out[i].Stat = fsapi.DecodeStat(d)
 				if d.Err() == nil {
-					c.cachePut(cleaned[i], out[i].Stat, latest)
+					c.cachePut(cleaned[i], out[i].Stat, done)
 				}
 			} else {
 				detail := d.String()
@@ -712,8 +770,32 @@ func (c *Client) StatBatch(at vclock.Time, paths []string) ([]fsapi.StatResult, 
 				c.cacheDrop(cleaned[i])
 			}
 		}
-		if derr := d.Finish(); derr != nil {
-			return nil, latest, derr
+		return done, d.Finish()
+	}
+	latest := at
+	if len(order) == 1 {
+		done, err := statGroup(order[0], groups[order[0]])
+		if err != nil {
+			return nil, done, err
+		}
+		latest = vclock.Max(latest, done)
+	} else {
+		dones := make([]vclock.Time, len(order))
+		gerrs := make([]error, len(order))
+		var wg sync.WaitGroup
+		for gi, addr := range order {
+			wg.Add(1)
+			go func(gi int, addr string) {
+				defer wg.Done()
+				dones[gi], gerrs[gi] = statGroup(addr, groups[addr])
+			}(gi, addr)
+		}
+		wg.Wait()
+		for gi := range order {
+			latest = vclock.Max(latest, dones[gi])
+			if gerrs[gi] != nil {
+				return nil, latest, gerrs[gi]
+			}
 		}
 	}
 	return out, latest, nil
@@ -748,21 +830,34 @@ func (c *Client) ApplyBatch(at vclock.Time, ops []fsapi.BatchOp) ([]error, vcloc
 	if len(send) == 0 {
 		return errs, at, nil
 	}
-	// Group the survivors by owning MDS, preserving order within a group.
+	// Group the survivors by owning MDS, preserving order within a
+	// group. Ops on structural (mirrored) paths divert to the
+	// all-shards path — rare, since Pacon mutates workspace-interior
+	// paths, not the workspace skeleton.
 	groups := make(map[string][]int)
 	var order []string
+	var structural []int
 	for _, i := range send {
+		if c.sharded() && c.cfg.Shards.Structural(ops[i].Path) {
+			structural = append(structural, i)
+			continue
+		}
 		addr := c.mdsFor(ops[i].Path)
 		if _, ok := groups[addr]; !ok {
 			order = append(order, addr)
 		}
 		groups[addr] = append(groups[addr], i)
 	}
-	// One RPC per MDS, all issued at the same virtual instant; the batch
-	// completes when the slowest group does.
 	latest := at
-	for _, addr := range order {
-		idxs := groups[addr]
+	for _, i := range structural {
+		done, err := c.applyOpAllShards(at, ops[i])
+		latest = vclock.Max(latest, done)
+		errs[i] = err
+	}
+	// One RPC per MDS, all issued at the same virtual instant; the batch
+	// completes when the slowest group does. Multiple groups fan out
+	// concurrently — each fills a disjoint slice of errs.
+	applyGroup := func(addr string, idxs []int) (vclock.Time, error) {
 		e := wire.GetEncoder()
 		e.Uint32(c.cfg.Cred.UID)
 		e.Uint32(c.cfg.Cred.GID)
@@ -777,13 +872,12 @@ func (c *Client) ApplyBatch(at vclock.Time, ops []fsapi.BatchOp) ([]error, vcloc
 		done, resp, err := c.caller.Call(addr, "apply_batch", at, e.Bytes())
 		wire.PutEncoder(e)
 		if err != nil {
-			return nil, done, err
+			return done, err
 		}
-		latest = vclock.Max(latest, done)
 		d := wire.NewDecoder(resp)
 		n := d.Uvarint()
 		if n != uint64(len(idxs)) {
-			return nil, latest, fmt.Errorf("dfs: apply_batch returned %d results for %d ops", n, len(idxs))
+			return done, fmt.Errorf("dfs: apply_batch returned %d results for %d ops", n, len(idxs))
 		}
 		for _, i := range idxs {
 			code := d.Byte()
@@ -796,8 +890,31 @@ func (c *Client) ApplyBatch(at vclock.Time, ops []fsapi.BatchOp) ([]error, vcloc
 				}
 			}
 		}
-		if derr := d.Finish(); derr != nil {
-			return nil, latest, derr
+		return done, d.Finish()
+	}
+	if len(order) == 1 {
+		done, err := applyGroup(order[0], groups[order[0]])
+		if err != nil {
+			return nil, done, err
+		}
+		latest = vclock.Max(latest, done)
+	} else if len(order) > 1 {
+		dones := make([]vclock.Time, len(order))
+		gerrs := make([]error, len(order))
+		var wg sync.WaitGroup
+		for gi, addr := range order {
+			wg.Add(1)
+			go func(gi int, addr string) {
+				defer wg.Done()
+				dones[gi], gerrs[gi] = applyGroup(addr, groups[addr])
+			}(gi, addr)
+		}
+		wg.Wait()
+		for gi := range order {
+			latest = vclock.Max(latest, dones[gi])
+			if gerrs[gi] != nil {
+				return nil, latest, gerrs[gi]
+			}
 		}
 	}
 	return errs, latest, nil

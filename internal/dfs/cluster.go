@@ -1,6 +1,8 @@
 package dfs
 
 import (
+	"fmt"
+
 	"pacon/internal/fsapi"
 	"pacon/internal/namespace"
 	"pacon/internal/rpc"
@@ -22,6 +24,11 @@ type Cluster struct {
 	Data      []*DataServer
 	DataAddrs []string
 	RootCred  fsapi.Cred
+
+	// Shards is set by NewClusterSharded: the MDSes hold independent
+	// subtree-partitioned namespaces instead of one shared tree, and
+	// clients route through this map. Nil for shared-tree clusters.
+	Shards *ShardMap
 }
 
 // NewCluster registers an MDS on mdsNode and one data server per entry
@@ -55,6 +62,144 @@ func NewClusterMulti(net rpc.Network, model vclock.LatencyModel, rootCred fsapi.
 	return c
 }
 
+// NewClusterSharded deploys a subtree-partitioned metadata service:
+// `shards` MDSes on mdsNode, each owning an independent namespace tree.
+// Structural paths (the given spread roots plus their ancestors and "/")
+// are mirrored on every shard; each immediate child subtree of a spread
+// root hashes to one shard and everything deeper inherits it (parent
+// affinity). Cross-shard renames run the two-phase xfer protocol.
+func NewClusterSharded(net rpc.Network, model vclock.LatencyModel, rootCred fsapi.Cred, mdsNode string, shards int, spreadRoots []string, dataNodes []string) *Cluster {
+	if shards < 1 {
+		shards = 1
+	}
+	c := &Cluster{Net: net, Model: model, RootCred: rootCred}
+	addrs := make([]string, shards)
+	for i := 0; i < shards; i++ {
+		addrs[i] = fmt.Sprintf("%s/mds%d", mdsNode, i)
+	}
+	c.Shards = NewShardMap(addrs, spreadRoots)
+	for i := 0; i < shards; i++ {
+		m := NewMDSWithTree(addrs[i], model, namespace.NewTree(rootCred))
+		net.Register(addrs[i], m.Service())
+		c.MDSes = append(c.MDSes, m)
+		c.MDSAddrs = append(c.MDSAddrs, addrs[i])
+	}
+	c.MDS = c.MDSes[0]
+	c.MDSAddr = c.MDSAddrs[0]
+	for _, node := range dataNodes {
+		addr := node + "/data"
+		ds := NewDataServer(addr, model)
+		c.Data = append(c.Data, ds)
+		c.DataAddrs = append(c.DataAddrs, addr)
+		net.Register(addr, ds.Service())
+	}
+	return c
+}
+
+// KillShard unregisters shard i's service — calls to it fail with
+// ErrClosed until RecoverShard. In-flight calls finish normally.
+func (c *Cluster) KillShard(i int) {
+	c.Net.Unregister(c.MDSAddrs[i])
+}
+
+// RecoverShard re-registers shard i. Its namespace tree survives (the
+// on-disk state), but the volatile intent log is cleared — every
+// in-flight cross-shard protocol is implicitly aborted on this side.
+func (c *Cluster) RecoverShard(i int) {
+	c.MDSes[i].ClearIntents()
+	c.Net.Register(c.MDSAddrs[i], c.MDSes[i].Service())
+}
+
+// OracleLookup resolves p directly against the authoritative tree —
+// shard-aware: in sharded mode it consults the shard owning p. Used by
+// convergence checkers that must bypass the RPC layer.
+func (c *Cluster) OracleLookup(p string) (fsapi.Stat, error) {
+	p = namespace.Clean(p)
+	return c.oracleTree(p).Lookup(p)
+}
+
+// OracleExists reports whether p exists in the authoritative namespace,
+// shard-aware like OracleLookup.
+func (c *Cluster) OracleExists(p string) bool {
+	p = namespace.Clean(p)
+	return c.oracleTree(p).Exists(p)
+}
+
+func (c *Cluster) oracleTree(p string) *namespace.Tree {
+	if c.Shards == nil || c.Shards.N() == 1 {
+		return c.MDS.Tree()
+	}
+	if c.Shards.Structural(p) {
+		return c.MDS.Tree() // every mirror agrees; shard 0 is canonical
+	}
+	return c.MDSes[c.Shards.Owner(p)].Tree()
+}
+
+// Delegate migrates the subtree rooted at p onto the given shard and
+// registers the delegation in the shard map. This is the administrative
+// rebalancing operation: it materializes p's ancestor chain on the
+// target (copying stats from the authoritative mirrors), exports the
+// subtree from its current owner into the target tree, removes it from
+// the old owner, and only then flips routing. It is an offline/quiesced
+// operation — callers must not race it against client traffic to the
+// moving subtree.
+func (c *Cluster) Delegate(p string, shard int) error {
+	if c.Shards == nil {
+		return fmt.Errorf("dfs: delegate %s: cluster is not sharded", p)
+	}
+	p = namespace.Clean(p)
+	if shard < 0 || shard >= len(c.MDSes) {
+		return fmt.Errorf("dfs: delegate %s: shard %d out of range [0,%d)", p, shard, len(c.MDSes))
+	}
+	if c.Shards.Structural(p) {
+		return fmt.Errorf("dfs: delegate %s: structural paths are mirrored, not delegated", p)
+	}
+	old := c.Shards.Owner(p)
+	dst := c.MDSes[shard].Tree()
+	// Materialize the ancestor chain on the target so future creates
+	// under p can resolve their parents locally. Structural ancestors are
+	// already mirrored; hash-zone ancestors are copied from their owner.
+	for i := 1; i < len(p); i++ {
+		if p[i] != '/' {
+			continue
+		}
+		a := p[:i]
+		if dst.Exists(a) {
+			continue
+		}
+		st, err := c.oracleTree(a).Lookup(a)
+		if err != nil {
+			return fmt.Errorf("dfs: delegate %s: ancestor %s: %w", p, a, err)
+		}
+		if err := dst.Mkdir(a, st); err != nil {
+			return fmt.Errorf("dfs: delegate %s: mirror ancestor %s: %w", p, a, err)
+		}
+	}
+	// Move the subtree itself, if it already exists on the old owner.
+	if old != shard {
+		src := c.MDSes[old].Tree()
+		if src.Exists(p) {
+			if dst.Exists(p) {
+				return fsapi.WrapPath("delegate", p, fsapi.ErrExist)
+			}
+			err := src.Walk(p, func(q string, st fsapi.Stat) error {
+				if st.IsDir() {
+					return dst.Mkdir(q, st)
+				}
+				return dst.Create(q, st)
+			})
+			if err != nil {
+				dst.RemoveSubtree(p)
+				return fmt.Errorf("dfs: delegate %s: export: %w", p, err)
+			}
+			if _, err := src.RemoveSubtree(p); err != nil {
+				return fmt.Errorf("dfs: delegate %s: unlink old owner: %w", p, err)
+			}
+		}
+	}
+	return c.Shards.Delegate(p, shard)
+}
+
 // NewClient builds a client on the given node. TTL 0 gives the paper's
 // strong-consistency baseline behavior.
 func (c *Cluster) NewClient(node string, cred fsapi.Cred, cacheCap int, ttl vclock.Duration) *Client {
@@ -66,5 +211,6 @@ func (c *Cluster) NewClient(node string, cred fsapi.Cred, cacheCap int, ttl vclo
 		Model:          c.Model,
 		DentryCacheCap: cacheCap,
 		DentryTTL:      ttl,
+		Shards:         c.Shards,
 	})
 }

@@ -9,6 +9,7 @@ package dfs
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"pacon/internal/fsapi"
@@ -29,6 +30,13 @@ type MDS struct {
 	lookups atomic.Int64
 	reads   atomic.Int64
 	writes  atomic.Int64
+
+	// Cross-shard intent log (shardrpc.go): subtree root → protocol id.
+	// intentN gates the per-op overlap check so deployments that never
+	// shard (or never rename across shards) pay one atomic load.
+	intentN  atomic.Int32
+	intentMu sync.Mutex
+	intents  map[string]uint64
 }
 
 // NewMDS creates a metadata server whose root is owned by cred.
@@ -97,6 +105,9 @@ func (m *MDS) checkParentWritable(op, p string, cred fsapi.Cred) error {
 // applyOne applies a single batched mutation, mirroring the semantics of
 // the corresponding singleton handler exactly.
 func (m *MDS) applyOne(op fsapi.BatchOp, cred fsapi.Cred) error {
+	if err := m.intentBlocked("apply", op.Path); err != nil {
+		return err
+	}
 	switch op.Kind {
 	case fsapi.BatchCreate:
 		if m.tree.Exists(op.Path) {
@@ -199,6 +210,9 @@ func (m *MDS) Service() *rpc.Service {
 			}
 			m.writes.Add(1)
 			done := m.res.Acquire(at, m.model.MDSWriteCost)
+			if err := m.intentBlocked(op, p); err != nil {
+				return done, nil, err
+			}
 			return done, nil, fn(p, cred, st)
 		}
 	}
@@ -291,6 +305,12 @@ func (m *MDS) Service() *rpc.Service {
 		}
 		m.writes.Add(1)
 		done := m.res.Acquire(at, m.model.MDSWriteCost)
+		if err := m.intentBlocked("rename", src); err != nil {
+			return done, nil, err
+		}
+		if err := m.intentBlocked("rename", dst); err != nil {
+			return done, nil, err
+		}
 		if err := m.checkParentWritable("rename", src, cred); err != nil {
 			return done, nil, err
 		}
@@ -308,10 +328,19 @@ func (m *MDS) Service() *rpc.Service {
 		d := wire.NewDecoder(body)
 		p := d.String()
 		cred := fsapi.Cred{UID: d.Uint32(), GID: d.Uint32()}
+		// A multi-shard sweep brackets itself with an intent on p; the
+		// optional trailing id lets that sweep pass its own barrier.
+		var selfID uint64
+		if d.Remaining() > 0 {
+			selfID = d.Uvarint()
+		}
 		if err := d.Finish(); err != nil {
 			return at, nil, err
 		}
 		m.writes.Add(1)
+		if err := m.intentBlockedExcept("rmtree", p, selfID); err != nil {
+			return m.res.Acquire(at, m.model.MDSReadCost), nil, err
+		}
 		if err := m.checkParentWritable("rmdir", p, cred); err != nil {
 			return m.res.Acquire(at, m.model.MDSReadCost), nil, err
 		}
@@ -351,6 +380,11 @@ func (m *MDS) Service() *rpc.Service {
 		}
 		return done, e.Bytes(), nil
 	})
+
+	// Cross-shard coordination endpoints (shardrpc.go): two-phase
+	// rename/rmdir and intent bracketing. Registered unconditionally —
+	// they are inert unless a shard router drives them.
+	m.shardHandlers(svc)
 
 	return svc
 }

@@ -88,6 +88,19 @@ type Obs struct {
 	hists    map[string]*Histogram
 	counters map[string]func() int64
 	gauges   map[string]func() int64
+
+	// Per-MDS-address DFS RPC instrumentation (sharded deployments):
+	// lock-free lookup after the first RPC to an address, so the per-shard
+	// breakdown costs one sync.Map hit per round trip.
+	shardRPC sync.Map // addr -> *shardRPCStats
+}
+
+// shardRPCStats is one MDS address's RPC breakdown: its latency
+// histogram (also registered as "dfs_rpc/<addr>") and error count
+// (registered as "dfs_rpc_errors/<addr>").
+type shardRPCStats struct {
+	hist *Histogram
+	errs atomic.Int64
 }
 
 // New returns an enabled registry.
@@ -153,10 +166,36 @@ func (o *Obs) ObserveRPC(addr, method string, d time.Duration, err error) {
 		if err != nil {
 			o.dfsRPCErrs.Add(1)
 		}
+		if strings.Contains(addr, "/mds") {
+			s := o.shardStats(addr)
+			s.hist.Record(d)
+			if err != nil {
+				s.errs.Add(1)
+			}
+		}
 	}
 	if err != nil {
 		o.Hist("rpc_error").RecordN(int64(d))
 	}
+}
+
+// shardStats returns (creating and registering on first use) the
+// per-address DFS RPC breakdown for an MDS service address.
+func (o *Obs) shardStats(addr string) *shardRPCStats {
+	if v, ok := o.shardRPC.Load(addr); ok {
+		return v.(*shardRPCStats)
+	}
+	s := &shardRPCStats{hist: NewHistogram()}
+	if v, loaded := o.shardRPC.LoadOrStore(addr, s); loaded {
+		return v.(*shardRPCStats)
+	}
+	// First RPC to this address: expose the breakdown through the
+	// registry (WriteProm sanitizes the '/'-bearing names).
+	o.mu.Lock()
+	o.hists[HistDFSRPC+"/"+addr] = s.hist
+	o.mu.Unlock()
+	o.RegisterCounter("dfs_rpc_errors/"+addr, s.errs.Load)
+	return s
 }
 
 // ObserveServerSpan implements the server-side trace hook (see

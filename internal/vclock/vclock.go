@@ -55,6 +55,7 @@ type Resource struct {
 
 	ops  atomic.Int64
 	busy atomic.Int64 // accumulated busy nanoseconds across workers
+	wait atomic.Int64 // accumulated queueing delay (start - arrival)
 	last atomic.Int64 // latest completion time observed (Time)
 }
 
@@ -111,6 +112,9 @@ func (r *Resource) Acquire(at Time, cost Duration) Time {
 
 	r.ops.Add(1)
 	r.busy.Add(int64(cost))
+	if start > at {
+		r.wait.Add(int64(start - at))
+	}
 	observeMax(&r.last, int64(done))
 	return done
 }
@@ -120,6 +124,11 @@ func (r *Resource) Ops() int64 { return r.ops.Load() }
 
 // BusyTime returns the total virtual busy time accumulated across workers.
 func (r *Resource) BusyTime() Duration { return Duration(r.busy.Load()) }
+
+// QueueWait returns the total virtual time requests spent queued for a
+// worker slot (arrival to service start, summed over acquisitions) —
+// the M/D/k waiting-time tally the station accumulates past saturation.
+func (r *Resource) QueueWait() Duration { return Duration(r.wait.Load()) }
 
 // LastCompletion returns the latest completion time handed out.
 func (r *Resource) LastCompletion() Time { return Time(r.last.Load()) }
@@ -142,6 +151,7 @@ func (r *Resource) Reset() {
 	r.mu.Unlock()
 	r.ops.Store(0)
 	r.busy.Store(0)
+	r.wait.Store(0)
 	r.last.Store(0)
 }
 

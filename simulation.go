@@ -33,6 +33,15 @@ type SimulationConfig struct {
 	// reports per-RPC wall latency to it, and regions created through
 	// NewRegion inherit it for op tracing and pipeline histograms.
 	Obs *Obs
+	// ShardCount > 1 partitions the metadata service by subtree across
+	// that many independent MDS shards (each with its own namespace and
+	// service pool) instead of the default single shared-tree MDS.
+	ShardCount int
+	// SpreadRoots lists directories whose immediate children spread
+	// across the shard pool (each child subtree hashes as one unit).
+	// The roots themselves are mirrored on every shard. Only consulted
+	// when ShardCount > 1; a region's workspace should be listed here.
+	SpreadRoots []string
 }
 
 // Simulation is the assembled deployment.
@@ -72,7 +81,12 @@ func NewSimulation(cfg SimulationConfig) *Simulation {
 	for i := range dataNodes {
 		dataNodes[i] = fmt.Sprintf("storage%d", i+1)
 	}
-	cluster := dfs.NewCluster(network, model, cfg.AdminCred, "storage0", dataNodes)
+	var cluster *dfs.Cluster
+	if cfg.ShardCount > 1 {
+		cluster = dfs.NewClusterSharded(network, model, cfg.AdminCred, "storage0", cfg.ShardCount, cfg.SpreadRoots, dataNodes)
+	} else {
+		cluster = dfs.NewCluster(network, model, cfg.AdminCred, "storage0", dataNodes)
+	}
 	nodes := make([]string, cfg.ClientNodes)
 	for i := range nodes {
 		nodes[i] = fmt.Sprintf("node%d", i)
@@ -136,6 +150,9 @@ func (s *Simulation) MustMkdirAll(path string, mode Mode) {
 func (s *Simulation) NewRegion(cfg RegionConfig) (*Region, error) {
 	if cfg.Model == (LatencyModel{}) {
 		cfg.Model = s.model
+	}
+	if cfg.ShardCount == 0 && s.cfg.ShardCount > 1 {
+		cfg.ShardCount = s.cfg.ShardCount
 	}
 	return NewRegion(cfg, Deps{
 		Bus: s.net,
