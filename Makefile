@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check audit-check race-chaos bench-read bench-scale bench-shards alloc-gate trace-check clean
+.PHONY: build test check audit-check race-chaos bench-read bench-scale bench-shards bench-hotspot bench-diff alloc-gate trace-check clean
 
 build:
 	$(GO) build ./...
@@ -43,6 +43,20 @@ bench-scale:
 # and the commit report.
 bench-shards:
 	$(GO) run ./cmd/paconbench -quick -shardsjson BENCH_shards.json
+
+# bench-hotspot regenerates the hotspot-telemetry report
+# (BENCH_hotspot.json): a zipf-skewed stat/create mix at scale-bench
+# fan-in, sweeping zipf s ∈ {1.0, 1.2, 1.4} × MDS shards ∈ {1, 4} and
+# reporting client p50/p99, per-shard utilization spread, and the top-K
+# sketch's recall of the true hot set (acceptance: ≥0.90 at s=1.2).
+bench-hotspot:
+	$(GO) run ./cmd/paconbench -hotjson BENCH_hotspot.json
+
+# bench-diff compares two BENCH_*.json artifacts and fails on >10%
+# regressions of direction-known metrics (throughput down, latency up).
+# Usage: make bench-diff OLD=BENCH_hotspot.json NEW=BENCH_hotspot_ci.json
+bench-diff:
+	$(GO) run ./cmd/benchdiff -fail $(OLD) $(NEW)
 
 # alloc-gate pins the create hot path's allocation count. The
 # pre-pooling baseline was 31 allocs/op; pooled codec + inline hashing +

@@ -38,6 +38,7 @@ func main() {
 		ajson  = flag.String("auditjson", "", "run the divergence-audit experiment and write its JSON report to this path")
 		sjson  = flag.String("scalejson", "", "run the scale experiment and write its JSON report to this path")
 		shjson = flag.String("shardsjson", "", "run the MDS shard sweep and write its JSON report to this path")
+		hjson  = flag.String("hotjson", "", "run the hotspot-telemetry sweep and write its JSON report to this path")
 		debug  = flag.String("debug", "", "serve /debug/vars and /debug/pprof on this address while experiments run")
 	)
 	flag.Parse()
@@ -86,7 +87,7 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s\n", *cjson)
-		if !*all && *fig == "" && *rjson == "" && *ajson == "" && *sjson == "" && *shjson == "" {
+		if !*all && *fig == "" && *rjson == "" && *ajson == "" && *sjson == "" && *shjson == "" && *hjson == "" {
 			return
 		}
 	}
@@ -110,7 +111,7 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s\n", *sjson)
-		if !*all && *fig == "" && *rjson == "" && *ajson == "" && *shjson == "" {
+		if !*all && *fig == "" && *rjson == "" && *ajson == "" && *shjson == "" && *hjson == "" {
 			return
 		}
 	}
@@ -135,7 +136,7 @@ func main() {
 		for _, f := range figs {
 			fmt.Println(f.String())
 		}
-		if !*all && *fig == "" && *rjson == "" && *shjson == "" {
+		if !*all && *fig == "" && *rjson == "" && *shjson == "" && *hjson == "" {
 			return
 		}
 	}
@@ -159,7 +160,7 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s\n", *rjson)
-		if !*all && *fig == "" && *shjson == "" {
+		if !*all && *fig == "" && *shjson == "" && *hjson == "" {
 			return
 		}
 	}
@@ -183,6 +184,30 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s\n", *shjson)
+		if !*all && *fig == "" && *hjson == "" {
+			return
+		}
+	}
+
+	if *hjson != "" {
+		rep, figs, err := bench.RunHotspot(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paconbench: hotspot: %v\n", err)
+			os.Exit(1)
+		}
+		for _, f := range figs {
+			fmt.Println(f.String())
+		}
+		data, err := rep.JSON()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*hjson, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *hjson)
 		if !*all && *fig == "" {
 			return
 		}

@@ -16,8 +16,8 @@
 // With -metrics, the shell also serves Prometheus-text metrics at
 // /metrics, region health as JSON at /healthz (503 once stalled),
 // kept trace spans at /debug/trace (?span=N for one cross-node
-// critical path), expvar at /debug/vars, and pprof at /debug/pprof/
-// while it runs.
+// critical path), the hotspot snapshot at /debug/hot (?k=N), expvar
+// at /debug/vars, and pprof at /debug/pprof/ while it runs.
 package main
 
 import (
@@ -98,6 +98,30 @@ func main() {
 			}{sh.obs.TraceStats(), sh.obs.RecentSpans(32)}
 			if err := enc.Encode(out); err != nil {
 				fmt.Fprintln(os.Stderr, "paconfs: trace:", err)
+			}
+		})
+		// /debug/hot serves the merged hotspot snapshot as JSON: top-K
+		// heavy-hitter paths (?k=N, default 16), subtrees with ≥5% of
+		// the load, and per-node op skew.
+		mux.HandleFunc("/debug/hot", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			k := 16
+			if q := r.URL.Query().Get("k"); q != "" {
+				n, perr := strconv.Atoi(q)
+				if perr != nil || n < 1 {
+					http.Error(w, "bad k", http.StatusBadRequest)
+					return
+				}
+				k = n
+			}
+			rep := sh.obs.HotReport(k, 0.05)
+			if rep == nil {
+				rep = &pacon.HotReport{}
+			}
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(rep); err != nil {
+				fmt.Fprintln(os.Stderr, "paconfs: hot:", err)
 			}
 		})
 		mux.Handle("/debug/vars", expvar.Handler())

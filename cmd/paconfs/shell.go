@@ -77,6 +77,7 @@ const helpText = `commands:
   drain                 force all queued commits to the DFS
   stats                 region + cache + queue + latency statistics
   shards                per-MDS-shard op counts and utilization
+  hot [K]               top-K hot paths, hot subtrees and load skew
   health                region health: status, staleness, queue state
   audit [N]             compare committed cache entries against the DFS
                         (sample at most N keys; default: every key)
@@ -230,6 +231,37 @@ func (s *shell) exec(line string) (out string, quit bool, err error) {
 				cluster.MDSAddrs[i], st.Lookups, st.Reads, st.Writes, res.BusyTime(), 100*util)
 		}
 		return sb.String(), false, nil
+	case "hot":
+		// hot [K]: the merged hotspot snapshot — top-K heavy-hitter
+		// paths, subtrees with ≥5% of the load (the split candidates),
+		// and per-node op skew. Counts are space-saving upper bounds.
+		k := 10
+		if len(args) > 0 {
+			n, perr := strconv.Atoi(args[0])
+			if perr != nil || n < 1 {
+				return "", false, fmt.Errorf("hot: bad count %q", args[0])
+			}
+			k = n
+		}
+		rep := s.obs.HotReport(k, 0.05)
+		if rep == nil {
+			return "no ops recorded yet", false, nil
+		}
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "hot paths (top %d of %d recorded op(s)):", k, rep.TotalOps)
+		for _, hk := range rep.TopPaths {
+			fmt.Fprintf(&sb, "\n  %5.1f%% n≤%-8d %s", 100*hk.Share, hk.Count, hk.Path)
+		}
+		sb.WriteString("\nhot subtrees (≥5% of load):")
+		for _, hk := range rep.HotSubtrees {
+			fmt.Fprintf(&sb, "\n  %5.1f%% n≤%-8d %s", 100*hk.Share, hk.Count, hk.Path)
+		}
+		fmt.Fprintf(&sb, "\nnode load: max/mean=%.2fx cv=%.2f over %d node(s)",
+			float64(rep.NodeSkew.MaxMeanPermille)/1000, float64(rep.NodeSkew.CVPermille)/1000, rep.NodeSkew.N)
+		for _, l := range rep.NodeOps {
+			fmt.Fprintf(&sb, "\n  %-16s %d op(s)", l.Node, l.Ops)
+		}
+		return sb.String(), false, nil
 	case "health":
 		h := s.region.Health(pacon.HealthThresholds{})
 		var sb strings.Builder
@@ -242,6 +274,13 @@ func (s *shell) exec(line string) (out string, quit bool, err error) {
 			time.Duration(h.QueueHeadAgeNS))
 		fmt.Fprintf(&sb, "\nqueues: %d pending op(s), %d parked", h.QueueDepth, h.ParkedOps)
 		fmt.Fprintf(&sb, "\ncache: %d dirty key(s), %d removed", h.DirtyKeys, h.RemovedKeys)
+		if h.NodeOpsMaxMeanPermille > 0 {
+			fmt.Fprintf(&sb, "\nskew: node max/mean=%.2fx cv=%.2f",
+				float64(h.NodeOpsMaxMeanPermille)/1000, float64(h.NodeOpsCVPermille)/1000)
+			if h.HotPath != "" {
+				fmt.Fprintf(&sb, " (hottest: %s at %.0f%%)", h.HotPath, 100*h.HotPathShare)
+			}
+		}
 		fmt.Fprintf(&sb, "\ndropped: %d", h.DroppedOps)
 		for _, reason := range sortedKeys(h.DroppedByReason) {
 			fmt.Fprintf(&sb, "\n  %s: %d", reason, h.DroppedByReason[reason])

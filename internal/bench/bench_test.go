@@ -54,7 +54,7 @@ func TestRegistryListsAllFigures(t *testing.T) {
 	ids := IDs()
 	want := []string{
 		"abl-async", "abl-inline", "abl-model", "abl-multimds", "abl-perm", "audit", "commit", "ext-batchfs",
-		"fig1", "fig10", "fig11", "fig12", "fig2", "fig7", "fig8", "fig9", "read", "scale", "shards",
+		"fig1", "fig10", "fig11", "fig12", "fig2", "fig7", "fig8", "fig9", "hotspot", "read", "scale", "shards",
 	}
 	if len(ids) != len(want) {
 		t.Fatalf("ids = %v", ids)

@@ -118,6 +118,7 @@ type env struct {
 func (e *env) instrument(o *obs.Obs) {
 	e.obs = o
 	e.bus.SetObserver(o)
+	e.cluster.RegisterHotMetrics(o)
 }
 
 // newEnv builds a deployment with n client nodes and the paper's storage

@@ -28,6 +28,10 @@ type Client struct {
 	backend Backend
 	// ring is this node's observability event ring (nil when disabled).
 	ring *obs.Ring
+	// hot is this node's hotspot recorder (nil when disabled): every
+	// top-level op records its path into the heavy-hitter sketch and
+	// subtree rollup.
+	hot *obs.NodeHot
 
 	// parentMemo caches positive parent-existence checks per barrier
 	// epoch: monotone until a dependent op can remove directories, at
@@ -65,6 +69,7 @@ func (r *Region) NewClient(node string) (*Client, error) {
 		caller:       caller,
 		backend:      r.newBackend(node),
 		ring:         r.obsRing(node),
+		hot:          r.obs.HotNode(node),
 		parentMemo:   make(map[string]uint64),
 		remoteCaches: make(map[string]*memcache.Client),
 	}, nil
@@ -99,6 +104,10 @@ func (c *Client) traceBegin(op, path string) uint64 {
 	if o == nil || c.curSpan != 0 {
 		return 0
 	}
+	// Hotspot attribution piggybacks on the same top-level-op gate: the
+	// o==nil branch above is the entire cost when observability is off,
+	// and nested ops don't double-count their outer op's path.
+	c.hot.Record(path)
 	span := o.Trace.NewSpan()
 	c.curSpan = span
 	c.curSampled = o.SampleNext()

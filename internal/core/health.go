@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"time"
+
+	"pacon/internal/obs"
 )
 
 // HealthStatus is a region's typed health verdict.
@@ -39,10 +41,25 @@ func (s HealthStatus) String() string {
 func (s HealthStatus) MarshalText() ([]byte, error) { return []byte(s.String()), nil }
 
 // HealthThresholds sets the wall-clock staleness levels (ns) at which a
-// region degrades and stalls. The zero value selects the defaults.
+// region degrades and stalls, and the sustained-imbalance level at
+// which hotspot skew degrades it. The zero value selects the defaults.
 type HealthThresholds struct {
 	DegradedNS int64 // default 5s
 	StalledNS  int64 // default 60s
+
+	// SkewMaxMeanPermille is the per-node load imbalance — max over mean
+	// of recorded ops per node, ×1000 — past which the region counts as
+	// imbalanced. Default 3000: the hottest node carries ≥3× its fair
+	// share. Only meaningful with observability enabled and >1 node.
+	SkewMaxMeanPermille int64
+	// SkewSustainNS is how long the imbalance must persist across Health
+	// polls before it degrades the region (a burst is not a hotspot).
+	// Default 10s.
+	SkewSustainNS int64
+	// SkewMinOps gates the imbalance rule until the region has recorded
+	// at least this many ops — skew over a handful of ops is noise.
+	// Default 1024.
+	SkewMinOps int64
 }
 
 func (t HealthThresholds) withDefaults() HealthThresholds {
@@ -51,6 +68,15 @@ func (t HealthThresholds) withDefaults() HealthThresholds {
 	}
 	if t.StalledNS <= 0 {
 		t.StalledNS = int64(60 * time.Second)
+	}
+	if t.SkewMaxMeanPermille <= 0 {
+		t.SkewMaxMeanPermille = 3000
+	}
+	if t.SkewSustainNS <= 0 {
+		t.SkewSustainNS = int64(10 * time.Second)
+	}
+	if t.SkewMinOps <= 0 {
+		t.SkewMinOps = 1024
 	}
 	return t
 }
@@ -110,6 +136,14 @@ type Health struct {
 	DroppedOps      int64            `json:"dropped_ops"`
 	DroppedByReason map[string]int64 `json:"dropped_by_reason,omitempty"`
 
+	// Per-node load-skew gauges from the hotspot telemetry (zero with
+	// observability disabled): max/mean and coefficient of variation of
+	// recorded ops per node, ×1000, plus the hottest path when skewed.
+	NodeOpsMaxMeanPermille int64   `json:"node_ops_max_mean_permille,omitempty"`
+	NodeOpsCVPermille      int64   `json:"node_ops_cv_permille,omitempty"`
+	HotPath                string  `json:"hot_path,omitempty"`
+	HotPathShare           float64 `json:"hot_path_share,omitempty"`
+
 	LastAudit *AuditVerdict `json:"last_audit,omitempty"`
 }
 
@@ -122,6 +156,8 @@ type Health struct {
 //   - max staleness ≥ stalled threshold       → stalled
 //   - max staleness ≥ degraded threshold      → degraded
 //   - parked (failed, retrying) ops           → degraded
+//   - node load imbalance sustained past
+//     SkewSustainNS (hotspot telemetry)       → degraded
 //
 // With observability disabled the staleness watermark reads 0 and only
 // the audit/parked rules can fire.
@@ -165,6 +201,7 @@ func (r *Region) Health(thr HealthThresholds) Health {
 	if h.ParkedOps > 0 {
 		worsen(HealthDegraded, fmt.Sprintf("%d op(s) parked awaiting resubmission", h.ParkedOps))
 	}
+	r.healthSkew(&h, thr, worsen)
 
 	// Flight-record worsening transitions: whoever polls Health (the
 	// /healthz endpoint, the chaos harness, a test) gets the dump cut at
@@ -173,4 +210,48 @@ func (r *Region) Health(thr HealthThresholds) Health {
 		r.obs.TriggerFlight("health_" + h.Status.String())
 	}
 	return h
+}
+
+// healthSkew folds the hotspot telemetry's per-node load imbalance into
+// a health snapshot: the gauges are always reported (when observability
+// is on and the region has peers to be imbalanced against), but the
+// status only degrades once the imbalance has persisted for
+// SkewSustainNS across polls — r.skewSince carries the onset time
+// between calls, and any balanced poll resets it.
+func (r *Region) healthSkew(h *Health, thr HealthThresholds, worsen func(HealthStatus, string)) {
+	if r.obs == nil || len(r.cfg.Nodes) < 2 {
+		return
+	}
+	sk := obs.Skew(nodeOps(r.obs.HotNodeLoads()))
+	h.NodeOpsMaxMeanPermille = sk.MaxMeanPermille
+	h.NodeOpsCVPermille = sk.CVPermille
+	if top := r.obs.TopPaths(1); len(top) > 0 {
+		h.HotPath = top[0].Path
+		h.HotPathShare = top[0].Share
+	}
+	if sk.Total < thr.SkewMinOps || sk.MaxMeanPermille < thr.SkewMaxMeanPermille {
+		r.skewSince.Store(0)
+		return
+	}
+	now := time.Now().UnixNano()
+	since := r.skewSince.Load()
+	if since == 0 {
+		// Onset: CAS so concurrent pollers agree on one start time.
+		r.skewSince.CompareAndSwap(0, now)
+		return
+	}
+	if now-since >= thr.SkewSustainNS {
+		worsen(HealthDegraded, fmt.Sprintf(
+			"node load imbalance sustained %s: hottest node carries %.1fx the mean over %d node(s)",
+			time.Duration(now-since), float64(sk.MaxMeanPermille)/1000, sk.N))
+	}
+}
+
+// nodeOps projects per-node load records onto their op counts.
+func nodeOps(loads []obs.NodeLoad) []int64 {
+	ops := make([]int64, len(loads))
+	for i, l := range loads {
+		ops[i] = l.Ops
+	}
+	return ops
 }

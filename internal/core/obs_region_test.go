@@ -134,6 +134,7 @@ func TestCacheStatsMatchesPerServerSums(t *testing.T) {
 		want.Hits += st.Hits
 		want.Misses += st.Misses
 		want.Evictions += st.Evictions
+		want.ServedOps += st.ServedOps
 	}
 	got := e.region.CacheStats()
 	if got != want {

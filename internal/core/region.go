@@ -267,6 +267,11 @@ type Region struct {
 	// transition (ok → degraded/stalled) can trigger the flight
 	// recorder exactly once per transition.
 	healthPrev atomic.Int32
+	// skewSince is the wall time (unix nanos) at which Health() first
+	// observed per-node load imbalance above the skew threshold, 0 while
+	// balanced. Imbalance only degrades the region once it has persisted
+	// for SkewSustainNS across polls.
+	skewSince atomic.Int64
 
 	wg     sync.WaitGroup
 	closed atomic.Bool
@@ -469,6 +474,25 @@ func (r *Region) registerMetrics() {
 			return r.CacheStats().UsedBytes * 1000 / total
 		})
 	}
+	// Cache-ring load skew: imbalance of ops served per cache server. A
+	// sustained max/mean well above 1000 means the hash ring's keys are
+	// not spreading — the cache-side face of a path hotspot.
+	o.RegisterGauge("hot_cache_load_maxmean_permille", func() int64 {
+		return r.cacheLoadSkew().MaxMeanPermille
+	})
+	o.RegisterGauge("hot_cache_load_cv_permille", func() int64 {
+		return r.cacheLoadSkew().CVPermille
+	})
+}
+
+// cacheLoadSkew computes load-imbalance stats over the region's cache
+// servers (ops served per server).
+func (r *Region) cacheLoadSkew() obs.SkewStats {
+	loads := make([]int64, 0, len(r.servers))
+	for _, s := range r.servers {
+		loads = append(loads, s.ServedOps())
+	}
+	return obs.Skew(loads)
 }
 
 // headerCounts sums the dirty/removed header flags across the region's
@@ -579,6 +603,7 @@ func (r *Region) CacheStats() memcache.Stats {
 		total.Hits += st.Hits
 		total.Misses += st.Misses
 		total.Evictions += st.Evictions
+		total.ServedOps += st.ServedOps
 	}
 	return total
 }

@@ -54,6 +54,9 @@ type Server struct {
 	misses    atomic.Int64
 	evictions atomic.Int64
 	used      atomic.Int64
+	// served counts every op charged on the service resource — the
+	// per-server load figure the region's cache-ring skew gauges compare.
+	served atomic.Int64
 }
 
 type shard struct {
@@ -124,8 +127,12 @@ func itemBytes(key string, v []byte) int64 { return int64(len(key) + len(v) + 64
 
 // acquire charges one cache op on the service resource.
 func (s *Server) acquire(at vclock.Time) vclock.Time {
+	s.served.Add(1)
 	return s.res.Acquire(at, s.cfg.Model.CacheOpCost)
 }
+
+// ServedOps returns the total ops this server has served.
+func (s *Server) ServedOps() int64 { return s.served.Load() }
 
 // Get returns the item for key.
 func (s *Server) Get(at vclock.Time, key string) (Item, vclock.Time, error) {
@@ -544,6 +551,9 @@ type Stats struct {
 	Hits      int64
 	Misses    int64
 	Evictions int64
+	// ServedOps is every op charged on the service resource (gets, sets,
+	// deletes, scans...), the load figure behind the cache-skew gauges.
+	ServedOps int64
 }
 
 // Stats returns current counters.
@@ -561,6 +571,7 @@ func (s *Server) Stats() Stats {
 		Hits:      s.hits.Load(),
 		Misses:    s.misses.Load(),
 		Evictions: s.evictions.Load(),
+		ServedOps: s.served.Load(),
 	}
 }
 

@@ -97,8 +97,10 @@ func TestQuantileSingleBucket(t *testing.T) {
 }
 
 // TestWritePromGolden pins the full exposition byte-for-byte: one
-// registered counter plus the self-maintained RPC-error/trace counters,
-// one gauge, samples in commit_lag, and the six other pre-created
+// registered counter plus the self-maintained RPC-error/trace/hotspot
+// counters, one gauge plus the hotspot self-gauges and the skew gauges
+// the region/dfs layers register (stub readers here), samples in
+// commit_lag, recorded hotspot paths, and the six other pre-created
 // pipeline histograms rendering at zero count. Any change to ordering,
 // naming, bucket math, or second formatting shows up here.
 func TestWritePromGolden(t *testing.T) {
@@ -108,6 +110,21 @@ func TestWritePromGolden(t *testing.T) {
 	o.Hist(HistCommitLag).RecordN(100)
 	o.Hist(HistCommitLag).RecordN(100)
 	o.Hist(HistCommitLag).RecordN(1_000_000)
+	// Hotspot telemetry: two paths on one node drive the self-gauges —
+	// 2 paths tracked, 3 subtrees (/w, /w/a, /w/b), top share 2/3.
+	h := o.HotNode("node0")
+	h.Record("/w/a/x")
+	h.Record("/w/a/x")
+	h.Record("/w/b/y")
+	// The cache-ring and shard-pool skew gauges are registered by the
+	// core region and dfs cluster respectively; stub readers pin their
+	// names and placement in the exposition.
+	o.RegisterGauge("hot_cache_load_maxmean_permille", func() int64 { return 1250 })
+	o.RegisterGauge("hot_cache_load_cv_permille", func() int64 { return 250 })
+	o.RegisterGauge("hot_shard_ops_maxmean_permille", func() int64 { return 2000 })
+	o.RegisterGauge("hot_shard_ops_cv_permille", func() int64 { return 800 })
+	o.RegisterGauge("hot_shard_queue_wait_maxmean_permille", func() int64 { return 1500 })
+	o.RegisterGauge("hot_shard_queue_wait_cv_permille", func() int64 { return 400 })
 
 	const golden = `# TYPE pacon_cache_rpc_errors_total counter
 pacon_cache_rpc_errors_total 0
@@ -115,12 +132,36 @@ pacon_cache_rpc_errors_total 0
 pacon_dfs_rpc_errors_total 0
 # TYPE pacon_flight_dumps_total counter
 pacon_flight_dumps_total 0
+# TYPE pacon_hot_sketch_evictions_total counter
+pacon_hot_sketch_evictions_total 0
 # TYPE pacon_ops_committed_total counter
 pacon_ops_committed_total 42
 # TYPE pacon_spans_sampled_total counter
 pacon_spans_sampled_total 0
 # TYPE pacon_spans_tail_kept_total counter
 pacon_spans_tail_kept_total 0
+# TYPE pacon_hot_cache_load_cv_permille gauge
+pacon_hot_cache_load_cv_permille 250
+# TYPE pacon_hot_cache_load_maxmean_permille gauge
+pacon_hot_cache_load_maxmean_permille 1250
+# TYPE pacon_hot_node_ops_cv_permille gauge
+pacon_hot_node_ops_cv_permille 0
+# TYPE pacon_hot_node_ops_maxmean_permille gauge
+pacon_hot_node_ops_maxmean_permille 1000
+# TYPE pacon_hot_paths_tracked gauge
+pacon_hot_paths_tracked 2
+# TYPE pacon_hot_shard_ops_cv_permille gauge
+pacon_hot_shard_ops_cv_permille 800
+# TYPE pacon_hot_shard_ops_maxmean_permille gauge
+pacon_hot_shard_ops_maxmean_permille 2000
+# TYPE pacon_hot_shard_queue_wait_cv_permille gauge
+pacon_hot_shard_queue_wait_cv_permille 400
+# TYPE pacon_hot_shard_queue_wait_maxmean_permille gauge
+pacon_hot_shard_queue_wait_maxmean_permille 1500
+# TYPE pacon_hot_subtrees_tracked gauge
+pacon_hot_subtrees_tracked 3
+# TYPE pacon_hot_top_path_share_permille gauge
+pacon_hot_top_path_share_permille 667
 # TYPE pacon_queue_depth gauge
 pacon_queue_depth 7
 # TYPE pacon_barrier_wait_seconds histogram

@@ -30,6 +30,10 @@ type FlightDump struct {
 	Latency     map[string]Quantiles `json:"latency_ns,omitempty"`
 	RecentSpans []CritPath           `json:"recent_spans,omitempty"`
 	SlowSpans   []SpanSummary        `json:"slow_spans,omitempty"`
+	// Hotspots is the merged heavy-hitter snapshot (top paths, hot
+	// subtrees, per-node load) at dump time, so a skew-triggered dump
+	// names the paths responsible alongside the spans.
+	Hotspots *HotReport `json:"hotspots,omitempty"`
 	// Events is every event still resident in the node rings at dump
 	// time, wall-ordered — the raw material for assembling any span
 	// the kept list missed.
@@ -79,6 +83,7 @@ func (o *Obs) TriggerFlight(reason string) []byte {
 		Latency:     o.HistQuantiles(),
 		RecentSpans: o.RecentSpans(64),
 		SlowSpans:   o.SlowSpans(32),
+		Hotspots:    o.HotReport(16, 0.05),
 		Events:      o.Trace.Events(),
 	}
 	b, err := json.MarshalIndent(dump, "", "  ")

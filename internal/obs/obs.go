@@ -1,10 +1,12 @@
 // Package obs is the dependency-free observability layer for the pacon
 // commit pipeline: span tracing through the queue/coalesce/barrier/apply
-// stages, log2 latency histograms, counters and gauges, and a
-// Prometheus-text exposition handler. The package imports only the
-// standard library so every other layer can use it without cycles, and
-// every entry point is nil-safe: a nil *Obs (observability disabled)
-// costs call sites exactly one branch.
+// stages, log2 latency histograms, counters and gauges, hotspot
+// telemetry (heavy-hitter path sketches, subtree load attribution, and
+// skew gauges — hotspot.go), and a Prometheus-text exposition handler.
+// The package imports only the standard library plus the leaf
+// internal/namespace package (for ancestor iteration) so every other
+// layer can use it without cycles, and every entry point is nil-safe: a
+// nil *Obs (observability disabled) costs call sites exactly one branch.
 package obs
 
 import (
@@ -89,6 +91,11 @@ type Obs struct {
 	counters map[string]func() int64
 	gauges   map[string]func() int64
 
+	// Per-node hotspot recorders (hotspot.go): lock-free lookup after a
+	// node's first op, bounded sketch state behind each recorder's own
+	// mutex.
+	hotNodes sync.Map // node -> *NodeHot
+
 	// Per-MDS-address DFS RPC instrumentation (sharded deployments):
 	// lock-free lookup after the first RPC to an address, so the per-shard
 	// breakdown costs one sync.Map hit per round trip.
@@ -127,6 +134,14 @@ func New() *Obs {
 	o.counters["spans_sampled"] = o.spansSampled.Load
 	o.counters["spans_tail_kept"] = o.tailKept.Load
 	o.counters["flight_dumps"] = o.flightSeq.Load
+	// Hotspot self-metrics (hotspot.go): sketch residency and the
+	// region-level skew of recorded ops across nodes.
+	o.counters["hot_sketch_evictions"] = o.hotEvictions
+	o.gauges["hot_paths_tracked"] = o.hotPathsTracked
+	o.gauges["hot_subtrees_tracked"] = o.hotSubtreesTracked
+	o.gauges["hot_top_path_share_permille"] = o.topPathSharePermille
+	o.gauges["hot_node_ops_maxmean_permille"] = func() int64 { return o.nodeOpSkew().MaxMeanPermille }
+	o.gauges["hot_node_ops_cv_permille"] = func() int64 { return o.nodeOpSkew().CVPermille }
 	return o
 }
 

@@ -271,4 +271,16 @@ func TestUnsampledHooksZeroAlloc(t *testing.T) {
 	}); n != 0 {
 		t.Fatalf("unsampled SpanDone allocates %v/op, want 0", n)
 	}
+
+	// Hotspot recording on resident keys reuses sketch entries, so the
+	// steady-state Record (and the Obs=nil no-op) must also be free.
+	hot := o.HotNode("node0")
+	hot.Record("/w/x") // make the key (and its ancestors) resident
+	if n := testing.AllocsPerRun(1000, func() { hot.Record("/w/x") }); n != 0 {
+		t.Fatalf("resident NodeHot.Record allocates %v/op, want 0", n)
+	}
+	var nilHot *NodeHot
+	if n := testing.AllocsPerRun(1000, func() { nilHot.Record("/w/x") }); n != 0 {
+		t.Fatalf("nil NodeHot.Record allocates %v/op, want 0", n)
+	}
 }

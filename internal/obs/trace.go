@@ -227,7 +227,13 @@ func (t *Tracer) Filter(keep func(Event) bool) []Event {
 		if out[i].Span != out[j].Span {
 			return out[i].Span < out[j].Span
 		}
-		return out[i].Stage < out[j].Stage
+		if out[i].Stage != out[j].Stage {
+			return out[i].Stage < out[j].Stage
+		}
+		// Node as the final tie-break: the rings are harvested in map
+		// order, so without it identical-timestamp events from different
+		// nodes would shuffle between dumps and break golden diffs.
+		return out[i].Node < out[j].Node
 	})
 	return out
 }

@@ -1,0 +1,77 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// ZipfPaths draws paths with zipf-distributed popularity: the path at
+// rank i (0-based) is selected with probability proportional to
+// 1/(i+1)^s. s=0 is uniform; s around 1.0-1.4 is the skew regime real
+// metadata traces show, where a handful of ranks dominate — the input
+// the hotspot sketch exists to compress. Unlike math/rand's Zipf this
+// supports s ≤ 1 (the sweep's s=1.0 point) by sampling the explicit
+// cumulative weight table with a binary search.
+type ZipfPaths struct {
+	paths []string
+	cum   []float64 // cum[i] = Σ_{j≤i} (j+1)^-s
+}
+
+// NewZipfPaths builds a generator over paths in rank order: paths[0] is
+// the hottest key, paths[1] the second, and so on.
+func NewZipfPaths(paths []string, s float64) *ZipfPaths {
+	cum := make([]float64, len(paths))
+	total := 0.0
+	for i := range paths {
+		total += math.Pow(float64(i+1), -s)
+		cum[i] = total
+	}
+	return &ZipfPaths{paths: append([]string(nil), paths...), cum: cum}
+}
+
+// Len returns the key-space size.
+func (z *ZipfPaths) Len() int { return len(z.paths) }
+
+// Path returns the path at the given rank.
+func (z *ZipfPaths) Path(rank int) string { return z.paths[rank] }
+
+// Hot returns the true hot set: the k hottest ranks, in rank order.
+// This is the ground truth a sketch's recall is measured against.
+func (z *ZipfPaths) Hot(k int) []string {
+	if k > len(z.paths) {
+		k = len(z.paths)
+	}
+	return append([]string(nil), z.paths[:k]...)
+}
+
+// pick maps a uniform u ∈ [0,1) to a rank by binary-searching the
+// cumulative weights.
+func (z *ZipfPaths) pick(u float64) int {
+	target := u * z.cum[len(z.cum)-1]
+	i := sort.SearchFloat64s(z.cum, target)
+	if i >= len(z.paths) {
+		i = len(z.paths) - 1
+	}
+	return i
+}
+
+// Stream returns an independent deterministic sample stream. Streams
+// share the rank table, so per-shard streams in a concurrent workload
+// cost one rng each.
+func (z *ZipfPaths) Stream(seed int64) *ZipfStream {
+	return &ZipfStream{z: z, rng: rand.New(rand.NewSource(seed))}
+}
+
+// ZipfStream is one seeded sample sequence over a ZipfPaths table. Not
+// safe for concurrent use; give each goroutine its own stream.
+type ZipfStream struct {
+	z   *ZipfPaths
+	rng *rand.Rand
+}
+
+// NextRank draws the next rank.
+func (s *ZipfStream) NextRank() int { return s.z.pick(s.rng.Float64()) }
+
+// Next draws the next path.
+func (s *ZipfStream) Next() string { return s.z.paths[s.NextRank()] }

@@ -1,0 +1,95 @@
+package workload
+
+import (
+	"fmt"
+	"testing"
+)
+
+func zipfTestPaths(n int) []string {
+	paths := make([]string, n)
+	for i := range paths {
+		paths[i] = fmt.Sprintf("/w/f%04d", i)
+	}
+	return paths
+}
+
+// TestZipfDeterministicPerSeed: two streams over the same distribution
+// and seed replay identically; a different seed diverges.
+func TestZipfDeterministicPerSeed(t *testing.T) {
+	z := NewZipfPaths(zipfTestPaths(256), 1.2)
+	a, b, c := z.Stream(7), z.Stream(7), z.Stream(8)
+	same, diff := true, false
+	for i := 0; i < 1000; i++ {
+		av := a.NextRank()
+		if av != b.NextRank() {
+			same = false
+		}
+		if av != c.NextRank() {
+			diff = true
+		}
+	}
+	if !same {
+		t.Fatal("same-seed streams diverged")
+	}
+	if !diff {
+		t.Fatal("different-seed streams are identical")
+	}
+}
+
+// TestZipfSkewOrdering: draw frequencies must follow rank order — rank
+// 0 dominates, and the Hot(k) head carries the majority of the mass at
+// s=1.2 — and the flat s≤1 regime must also work (rand.Zipf can't do
+// s=1.0; the explicit cumulative table can).
+func TestZipfSkewOrdering(t *testing.T) {
+	for _, s := range []float64{1.0, 1.2, 1.4} {
+		z := NewZipfPaths(zipfTestPaths(256), s)
+		if z.Len() != 256 {
+			t.Fatalf("s=%.1f: Len=%d, want 256", s, z.Len())
+		}
+		st := z.Stream(42)
+		counts := make([]int, z.Len())
+		for i := 0; i < 100_000; i++ {
+			counts[st.NextRank()]++
+		}
+		if counts[0] <= counts[10] || counts[10] <= counts[100] {
+			t.Fatalf("s=%.1f: counts not rank-ordered: c0=%d c10=%d c100=%d",
+				s, counts[0], counts[10], counts[100])
+		}
+		hotMass := 0
+		for r := 0; r < 16; r++ {
+			hotMass += counts[r]
+		}
+		// At s=1.0 over 256 keys the top 16 carry ≈55% of the mass;
+		// steeper s concentrates further. 40% is a safe floor for all
+		// three sweep points.
+		if hotMass < 40_000 {
+			t.Fatalf("s=%.1f: top-16 mass = %d of 100000, want ≥ 40000", s, hotMass)
+		}
+	}
+}
+
+// TestZipfHotTruthSet: Hot(k) is the ground-truth head in rank order,
+// Path maps ranks back to the layout, and Next yields Path(NextRank).
+func TestZipfHotTruthSet(t *testing.T) {
+	paths := zipfTestPaths(64)
+	z := NewZipfPaths(paths, 1.2)
+	hot := z.Hot(4)
+	if len(hot) != 4 {
+		t.Fatalf("Hot(4) returned %d paths", len(hot))
+	}
+	for i, p := range hot {
+		if p != paths[i] {
+			t.Fatalf("Hot[%d] = %q, want %q", i, p, paths[i])
+		}
+	}
+	if got := z.Hot(1000); len(got) != 64 {
+		t.Fatalf("Hot(k>len) returned %d paths, want all 64", len(got))
+	}
+	// Next must agree with Path(NextRank) under the same seed.
+	st2, st3 := z.Stream(5), z.Stream(5)
+	for i := 0; i < 100; i++ {
+		if st2.Next() != z.Path(st3.NextRank()) {
+			t.Fatal("Next() disagrees with Path(NextRank()) under the same seed")
+		}
+	}
+}

@@ -107,6 +107,17 @@ type (
 	// FlightDump is the anomaly flight recorder's snapshot shape (the
 	// JSON written on health/audit/chaos triggers).
 	FlightDump = obs.FlightDump
+	// HotReport is the merged hotspot snapshot: top heavy-hitter paths,
+	// hot subtrees (split candidates) and per-node load skew.
+	HotReport = obs.HotReport
+	// HotKey is one heavy-hitter table entry (count is a space-saving
+	// upper bound; ErrBound the inherited overestimate).
+	HotKey = obs.HotKey
+	// SkewStats summarizes load imbalance (max/mean and coefficient of
+	// variation, permille-encoded).
+	SkewStats = obs.SkewStats
+	// NodeLoad is one node's recorded-op total in a HotReport.
+	NodeLoad = obs.NodeLoad
 
 	// Time is a virtual timestamp (nanoseconds since run start).
 	Time = vclock.Time

@@ -87,6 +87,9 @@ func NewSimulation(cfg SimulationConfig) *Simulation {
 	} else {
 		cluster = dfs.NewCluster(network, model, cfg.AdminCred, "storage0", dataNodes)
 	}
+	// Shard-pool skew gauges ride the same registry as the region's
+	// hotspot metrics (no-op when observability is off).
+	cluster.RegisterHotMetrics(cfg.Obs)
 	nodes := make([]string, cfg.ClientNodes)
 	for i := range nodes {
 		nodes[i] = fmt.Sprintf("node%d", i)
